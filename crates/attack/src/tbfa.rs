@@ -1,0 +1,235 @@
+//! T-BFA: the *targeted* bit-flip attack [Rakin et al., TPAMI 2021] —
+//! cited as ref [17] in the paper's threat model.
+//!
+//! Instead of destroying accuracy outright, T-BFA flips bits so that
+//! inputs (optionally only those of a source class) are classified as an
+//! attacker-chosen target class. It reuses the progressive search but
+//! *descends* the cross-entropy toward the target labels. DNN-Defender's
+//! protection argument is attack-agnostic — it secures whichever bits
+//! the profiling search surfaces — so this module also doubles as an
+//! extension workload for the defense.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use dd_nn::Tensor;
+use dd_qnn::{BitAddr, BitFlip, QModel};
+
+use crate::bfa::AttackData;
+use crate::threat::AttackConfig;
+
+/// What the targeted attack tries to achieve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TbfaGoal {
+    /// Only samples of this class are redirected (`None` = all samples,
+    /// the "all-to-one" variant).
+    pub source_class: Option<usize>,
+    /// Class the samples should be classified as.
+    pub target_class: usize,
+}
+
+/// Report of a targeted campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TbfaReport {
+    /// The goal attacked.
+    pub goal: TbfaGoal,
+    /// Committed flips in order.
+    pub flips: Vec<BitFlip>,
+    /// Attack success rate before any flip.
+    pub clean_asr: f32,
+    /// Attack success rate after the final flip (fraction of in-scope
+    /// samples classified as the target class).
+    pub final_asr: f32,
+    /// Overall accuracy after the attack (stealth metric: all-to-one
+    /// attacks destroy it, one-to-one attacks should barely move it).
+    pub final_accuracy: f32,
+}
+
+fn attack_success_rate(model: &mut QModel, data: &AttackData, goal: TbfaGoal) -> f32 {
+    let logits = model.forward(&data.eval_images);
+    let preds = logits.argmax_rows();
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for (pred, &label) in preds.iter().zip(&data.eval_labels) {
+        if goal.source_class.map_or(true, |s| label == s) {
+            total += 1;
+            hits += usize::from(*pred == goal.target_class);
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        hits as f32 / total as f32
+    }
+}
+
+/// Gradient of the *targeted* loss (cross-entropy toward the target
+/// labels, restricted to in-scope samples) w.r.t. quantizable weights.
+fn targeted_grads(model: &mut QModel, data: &AttackData, goal: TbfaGoal) -> Vec<Tensor> {
+    // Build the malicious label vector: in-scope samples get the target
+    // class; out-of-scope samples keep their true label so the attack
+    // stays stealthy on them.
+    let labels: Vec<usize> = data
+        .search_labels
+        .iter()
+        .map(|&l| {
+            if goal.source_class.map_or(true, |s| l == s) {
+                goal.target_class
+            } else {
+                l
+            }
+        })
+        .collect();
+    model.weight_grads(&data.search_images, &labels)
+}
+
+/// Run the targeted progressive bit search.
+///
+/// Each iteration flips the bit with the most *negative* first-order
+/// effect on the targeted loss (we want the malicious labels to become
+/// likely), evaluating the top-k candidates exactly.
+pub fn run_tbfa(
+    model: &mut QModel,
+    data: &AttackData,
+    config: &AttackConfig,
+    goal: TbfaGoal,
+    skip: &HashSet<BitAddr>,
+) -> TbfaReport {
+    let clean_asr = attack_success_rate(model, data, goal);
+    let malicious_labels: Vec<usize> = data
+        .search_labels
+        .iter()
+        .map(|&l| {
+            if goal.source_class.map_or(true, |s| l == s) {
+                goal.target_class
+            } else {
+                l
+            }
+        })
+        .collect();
+    let mut flips = Vec::new();
+
+    for _ in 0..config.max_flips {
+        let grads = targeted_grads(model, data, goal);
+        // Most-negative flip gain per parameter = steepest descent toward
+        // the malicious labels.
+        let mut candidates: Vec<(BitAddr, f32)> = Vec::new();
+        for param in 0..model.num_qparams() {
+            let qt = model.qtensor(param);
+            let scale = qt.quant_params().scale;
+            let g = grads[param].as_slice();
+            let mut best: Option<(BitAddr, f32)> = None;
+            for index in 0..qt.len() {
+                if g[index] == 0.0 {
+                    continue;
+                }
+                let q = qt.get(index);
+                for bit in 0..dd_qnn::WEIGHT_BITS {
+                    let gain = g[index] * scale * dd_qnn::flip_delta(q, bit) as f32;
+                    if gain >= 0.0 {
+                        continue;
+                    }
+                    let addr = BitAddr { param, index, bit };
+                    if skip.contains(&addr) {
+                        continue;
+                    }
+                    if best.map_or(true, |(_, bg)| gain < bg) {
+                        best = Some((addr, gain));
+                    }
+                }
+            }
+            if let Some(b) = best {
+                candidates.push(b);
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        candidates.truncate(config.evaluate_top_k.max(1));
+        let mut best: Option<(BitAddr, f32)> = None;
+        for &(addr, _) in &candidates {
+            let flip = model.flip_bit(addr);
+            let loss = model.loss(&data.search_images, &malicious_labels);
+            model.unflip(flip);
+            if best.map_or(true, |(_, bl)| loss < bl) {
+                best = Some((addr, loss));
+            }
+        }
+        let (addr, _) = best.expect("non-empty candidates");
+        flips.push(model.flip_bit(addr));
+
+        if attack_success_rate(model, data, goal) >= 0.95 {
+            break;
+        }
+    }
+
+    let final_asr = attack_success_rate(model, data, goal);
+    let final_accuracy = model.accuracy(&data.eval_images, &data.eval_labels);
+    TbfaReport { goal, flips, clean_asr, final_asr, final_accuracy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::trained_victim;
+
+    #[test]
+    fn all_to_one_attack_redirects_predictions() {
+        let (mut model, data, _) = trained_victim();
+        let goal = TbfaGoal { source_class: None, target_class: 2 };
+        let config = AttackConfig { target_accuracy: 0.0, max_flips: 30, ..Default::default() };
+        let report = run_tbfa(&mut model, &data, &config, goal, &HashSet::new());
+        assert!(
+            report.final_asr > report.clean_asr + 0.3,
+            "targeted attack made no progress: {} -> {}",
+            report.clean_asr,
+            report.final_asr
+        );
+    }
+
+    #[test]
+    fn one_to_one_attack_is_stealthier() {
+        let (mut model, data, _) = trained_victim();
+        let snapshot = model.snapshot_q();
+        let all = run_tbfa(
+            &mut model,
+            &data,
+            &AttackConfig { target_accuracy: 0.0, max_flips: 20, ..Default::default() },
+            TbfaGoal { source_class: None, target_class: 1 },
+            &HashSet::new(),
+        );
+        model.restore_q(&snapshot);
+        let one = run_tbfa(
+            &mut model,
+            &data,
+            &AttackConfig { target_accuracy: 0.0, max_flips: 20, ..Default::default() },
+            TbfaGoal { source_class: Some(0), target_class: 1 },
+            &HashSet::new(),
+        );
+        // The class-restricted attack should preserve more overall
+        // accuracy than the all-to-one attack.
+        assert!(
+            one.final_accuracy >= all.final_accuracy,
+            "one-to-one ({}) should be stealthier than all-to-one ({})",
+            one.final_accuracy,
+            all.final_accuracy
+        );
+    }
+
+    #[test]
+    fn skip_set_blocks_targeted_flips_too() {
+        let (mut model, data, _) = trained_victim();
+        let snapshot = model.snapshot_q();
+        let goal = TbfaGoal { source_class: None, target_class: 3 };
+        let config = AttackConfig { target_accuracy: 0.0, max_flips: 10, ..Default::default() };
+        let first = run_tbfa(&mut model, &data, &config, goal, &HashSet::new());
+        model.restore_q(&snapshot);
+        let found: HashSet<BitAddr> = first.flips.iter().map(|f| f.addr).collect();
+        let second = run_tbfa(&mut model, &data, &config, goal, &found);
+        for f in &second.flips {
+            assert!(!found.contains(&f.addr));
+        }
+    }
+}

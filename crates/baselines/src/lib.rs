@@ -1,0 +1,36 @@
+//! # dd-baselines — the mitigations DNN-Defender is compared against
+//!
+//! Hardware baselines (Table 2 / Table 3):
+//!
+//! * [`graphene`] — counter-based victim refresh with a Misra–Gries
+//!   frequent-items table (Graphene, MICRO 2020);
+//! * [`swap_based`] — aggressor-focused randomized row swaps (RRS,
+//!   ASPLOS 2022; SRS 2022), including the white-box failure mode the
+//!   paper builds its case on;
+//! * [`shadow`] — intra-subarray victim shuffling (SHADOW, HPCA 2023),
+//!   the strongest prior scheme and the head-to-head comparison in
+//!   Fig. 8;
+//!
+//! Software baselines (Table 3):
+//!
+//! * [`software`] — piece-wise clustering (weight clipping), binary
+//!   weights, post-attack weight reconstruction, capacity scaling;
+//!
+//! and the [`evaluation`] harness that plays the common BFA protocol
+//! against any of them.
+
+pub mod counters;
+pub mod evaluation;
+pub mod graphene;
+pub mod shadow;
+pub mod software;
+pub mod swap_based;
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use counters::{CounterPerRow, HydraTracker, TwiceTable};
+pub use evaluation::{evaluate_defense, DefenseEvalRow, LandingFilter};
+pub use graphene::{GrapheneDefense, MisraGries};
+pub use shadow::ShadowDefense;
+pub use software::{binarize_weights, clip_weights, record_max_abs, repair_outliers};
+pub use swap_based::{AttackerTracking, RowSwapDefense, SwapCampaignOutcome, SwapScheme};

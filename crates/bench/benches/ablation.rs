@@ -1,0 +1,73 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * pipelined (Fig. 6) vs naive swap chains;
+//! * bank-parallel vs serial swap scheduling;
+//! * four-step swap vs plain three-copy swap (the step-4 non-target
+//!   refresh);
+//! * defense on vs off on the critical attack path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dd_dram::{DramConfig, MemoryController, RowInSubarray, TimingParams};
+use dnn_defender::{chain_schedule, parallel_schedule};
+
+fn bench_chain_overlap(c: &mut Criterion) {
+    let timing = TimingParams::lpddr4();
+    let mut group = c.benchmark_group("ablation/swap_chain_256");
+    group.bench_function("pipelined", |b| {
+        b.iter(|| black_box(chain_schedule(256, &timing, true).latency))
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| black_box(chain_schedule(256, &timing, false).latency))
+    });
+    group.finish();
+    // Report the modelled latency difference once.
+    let fast = chain_schedule(256, &timing, true).latency;
+    let slow = chain_schedule(256, &timing, false).latency;
+    eprintln!(
+        "[ablation] 256-swap chain: pipelined {fast} vs naive {slow} \
+         ({:.1}% saved)",
+        100.0 * (1.0 - fast.0 as f64 / slow.0 as f64)
+    );
+}
+
+fn bench_parallel_banks(c: &mut Criterion) {
+    let timing = TimingParams::lpddr4();
+    let mut group = c.benchmark_group("ablation/swap_schedule_4096");
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(chain_schedule(4096, &timing, true).latency))
+    });
+    group.bench_function("16_banks", |b| {
+        b.iter(|| black_box(parallel_schedule(4096, 16, &timing, true).latency))
+    });
+    group.finish();
+}
+
+fn bench_three_vs_four_copy_swap(c: &mut Criterion) {
+    let mut mem = MemoryController::new(DramConfig::lpddr4_small());
+    let mut group = c.benchmark_group("ablation/swap_copies");
+    group.bench_function("three_copy", |b| {
+        b.iter(|| {
+            mem.row_clone(dd_dram::BankId(0), dd_dram::SubarrayId(0), RowInSubarray(1), RowInSubarray(126)).unwrap();
+            mem.row_clone(dd_dram::BankId(0), dd_dram::SubarrayId(0), RowInSubarray(2), RowInSubarray(1)).unwrap();
+            mem.row_clone(dd_dram::BankId(0), dd_dram::SubarrayId(0), RowInSubarray(126), RowInSubarray(2)).unwrap();
+        })
+    });
+    group.bench_function("four_copy_with_non_target_refresh", |b| {
+        b.iter(|| {
+            mem.row_clone(dd_dram::BankId(0), dd_dram::SubarrayId(0), RowInSubarray(1), RowInSubarray(126)).unwrap();
+            mem.row_clone(dd_dram::BankId(0), dd_dram::SubarrayId(0), RowInSubarray(2), RowInSubarray(1)).unwrap();
+            mem.row_clone(dd_dram::BankId(0), dd_dram::SubarrayId(0), RowInSubarray(126), RowInSubarray(2)).unwrap();
+            mem.row_clone(dd_dram::BankId(0), dd_dram::SubarrayId(0), RowInSubarray(3), RowInSubarray(126)).unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_chain_overlap, bench_parallel_banks, bench_three_vs_four_copy_swap
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion benches for the attack and defense inner loops: one BFA
+//! search iteration, the four-step swap through the full system, and
+//! the priority profiling step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashSet;
+use std::hint::black_box;
+
+use dd_attack::{run_bfa, AttackConfig, AttackData};
+use dd_dram::DramConfig;
+use dd_nn::data::{Dataset, SyntheticSpec};
+use dd_nn::init::seeded_rng;
+use dd_nn::train::{train, TrainConfig};
+use dd_qnn::{build_model, Architecture, BitAddr, ModelConfig, QModel};
+use dnn_defender::{DefenseConfig, ProtectedSystem};
+
+fn victim() -> (QModel, AttackData) {
+    let mut rng = seeded_rng(5);
+    let spec = SyntheticSpec {
+        classes: 4,
+        channels: 1,
+        height: 8,
+        width: 8,
+        train_per_class: 32,
+        test_per_class: 16,
+        noise: 0.4,
+        brightness_jitter: 0.1,
+    };
+    let ds = Dataset::generate(spec, &mut rng);
+    let config = ModelConfig {
+        arch: Architecture::Mlp,
+        in_channels: 1,
+        image_side: 8,
+        classes: 4,
+        base_width: 4,
+    };
+    let mut net = build_model(&config, &mut rng);
+    let tc = TrainConfig { epochs: 4, batch_size: 32, lr: 0.1, momentum: 0.9, weight_decay: 0.0 };
+    train(&mut net, &ds, tc, &mut rng);
+    let model = QModel::from_network(net);
+    let batch = ds.attack_batch(32, &mut rng);
+    (model, AttackData::single_batch(batch.images, batch.labels))
+}
+
+fn bench_bfa_iteration(c: &mut Criterion) {
+    let (mut model, data) = victim();
+    let snapshot = model.snapshot_q();
+    let config = AttackConfig { target_accuracy: 0.0, max_flips: 1, ..Default::default() };
+    c.bench_function("attack/bfa_one_iteration", |b| {
+        b.iter(|| {
+            let report = run_bfa(&mut model, &data, &config, &HashSet::new());
+            model.restore_q(&snapshot);
+            black_box(report.bit_flips)
+        })
+    });
+}
+
+fn bench_protected_attack(c: &mut Criterion) {
+    let (model, _) = victim();
+    let mut system =
+        ProtectedSystem::deploy(model, DramConfig::lpddr4_small(), DefenseConfig::default(), 3)
+            .expect("deploy");
+    let addr = BitAddr { param: 0, index: 0, bit: 7 };
+    system.protect([addr]);
+    c.bench_function("defense/attack_protected_bit_full_swap", |b| {
+        b.iter(|| black_box(system.attack_bit(addr).unwrap()))
+    });
+}
+
+fn bench_unprotected_attack(c: &mut Criterion) {
+    let (model, _) = victim();
+    let mut system = ProtectedSystem::deploy(
+        model,
+        DramConfig::lpddr4_small(),
+        DefenseConfig { enabled: false, ..Default::default() },
+        4,
+    )
+    .expect("deploy");
+    let addr = BitAddr { param: 0, index: 1, bit: 0 };
+    c.bench_function("defense/attack_unprotected_bit", |b| {
+        b.iter(|| black_box(system.attack_bit(addr).unwrap()))
+    });
+}
+
+fn bench_profiling_round(c: &mut Criterion) {
+    let (mut model, data) = victim();
+    let config = AttackConfig { target_accuracy: 0.3, max_flips: 5, ..Default::default() };
+    c.bench_function("defense/profile_one_round_5_flips", |b| {
+        b.iter(|| black_box(dd_attack::multi_round_profile(&mut model, &data, &config, 1).bits.len()))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_bfa_iteration, bench_protected_attack, bench_unprotected_attack, bench_profiling_round
+);
+criterion_main!(benches);

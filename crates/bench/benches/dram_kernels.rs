@@ -1,0 +1,70 @@
+//! Criterion benches for the DRAM simulator kernels behind every
+//! experiment: activation, hammer bursts, RowClone, and the swap path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dd_dram::{BankId, DramConfig, GlobalRowId, MemoryController, RowInSubarray, SubarrayId};
+
+fn bench_activate(c: &mut Criterion) {
+    let mut mem = MemoryController::new(DramConfig::lpddr4_small());
+    c.bench_function("dram/activate", |b| {
+        b.iter(|| {
+            mem.activate(black_box(GlobalRowId::new(0, 0, 5))).unwrap();
+            mem.precharge(BankId(0), SubarrayId(0)).unwrap();
+        })
+    });
+}
+
+fn bench_hammer_burst(c: &mut Criterion) {
+    let mut mem = MemoryController::new(DramConfig::lpddr4_small());
+    c.bench_function("dram/hammer_4800", |b| {
+        b.iter(|| {
+            mem.hammer(black_box(GlobalRowId::new(0, 0, 11)), 4800).unwrap();
+        })
+    });
+}
+
+fn bench_row_clone(c: &mut Criterion) {
+    let mut mem = MemoryController::new(DramConfig::lpddr4_small());
+    mem.poke_row(BankId(0), SubarrayId(0), RowInSubarray(1), &[0xA5; 64]).unwrap();
+    c.bench_function("dram/row_clone", |b| {
+        b.iter(|| {
+            mem.row_clone(BankId(0), SubarrayId(0), RowInSubarray(1), RowInSubarray(2)).unwrap();
+        })
+    });
+}
+
+fn bench_full_row_write_read(c: &mut Criterion) {
+    let mut mem = MemoryController::new(DramConfig::lpddr4_small());
+    let data = vec![0x3C; 64];
+    c.bench_function("dram/write_read_row", |b| {
+        b.iter(|| {
+            mem.write_row(BankId(1), SubarrayId(1), RowInSubarray(9), black_box(&data)).unwrap();
+            black_box(mem.read_row(BankId(1), SubarrayId(1), RowInSubarray(9)).unwrap());
+        })
+    });
+}
+
+fn bench_swap_via_scratch(c: &mut Criterion) {
+    let mut mem = MemoryController::new(DramConfig::lpddr4_small());
+    c.bench_function("dram/swap_rows_via_scratch", |b| {
+        b.iter(|| {
+            mem.swap_rows_via(
+                BankId(0),
+                SubarrayId(0),
+                RowInSubarray(3),
+                RowInSubarray(4),
+                RowInSubarray(127),
+            )
+            .unwrap();
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_activate, bench_hammer_burst, bench_row_clone, bench_full_row_write_read, bench_swap_via_scratch
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benches of the per-figure series generators (the analytical
+//! models that regenerate Fig. 1(a) and Fig. 8 rows, plus the Table 2
+//! builder). These quantify the cost of regenerating each published
+//! artifact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dd_dram::DramConfig;
+use dnn_defender::{overhead_table, rh_thresholds, DefenseOp, SecurityModel};
+
+fn bench_fig1a_series(c: &mut Criterion) {
+    c.bench_function("figures/fig1a_rh_thresholds", |b| {
+        b.iter(|| black_box(rh_thresholds()))
+    });
+}
+
+fn bench_fig8a_series(c: &mut Criterion) {
+    let model = SecurityModel::from_config(&DramConfig::lpddr4_small());
+    c.bench_function("figures/fig8a_time_to_break_series", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for t_rh in [1000u64, 2000, 4000, 8000] {
+                total += model.time_to_break_days(t_rh, DefenseOp::DnnDefenderSwap);
+                total += model.time_to_break_days(t_rh, DefenseOp::ShadowShuffle);
+                total += model.max_defended_bfas(t_rh) as f64;
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_fig8b_series(c: &mut Criterion) {
+    let model = SecurityModel::from_config(&DramConfig::lpddr4_small());
+    c.bench_function("figures/fig8b_latency_series", |b| {
+        b.iter(|| {
+            let mut total = 0u128;
+            for n in [7_000u64, 14_000, 28_000, 55_000] {
+                total += model.latency_per_tref(n, DefenseOp::DnnDefenderSwap).0;
+                total += model.latency_per_tref(n, DefenseOp::ShadowShuffle).0;
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_table2_builder(c: &mut Criterion) {
+    let config = DramConfig::ddr4_32gb();
+    c.bench_function("figures/table2_overhead_table", |b| {
+        b.iter(|| black_box(overhead_table(&config).len()))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_fig1a_series, bench_fig8a_series, bench_fig8b_series, bench_table2_builder
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benches for quantized inference and gradient computation —
+//! the inner loop of every attack and profiling run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dd_nn::init::seeded_rng;
+use dd_qnn::{build_model, Architecture, ModelConfig, QModel};
+
+fn make_model(arch: Architecture) -> QModel {
+    let mut rng = seeded_rng(1);
+    let config = ModelConfig::new(arch, 10).with_base_width(2);
+    QModel::from_network(build_model(&config, &mut rng))
+}
+
+fn batch() -> (dd_nn::Tensor, Vec<usize>) {
+    let mut rng = seeded_rng(2);
+    let x = dd_nn::init::normal(&[16, 3, 16, 16], 1.0, &mut rng);
+    let labels = (0..16).map(|i| i % 10).collect();
+    (x, labels)
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qnn/forward_batch16");
+    for arch in [Architecture::Mlp, Architecture::Vgg11, Architecture::ResNet20] {
+        let mut model = make_model(arch);
+        let (x, _) = batch();
+        group.bench_function(arch.name(), |b| {
+            b.iter(|| black_box(model.forward(black_box(&x))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_weight_grads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qnn/weight_grads_batch16");
+    for arch in [Architecture::Mlp, Architecture::ResNet20] {
+        let mut model = make_model(arch);
+        let (x, labels) = batch();
+        group.bench_function(arch.name(), |b| {
+            b.iter(|| black_box(model.weight_grads(black_box(&x), &labels)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bit_flip_sync(c: &mut Criterion) {
+    let mut model = make_model(Architecture::ResNet20);
+    let addr = dd_qnn::BitAddr { param: 3, index: 7, bit: 7 };
+    c.bench_function("qnn/flip_bit_sync", |b| {
+        b.iter(|| {
+            let flip = model.flip_bit(black_box(addr));
+            model.unflip(flip);
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_forward, bench_weight_grads, bench_bit_flip_sync
+);
+criterion_main!(benches);

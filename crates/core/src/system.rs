@@ -1,0 +1,491 @@
+//! The integrated protected system: quantized model + DRAM + defense.
+//!
+//! [`ProtectedSystem`] deploys a [`QModel`]'s weights into simulated DRAM,
+//! holds the defender's [`ProtectionPlan`], and exposes the attacker's
+//! primitive — [`ProtectedSystem::attack_bit`] — which plays out the
+//! RowHammer race between the hammering campaign and the four-step swap
+//! on the actual simulated device.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use dd_dram::{
+    rowhammer::preferred_aggressor, DramConfig, DramError, GlobalRowId, MemoryController,
+    RowInSubarray,
+};
+use dd_nn::Tensor;
+use dd_qnn::{BitAddr, QModel};
+
+use crate::mapping::WeightMap;
+use crate::swap::SwapEngine;
+
+/// Defense policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DefenseConfig {
+    /// Master switch: disabled = baseline undefended DRAM.
+    pub enabled: bool,
+    /// Refresh the opposite-side victim row with swap step 4.
+    pub refresh_non_targets: bool,
+    /// Optional cap on swaps per refresh window (per device). When the
+    /// number of protected-row swaps in one window would exceed it, the
+    /// defense misses and the flip lands — modelling the `N_s` capacity
+    /// bound of §5.1. `None` = uncapped.
+    pub swap_budget_per_window: Option<u64>,
+}
+
+impl Default for DefenseConfig {
+    fn default() -> Self {
+        DefenseConfig { enabled: true, refresh_non_targets: true, swap_budget_per_window: None }
+    }
+}
+
+/// Outcome of one attacker campaign against one bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlipAttempt {
+    /// The bit flipped in DRAM (and the live model).
+    Landed,
+    /// DNN-Defender swapped the victim row mid-window; the campaign
+    /// never reached `T_RH` on any single location.
+    Resisted,
+    /// The defense was enabled but out of window budget; the flip landed.
+    DefenseMissed,
+}
+
+impl FlipAttempt {
+    /// Whether the model was corrupted.
+    pub fn landed(self) -> bool {
+        !matches!(self, FlipAttempt::Resisted)
+    }
+}
+
+/// Defense bookkeeping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DefenseStats {
+    /// Four-step swaps performed.
+    pub swaps: u64,
+    /// RowClone copies issued by the defense.
+    pub row_clones: u64,
+    /// Attacker campaigns neutralized.
+    pub flips_resisted: u64,
+    /// Attacker campaigns that corrupted memory.
+    pub flips_landed: u64,
+    /// Times the window budget forced a miss.
+    pub defense_misses: u64,
+    /// Non-target victim rows refreshed opportunistically.
+    pub non_target_refreshes: u64,
+}
+
+/// A quantized model deployed in defended DRAM.
+#[derive(Debug)]
+pub struct ProtectedSystem {
+    mem: MemoryController,
+    model: QModel,
+    map: WeightMap,
+    engine: SwapEngine,
+    defense: DefenseConfig,
+    protected_bits: HashSet<BitAddr>,
+    protected_rows: HashSet<GlobalRowId>,
+    stats: DefenseStats,
+    rng: StdRng,
+    window_epoch: u64,
+    swaps_this_window: u64,
+}
+
+impl ProtectedSystem {
+    /// Deploy a model into a fresh device.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DramError`] if the device configuration is invalid or
+    /// too small for the model.
+    pub fn deploy(
+        model: QModel,
+        dram_config: DramConfig,
+        defense: DefenseConfig,
+        seed: u64,
+    ) -> Result<Self, DramError> {
+        let mut mem = MemoryController::try_new(dram_config.clone())?;
+        let map = WeightMap::layout(&model, &dram_config);
+        for slot in map.slots() {
+            let bytes = model.qtensor(slot.param).to_bytes();
+            let mut row = vec![0u8; dram_config.row_bytes];
+            row[..slot.len].copy_from_slice(&bytes[slot.offset..slot.offset + slot.len]);
+            mem.poke_row(slot.row.bank, slot.row.subarray, slot.row.row, &row)?;
+        }
+        Ok(ProtectedSystem {
+            mem,
+            model,
+            map,
+            engine: SwapEngine::new(),
+            defense,
+            protected_bits: HashSet::new(),
+            protected_rows: HashSet::new(),
+            stats: DefenseStats::default(),
+            rng: StdRng::seed_from_u64(seed),
+            window_epoch: 0,
+            swaps_this_window: 0,
+        })
+    }
+
+    /// Install the secured-bit set (from a
+    /// [`crate::priority::ProtectionPlan`]).
+    pub fn protect(&mut self, bits: impl IntoIterator<Item = BitAddr>) {
+        self.protected_bits = bits.into_iter().collect();
+        self.recompute_protected_rows();
+    }
+
+    fn recompute_protected_rows(&mut self) {
+        self.protected_rows =
+            self.map.target_rows(self.protected_bits.iter()).into_iter().collect();
+    }
+
+    /// The secured bits currently installed.
+    pub fn protected_bits(&self) -> &HashSet<BitAddr> {
+        &self.protected_bits
+    }
+
+    /// Rows currently classified as protection targets.
+    pub fn protected_row_count(&self) -> usize {
+        self.protected_rows.len()
+    }
+
+    /// Defense statistics so far.
+    pub fn stats(&self) -> DefenseStats {
+        self.stats
+    }
+
+    /// The simulated memory (for inspecting stats / timing).
+    pub fn memory(&self) -> &MemoryController {
+        &self.mem
+    }
+
+    /// The live model (reflects every landed flip).
+    pub fn model_mut(&mut self) -> &mut QModel {
+        &mut self.model
+    }
+
+    /// Accuracy of the deployed (possibly corrupted) model.
+    pub fn accuracy(&mut self, images: &Tensor, labels: &[usize]) -> f32 {
+        self.model.accuracy(images, labels)
+    }
+
+    /// Whether a bit currently lies in a protected target row.
+    pub fn is_protected(&self, addr: BitAddr) -> bool {
+        self.defense.enabled && self.protected_rows.contains(&self.map.locate(addr).row)
+    }
+
+    fn window_budget_available(&mut self) -> bool {
+        let epoch = self.mem.epoch();
+        if epoch != self.window_epoch {
+            self.window_epoch = epoch;
+            self.swaps_this_window = 0;
+        }
+        match self.defense.swap_budget_per_window {
+            Some(budget) => self.swaps_this_window < budget,
+            None => true,
+        }
+    }
+
+    /// Pick a random destination row in the same subarray, avoiding the
+    /// target and (if any) the non-target row, per Algorithm 1 line 3.
+    fn pick_random_row(
+        &mut self,
+        target: GlobalRowId,
+        avoid: Option<RowInSubarray>,
+    ) -> RowInSubarray {
+        let data_rows = self.mem.config().data_rows_per_subarray();
+        loop {
+            let candidate = RowInSubarray(self.rng.gen_range(0..data_rows));
+            if candidate != target.row && Some(candidate) != avoid {
+                return candidate;
+            }
+        }
+    }
+
+    /// One full attacker campaign against `addr`: hammer the adjacent
+    /// aggressor up to `T_RH` activations and attempt the flip.
+    ///
+    /// With the defense enabled and the row protected, DNN-Defender's
+    /// periodic swap fires mid-window: the victim data moves to a random
+    /// row (refreshing it), the attacker re-aims at the new location (it
+    /// can track the target, §4) and continues hammering — but no single
+    /// physical row ever accumulates `T_RH` disturbance, so the flip is
+    /// resisted.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DramError`] on invalid addresses (should not happen for
+    /// bits of the deployed model).
+    pub fn attack_bit(&mut self, addr: BitAddr) -> Result<FlipAttempt, DramError> {
+        let t_rh = self.mem.config().rowhammer_threshold;
+        let rows_per_subarray = self.mem.config().rows_per_subarray;
+        let loc = self.map.locate(addr);
+        let protected = self.is_protected(addr);
+
+        if !protected {
+            let aggressor = preferred_aggressor(loc.row, rows_per_subarray);
+            self.mem.hammer(aggressor, t_rh)?;
+            let outcome = self.mem.attempt_flip(loc.row, &[loc.bit_in_row])?;
+            return if outcome.flipped() {
+                self.model.flip_bit(addr);
+                self.stats.flips_landed += 1;
+                debug_assert_eq!(
+                    self.mem.peek_row(loc.row.bank, loc.row.subarray, loc.row.row)?
+                        [loc.bit_in_row / 8],
+                    self.model.qtensor(addr.param).get(addr.index) as u8,
+                    "DRAM and model diverged"
+                );
+                Ok(FlipAttempt::Landed)
+            } else {
+                // Auto-refresh happened to rescue the row (window rolled).
+                self.stats.flips_resisted += 1;
+                Ok(FlipAttempt::Resisted)
+            };
+        }
+
+        if !self.window_budget_available() {
+            // Capacity exceeded: the defense cannot reach this row in time.
+            self.stats.defense_misses += 1;
+            let aggressor = preferred_aggressor(loc.row, rows_per_subarray);
+            self.mem.hammer(aggressor, t_rh)?;
+            let outcome = self.mem.attempt_flip(loc.row, &[loc.bit_in_row])?;
+            if outcome.flipped() {
+                self.model.flip_bit(addr);
+                self.stats.flips_landed += 1;
+                return Ok(FlipAttempt::DefenseMissed);
+            }
+            self.stats.flips_resisted += 1;
+            return Ok(FlipAttempt::Resisted);
+        }
+
+        // The attacker hammers; the defender's swap fires before the
+        // window closes (it schedules one swap per protected row per
+        // window, §5.1).
+        let aggressor = preferred_aggressor(loc.row, rows_per_subarray);
+        self.mem.hammer(aggressor, t_rh / 2)?;
+
+        // Four-step swap: reserved <- random, random <- target,
+        // target_loc <- reserved, reserved <- non-target.
+        let reserved = RowInSubarray(self.mem.config().first_reserved_row());
+        let non_target = if self.defense.refresh_non_targets {
+            // The victim on the other side of the aggressor.
+            let other = if aggressor.row.0 + 1 < rows_per_subarray
+                && aggressor.row.0 + 1 != loc.row.row.0
+            {
+                Some(RowInSubarray(aggressor.row.0 + 1))
+            } else if aggressor.row.0 > 0 && aggressor.row.0 - 1 != loc.row.row.0 {
+                Some(RowInSubarray(aggressor.row.0 - 1))
+            } else {
+                None
+            };
+            other.filter(|r| r.0 < self.mem.config().data_rows_per_subarray())
+        } else {
+            None
+        };
+        let random = self.pick_random_row(loc.row, non_target);
+        let outcome = self.engine.four_step_swap(
+            &mut self.mem,
+            &mut self.map,
+            loc.row,
+            random,
+            reserved,
+            non_target,
+        )?;
+        self.swaps_this_window += 1;
+        self.stats.swaps += 1;
+        self.stats.row_clones += u64::from(outcome.row_clones);
+        if non_target.is_some() {
+            self.stats.non_target_refreshes += 1;
+        }
+        self.recompute_protected_rows();
+
+        // The attacker tracks the move and resumes hammering at the new
+        // location for the rest of its window.
+        let new_loc = self.map.locate(addr);
+        let new_aggressor = preferred_aggressor(new_loc.row, rows_per_subarray);
+        self.mem.hammer(new_aggressor, t_rh - t_rh / 2)?;
+        let outcome = self.mem.attempt_flip(new_loc.row, &[new_loc.bit_in_row])?;
+        if outcome.flipped() {
+            // Should not happen: no location saw a full window.
+            self.model.flip_bit(addr);
+            self.stats.flips_landed += 1;
+            return Ok(FlipAttempt::Landed);
+        }
+        self.stats.flips_resisted += 1;
+        Ok(FlipAttempt::Resisted)
+    }
+
+    /// Replay a priority-ordered attack bit sequence (e.g. the flips a
+    /// BFA search selected) through the device, returning per-bit
+    /// outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`DramError`] from the individual attempts.
+    pub fn run_campaign(&mut self, bits: &[BitAddr]) -> Result<Vec<FlipAttempt>, DramError> {
+        bits.iter().map(|&b| self.attack_bit(b)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_nn::data::{Dataset, SyntheticSpec};
+    use dd_nn::init::seeded_rng;
+    use dd_nn::train::{train, TrainConfig};
+    use dd_qnn::{build_model, Architecture, ModelConfig};
+
+    fn victim() -> (QModel, Dataset) {
+        let mut rng = seeded_rng(55);
+        let spec = SyntheticSpec {
+            classes: 4,
+            channels: 1,
+            height: 8,
+            width: 8,
+            train_per_class: 32,
+            test_per_class: 16,
+            noise: 0.4,
+            brightness_jitter: 0.1,
+        };
+        let ds = Dataset::generate(spec, &mut rng);
+        let config = ModelConfig {
+            arch: Architecture::Mlp,
+            in_channels: 1,
+            image_side: 8,
+            classes: 4,
+            base_width: 4,
+        };
+        let mut net = build_model(&config, &mut rng);
+        let tc = TrainConfig { epochs: 6, batch_size: 32, lr: 0.1, momentum: 0.9, weight_decay: 0.0 };
+        train(&mut net, &ds, tc, &mut rng);
+        (QModel::from_network(net), ds)
+    }
+
+    fn system(defense: DefenseConfig) -> (ProtectedSystem, Dataset) {
+        let (model, ds) = victim();
+        let sys = ProtectedSystem::deploy(model, DramConfig::lpddr4_small(), defense, 9)
+            .expect("deploy");
+        (sys, ds)
+    }
+
+    #[test]
+    fn undefended_flip_lands_and_corrupts_model() {
+        let (mut sys, ds) = system(DefenseConfig { enabled: false, ..Default::default() });
+        let addr = BitAddr { param: 0, index: 0, bit: 7 };
+        let before = sys.model_mut().qtensor(0).get(0);
+        let attempt = sys.attack_bit(addr).unwrap();
+        assert_eq!(attempt, FlipAttempt::Landed);
+        let after = sys.model_mut().qtensor(0).get(0);
+        assert_ne!(before, after);
+        let _ = ds;
+    }
+
+    #[test]
+    fn protected_bit_is_resisted() {
+        let (mut sys, _ds) = system(DefenseConfig::default());
+        let addr = BitAddr { param: 0, index: 0, bit: 7 };
+        sys.protect([addr]);
+        let before = sys.model_mut().qtensor(0).get(0);
+        let attempt = sys.attack_bit(addr).unwrap();
+        assert_eq!(attempt, FlipAttempt::Resisted);
+        assert_eq!(sys.model_mut().qtensor(0).get(0), before);
+        assert_eq!(sys.stats().swaps, 1);
+        assert!(sys.stats().row_clones >= 3);
+    }
+
+    #[test]
+    fn protection_covers_whole_row() {
+        let (mut sys, _ds) = system(DefenseConfig::default());
+        // Protecting bit 0 of weight 0 protects every bit in that row.
+        sys.protect([BitAddr { param: 0, index: 0, bit: 0 }]);
+        let same_row = BitAddr { param: 0, index: 1, bit: 7 };
+        assert!(sys.is_protected(same_row));
+        let attempt = sys.attack_bit(same_row).unwrap();
+        assert_eq!(attempt, FlipAttempt::Resisted);
+    }
+
+    #[test]
+    fn repeated_attacks_on_protected_bit_all_resist() {
+        let (mut sys, _ds) = system(DefenseConfig::default());
+        let addr = BitAddr { param: 0, index: 3, bit: 7 };
+        sys.protect([addr]);
+        for _ in 0..5 {
+            assert_eq!(sys.attack_bit(addr).unwrap(), FlipAttempt::Resisted);
+        }
+        assert_eq!(sys.stats().swaps, 5);
+        assert_eq!(sys.stats().flips_resisted, 5);
+        assert_eq!(sys.stats().flips_landed, 0);
+    }
+
+    #[test]
+    fn unprotected_bits_still_land_when_defense_is_on() {
+        let (mut sys, _ds) = system(DefenseConfig::default());
+        sys.protect([BitAddr { param: 0, index: 0, bit: 7 }]);
+        // A bit in a different row (different slot) is not protected.
+        let row_bytes = sys.memory().config().row_bytes;
+        let far = BitAddr { param: 0, index: row_bytes * 2, bit: 7 };
+        assert!(!sys.is_protected(far));
+        assert_eq!(sys.attack_bit(far).unwrap(), FlipAttempt::Landed);
+    }
+
+    #[test]
+    fn zero_budget_forces_defense_miss() {
+        let (mut sys, _ds) = system(DefenseConfig {
+            swap_budget_per_window: Some(0),
+            ..Default::default()
+        });
+        let addr = BitAddr { param: 0, index: 0, bit: 7 };
+        sys.protect([addr]);
+        let attempt = sys.attack_bit(addr).unwrap();
+        assert_eq!(attempt, FlipAttempt::DefenseMissed);
+        assert_eq!(sys.stats().defense_misses, 1);
+    }
+
+    #[test]
+    fn campaign_accuracy_drops_only_when_undefended() {
+        let (mut sys_off, ds) = system(DefenseConfig { enabled: false, ..Default::default() });
+        let (mut sys_on, _) = system(DefenseConfig::default());
+        let eval = ds.test.take(48);
+
+        // Attack sign bits of the classifier layer (the last quantizable
+        // parameter): corrupting logit weights reliably damages accuracy.
+        let last = sys_off.model_mut().num_qparams() - 1;
+        let weights = sys_off.model_mut().qtensor(last).len();
+        let bits: Vec<BitAddr> = (0..30)
+            .map(|i| BitAddr { param: last, index: (i * 7) % weights, bit: 7 })
+            .collect();
+        sys_on.protect(bits.clone());
+
+        let clean = sys_off.accuracy(&eval.images, &eval.labels);
+        sys_off.run_campaign(&bits).unwrap();
+        sys_on.run_campaign(&bits).unwrap();
+        let off_acc = sys_off.accuracy(&eval.images, &eval.labels);
+        let on_acc = sys_on.accuracy(&eval.images, &eval.labels);
+
+        assert!(off_acc < clean, "undefended attack had no effect");
+        assert_eq!(on_acc, clean, "defended system lost accuracy");
+    }
+
+    #[test]
+    fn swap_keeps_model_and_dram_coherent() {
+        let (mut sys, _ds) = system(DefenseConfig::default());
+        let addr = BitAddr { param: 0, index: 10, bit: 2 };
+        sys.protect([addr]);
+        for _ in 0..3 {
+            sys.attack_bit(addr).unwrap();
+        }
+        // After swaps, the mapped row still holds the model's bytes.
+        let loc = sys.map.locate(addr);
+        let slot = *sys.map.slot_at(loc.row).expect("slot");
+        let expected = sys.model.qtensor(slot.param).to_bytes();
+        let row = sys
+            .mem
+            .peek_row(loc.row.bank, loc.row.subarray, loc.row.row)
+            .unwrap()
+            .to_vec();
+        assert_eq!(&row[..slot.len], &expected[slot.offset..slot.offset + slot.len]);
+    }
+}

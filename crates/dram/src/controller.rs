@@ -1,0 +1,519 @@
+//! The memory controller: the single entry point through which attackers
+//! and defenses drive the simulated device.
+//!
+//! All data movement, timing accounting, command tracing and RowHammer
+//! disturbance bookkeeping flow through this type, so an experiment that
+//! holds a `MemoryController` sees a consistent global clock ([`MemoryController::now`])
+//! and consistent per-row disturbance state.
+
+use crate::bank::Bank;
+use crate::command::{CommandKind, CommandTrace, DramCommand};
+use crate::error::DramError;
+use crate::geometry::{BankId, DramConfig, GlobalRowId, RowInSubarray, SubarrayId};
+use crate::rowhammer::{FlipOutcome, HammerTracker, RowHammerModel};
+use crate::stats::MemStats;
+use crate::timing::Nanos;
+
+/// The simulated memory controller.
+///
+/// # Example
+///
+/// ```
+/// use dd_dram::{DramConfig, MemoryController, BankId, SubarrayId, RowInSubarray};
+///
+/// # fn main() -> Result<(), dd_dram::DramError> {
+/// let mut mem = MemoryController::new(DramConfig::lpddr4_small());
+/// let (b, s) = (BankId(0), SubarrayId(0));
+///
+/// // A victim row with data; the attacker hammers its neighbour.
+/// mem.write_row(b, s, RowInSubarray(10), &[0xFF; 64])?;
+/// let victim = dd_dram::GlobalRowId { bank: b, subarray: s, row: RowInSubarray(10) };
+/// let aggressor = dd_dram::GlobalRowId { bank: b, subarray: s, row: RowInSubarray(11) };
+///
+/// mem.hammer(aggressor, 4800)?; // reach T_RH
+/// let outcome = mem.attempt_flip(victim, &[0])?;
+/// assert!(outcome.flipped());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MemoryController {
+    config: DramConfig,
+    banks: Vec<Bank>,
+    now: Nanos,
+    stats: MemStats,
+    trace: CommandTrace,
+    hammer: HammerTracker,
+    rh_model: RowHammerModel,
+}
+
+impl MemoryController {
+    /// Build a controller over a freshly zeroed device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`DramConfig::validate`]; use
+    /// [`MemoryController::try_new`] for a fallible constructor.
+    pub fn new(config: DramConfig) -> Self {
+        MemoryController::try_new(config).expect("invalid dram configuration")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::InvalidConfig`] when the configuration is
+    /// inconsistent.
+    pub fn try_new(config: DramConfig) -> Result<Self, DramError> {
+        config.validate()?;
+        let banks = (0..config.banks)
+            .map(|_| Bank::new(config.subarrays_per_bank, config.rows_per_subarray, config.row_bytes))
+            .collect();
+        let rh_model = RowHammerModel::from_config(&config);
+        Ok(MemoryController {
+            config,
+            banks,
+            now: Nanos::ZERO,
+            stats: MemStats::new(),
+            trace: CommandTrace::default(),
+            hammer: HammerTracker::new(),
+            rh_model,
+        })
+    }
+
+    /// Device configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// The RowHammer model parameters in force.
+    pub fn rowhammer_model(&self) -> RowHammerModel {
+        self.rh_model
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Operation statistics so far.
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// The bounded command trace.
+    pub fn trace(&self) -> &CommandTrace {
+        &self.trace
+    }
+
+    /// Current refresh-window epoch.
+    pub fn epoch(&self) -> u64 {
+        HammerTracker::epoch(self.now, self.config.timing.t_ref)
+    }
+
+    /// Advance simulated time by `dt` without issuing commands (idle).
+    pub fn advance(&mut self, dt: Nanos) {
+        self.now += dt;
+    }
+
+    fn bank_mut(&mut self, bank: BankId) -> Result<&mut Bank, DramError> {
+        let n = self.banks.len();
+        self.banks.get_mut(bank.0).ok_or(DramError::BankOutOfRange { bank, banks: n })
+    }
+
+    fn bank_ref(&self, bank: BankId) -> Result<&Bank, DramError> {
+        self.banks.get(bank.0).ok_or(DramError::BankOutOfRange { bank, banks: self.banks.len() })
+    }
+
+    fn record(&mut self, kind: CommandKind, target: GlobalRowId, aux: Option<GlobalRowId>) {
+        let at = self.now;
+        self.trace.record(DramCommand { kind, target, aux, at });
+    }
+
+    /// Apply the RowHammer side effects of activating `row`: the row itself
+    /// is recharged, its physical neighbours each take `n` disturbance.
+    fn disturb_neighbours(&mut self, row: GlobalRowId, n: u64) {
+        let epoch = self.epoch();
+        self.hammer.refresh(row);
+        for victim in self.rh_model.victims_of(row) {
+            self.hammer.disturb(victim, n, epoch);
+        }
+    }
+
+    /// `ACT`: open a row. Advances time by `t_act` and disturbs neighbours.
+    ///
+    /// # Errors
+    ///
+    /// Returns an out-of-range error for an invalid address.
+    pub fn activate(&mut self, addr: GlobalRowId) -> Result<(), DramError> {
+        self.config.check_addr(addr)?;
+        self.bank_mut(addr.bank)?.subarray_mut(addr.subarray)?.activate(addr.row)?;
+        self.now += self.config.timing.t_act;
+        self.stats.acts += 1;
+        self.stats.busy += self.config.timing.t_act;
+        self.record(CommandKind::Act, addr, None);
+        self.disturb_neighbours(addr, 1);
+        Ok(())
+    }
+
+    /// `PRE`: close the open row of a subarray.
+    ///
+    /// # Errors
+    ///
+    /// Returns an out-of-range error for an invalid bank/subarray.
+    pub fn precharge(&mut self, bank: BankId, subarray: SubarrayId) -> Result<(), DramError> {
+        self.bank_mut(bank)?.subarray_mut(subarray)?.precharge();
+        self.now += self.config.timing.t_pre;
+        self.stats.pres += 1;
+        self.stats.busy += self.config.timing.t_pre;
+        self.record(
+            CommandKind::Pre,
+            GlobalRowId { bank, subarray, row: RowInSubarray(0) },
+            None,
+        );
+        Ok(())
+    }
+
+    /// Read a full row (ACT + RD + PRE).
+    ///
+    /// # Errors
+    ///
+    /// Returns an out-of-range error for an invalid address.
+    pub fn read_row(
+        &mut self,
+        bank: BankId,
+        subarray: SubarrayId,
+        row: RowInSubarray,
+    ) -> Result<Vec<u8>, DramError> {
+        let addr = GlobalRowId { bank, subarray, row };
+        self.activate(addr)?;
+        let data = self
+            .bank_ref(bank)?
+            .subarray(subarray)?
+            .row(row)?
+            .as_bytes()
+            .to_vec();
+        self.now += self.config.timing.t_rd;
+        self.stats.reads += 1;
+        self.stats.busy += self.config.timing.t_rd;
+        self.record(CommandKind::Rd, addr, None);
+        self.precharge(bank, subarray)?;
+        Ok(data)
+    }
+
+    /// Write a full row (ACT + WR + PRE).
+    ///
+    /// # Errors
+    ///
+    /// Returns an out-of-range error for an invalid address, or
+    /// [`DramError::RowSizeMismatch`] when `data` is not one full row.
+    pub fn write_row(
+        &mut self,
+        bank: BankId,
+        subarray: SubarrayId,
+        row: RowInSubarray,
+        data: &[u8],
+    ) -> Result<(), DramError> {
+        let addr = GlobalRowId { bank, subarray, row };
+        self.activate(addr)?;
+        self.bank_mut(bank)?.subarray_mut(subarray)?.write_row(row, data)?;
+        self.now += self.config.timing.t_wr;
+        self.stats.writes += 1;
+        self.stats.busy += self.config.timing.t_wr;
+        self.record(CommandKind::Wr, addr, None);
+        self.precharge(bank, subarray)?;
+        Ok(())
+    }
+
+    /// Direct (zero-time) access to row contents for test setup and
+    /// model-accuracy evaluation. Does not issue commands, advance time, or
+    /// disturb neighbours — use [`MemoryController::read_row`] for
+    /// behaviourally accurate accesses.
+    pub fn peek_row(
+        &self,
+        bank: BankId,
+        subarray: SubarrayId,
+        row: RowInSubarray,
+    ) -> Result<&[u8], DramError> {
+        Ok(self.bank_ref(bank)?.subarray(subarray)?.row(row)?.as_bytes())
+    }
+
+    /// Zero-time counterpart of [`MemoryController::write_row`] for test
+    /// setup (e.g. loading model weights without paying simulated time).
+    pub fn poke_row(
+        &mut self,
+        bank: BankId,
+        subarray: SubarrayId,
+        row: RowInSubarray,
+        data: &[u8],
+    ) -> Result<(), DramError> {
+        self.bank_mut(bank)?.subarray_mut(subarray)?.write_row(row, data)
+    }
+
+    /// RowClone: copy `src` → `dst` within one subarray (ACT–ACT–PRE,
+    /// `t_aap`). Both rows are recharged (their disturbance resets) and
+    /// both rows' neighbours take one activation of disturbance.
+    ///
+    /// # Errors
+    ///
+    /// Returns an out-of-range error for invalid rows.
+    pub fn row_clone(
+        &mut self,
+        bank: BankId,
+        subarray: SubarrayId,
+        src: RowInSubarray,
+        dst: RowInSubarray,
+    ) -> Result<(), DramError> {
+        let src_addr = GlobalRowId { bank, subarray, row: src };
+        let dst_addr = GlobalRowId { bank, subarray, row: dst };
+        self.config.check_addr(src_addr)?;
+        self.config.check_addr(dst_addr)?;
+        self.bank_mut(bank)?.subarray_mut(subarray)?.row_clone(src, dst)?;
+        self.now += self.config.timing.t_aap;
+        self.stats.row_clones += 1;
+        self.stats.acts += 2;
+        self.stats.pres += 1;
+        self.stats.busy += self.config.timing.t_aap;
+        self.record(CommandKind::RowClone, src_addr, Some(dst_addr));
+        self.disturb_neighbours(src_addr, 1);
+        self.disturb_neighbours(dst_addr, 1);
+        Ok(())
+    }
+
+    /// Explicitly refresh one row (recharge; clears its disturbance).
+    ///
+    /// # Errors
+    ///
+    /// Returns an out-of-range error for an invalid address.
+    pub fn refresh_row(&mut self, addr: GlobalRowId) -> Result<(), DramError> {
+        self.config.check_addr(addr)?;
+        self.hammer.refresh(addr);
+        self.stats.refreshes += 1;
+        self.now += self.config.timing.t_act;
+        self.stats.busy += self.config.timing.t_act;
+        self.record(CommandKind::Refresh, addr, None);
+        Ok(())
+    }
+
+    /// Hammer: issue `count` activate/precharge pairs against `aggressor`
+    /// as fast as timing allows. This is the attacker's primitive.
+    ///
+    /// Returns the disturbance each neighbour of the aggressor now carries.
+    ///
+    /// # Errors
+    ///
+    /// Returns an out-of-range error for an invalid address.
+    pub fn hammer(&mut self, aggressor: GlobalRowId, count: u64) -> Result<u64, DramError> {
+        self.config.check_addr(aggressor)?;
+        // Bulk-model the ACT storm instead of issuing `count` commands:
+        // identical end state, O(1) work.
+        self.now += self.config.timing.t_act * u128::from(count);
+        self.stats.acts += count;
+        self.stats.pres += count;
+        self.stats.busy += self.config.timing.t_act * u128::from(count);
+        self.record(CommandKind::Act, aggressor, None);
+        self.disturb_neighbours(aggressor, count);
+        let epoch = self.epoch();
+        Ok(self
+            .rh_model
+            .victims_of(aggressor)
+            .first()
+            .map(|v| self.hammer.disturbance(*v, epoch))
+            .unwrap_or(0))
+    }
+
+    /// Current disturbance of a row in the present refresh window.
+    pub fn disturbance(&self, row: GlobalRowId) -> u64 {
+        self.hammer.disturbance(row, self.epoch())
+    }
+
+    /// Attempt to flip `bits` (bit offsets within the row payload) in
+    /// `victim`. Succeeds only when the victim's accumulated disturbance
+    /// has reached `T_RH` in the current refresh window; on success the
+    /// bits flip in storage and the victim's disturbance resets (its cells
+    /// have discharged and the next hammer campaign starts fresh).
+    ///
+    /// # Errors
+    ///
+    /// Returns an out-of-range error for an invalid address or bit offset.
+    pub fn attempt_flip(
+        &mut self,
+        victim: GlobalRowId,
+        bits: &[usize],
+    ) -> Result<FlipOutcome, DramError> {
+        self.config.check_addr(victim)?;
+        let epoch = self.epoch();
+        let disturbance = self.hammer.disturbance(victim, epoch);
+        if disturbance < self.rh_model.threshold {
+            return Ok(FlipOutcome::Resisted { disturbance, threshold: self.rh_model.threshold });
+        }
+        let row = self
+            .bank_mut(victim.bank)?
+            .subarray_mut(victim.subarray)?
+            .row_mut(victim.row)?;
+        for &bit in bits {
+            row.flip_bit(bit)?;
+        }
+        self.hammer.refresh(victim);
+        Ok(FlipOutcome::Flipped { bits: bits.to_vec() })
+    }
+
+    /// Swap two rows of a subarray through a scratch row using three
+    /// RowClone copies (`scratch ← a`, `a ← b`, `b ← scratch`). This is
+    /// the primitive that swap-based mitigations build on; DNN-Defender's
+    /// four-step variant lives in the `dnn-defender` crate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an out-of-range error for invalid rows.
+    pub fn swap_rows_via(
+        &mut self,
+        bank: BankId,
+        subarray: SubarrayId,
+        a: RowInSubarray,
+        b: RowInSubarray,
+        scratch: RowInSubarray,
+    ) -> Result<(), DramError> {
+        self.row_clone(bank, subarray, a, scratch)?;
+        self.row_clone(bank, subarray, b, a)?;
+        self.row_clone(bank, subarray, scratch, b)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> MemoryController {
+        MemoryController::new(DramConfig::lpddr4_small())
+    }
+
+    fn gid(row: usize) -> GlobalRowId {
+        GlobalRowId::new(0, 0, row)
+    }
+
+    #[test]
+    fn read_back_what_was_written() {
+        let mut m = mem();
+        let data = vec![0x5A; 64];
+        m.write_row(BankId(0), SubarrayId(0), RowInSubarray(3), &data).unwrap();
+        let back = m.read_row(BankId(0), SubarrayId(0), RowInSubarray(3)).unwrap();
+        assert_eq!(back, data);
+        assert!(m.stats().reads == 1 && m.stats().writes == 1);
+    }
+
+    #[test]
+    fn hammer_below_threshold_resists() {
+        let mut m = mem();
+        m.hammer(gid(11), 4799).unwrap();
+        let out = m.attempt_flip(gid(10), &[0]).unwrap();
+        assert_eq!(out, FlipOutcome::Resisted { disturbance: 4799, threshold: 4800 });
+    }
+
+    #[test]
+    fn hammer_at_threshold_flips() {
+        let mut m = mem();
+        m.poke_row(BankId(0), SubarrayId(0), RowInSubarray(10), &[0u8; 64]).unwrap();
+        m.hammer(gid(11), 4800).unwrap();
+        let out = m.attempt_flip(gid(10), &[5]).unwrap();
+        assert!(out.flipped());
+        let row = m.peek_row(BankId(0), SubarrayId(0), RowInSubarray(10)).unwrap();
+        assert_eq!(row[0], 1 << 5);
+    }
+
+    #[test]
+    fn double_sided_hammer_accumulates() {
+        let mut m = mem();
+        m.hammer(gid(9), 2400).unwrap();
+        m.hammer(gid(11), 2400).unwrap();
+        assert_eq!(m.disturbance(gid(10)), 4800);
+        assert!(m.attempt_flip(gid(10), &[0]).unwrap().flipped());
+    }
+
+    #[test]
+    fn victim_refresh_resets_disturbance() {
+        let mut m = mem();
+        m.hammer(gid(11), 4000).unwrap();
+        m.refresh_row(gid(10)).unwrap();
+        m.hammer(gid(11), 799).unwrap();
+        let out = m.attempt_flip(gid(10), &[0]).unwrap();
+        assert!(!out.flipped());
+    }
+
+    #[test]
+    fn row_clone_refreshes_both_rows() {
+        let mut m = mem();
+        m.hammer(gid(11), 4000).unwrap();
+        assert_eq!(m.disturbance(gid(10)), 4000);
+        // Cloning the victim elsewhere recharges it.
+        m.row_clone(BankId(0), SubarrayId(0), RowInSubarray(10), RowInSubarray(50)).unwrap();
+        assert_eq!(m.disturbance(gid(10)), 0);
+    }
+
+    #[test]
+    fn refresh_window_rollover_clears_disturbance() {
+        let mut m = mem();
+        m.hammer(gid(11), 4000).unwrap();
+        // Jump past the end of the refresh window.
+        m.advance(Nanos::from_millis(65));
+        assert_eq!(m.disturbance(gid(10)), 0);
+        assert!(!m.attempt_flip(gid(10), &[0]).unwrap().flipped());
+    }
+
+    #[test]
+    fn hammering_own_row_does_not_flip_it() {
+        let mut m = mem();
+        m.hammer(gid(10), 10_000).unwrap();
+        assert_eq!(m.disturbance(gid(10)), 0);
+        assert!(!m.attempt_flip(gid(10), &[0]).unwrap().flipped());
+    }
+
+    #[test]
+    fn activation_disturbs_both_neighbours() {
+        let mut m = mem();
+        m.activate(gid(10)).unwrap();
+        assert_eq!(m.disturbance(gid(9)), 1);
+        assert_eq!(m.disturbance(gid(11)), 1);
+        assert_eq!(m.disturbance(gid(10)), 0);
+    }
+
+    #[test]
+    fn swap_rows_via_scratch_exchanges_data() {
+        let mut m = mem();
+        m.poke_row(BankId(0), SubarrayId(0), RowInSubarray(1), &[1; 64]).unwrap();
+        m.poke_row(BankId(0), SubarrayId(0), RowInSubarray(2), &[2; 64]).unwrap();
+        m.swap_rows_via(BankId(0), SubarrayId(0), RowInSubarray(1), RowInSubarray(2), RowInSubarray(127))
+            .unwrap();
+        assert_eq!(m.peek_row(BankId(0), SubarrayId(0), RowInSubarray(1)).unwrap()[0], 2);
+        assert_eq!(m.peek_row(BankId(0), SubarrayId(0), RowInSubarray(2)).unwrap()[0], 1);
+        assert_eq!(m.stats().row_clones, 3);
+        // 3 RowClones at t_aap each.
+        assert_eq!(m.stats().busy, m.config().timing.t_aap * 3);
+    }
+
+    #[test]
+    fn timing_accumulates() {
+        let mut m = mem();
+        let t = m.config().timing;
+        m.hammer(gid(5), 100).unwrap();
+        assert_eq!(m.now(), t.t_act * 100);
+    }
+
+    #[test]
+    fn flip_consumes_disturbance() {
+        let mut m = mem();
+        m.hammer(gid(11), 4800).unwrap();
+        assert!(m.attempt_flip(gid(10), &[0]).unwrap().flipped());
+        // A second flip needs a fresh hammering campaign.
+        assert!(!m.attempt_flip(gid(10), &[1]).unwrap().flipped());
+    }
+
+    #[test]
+    fn invalid_addresses_error() {
+        let mut m = mem();
+        assert!(m.activate(GlobalRowId::new(99, 0, 0)).is_err());
+        assert!(m.read_row(BankId(0), SubarrayId(99), RowInSubarray(0)).is_err());
+        assert!(m.hammer(GlobalRowId::new(0, 0, 999), 1).is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the DRAM simulator invariants.
+
+use dd_dram::{
+    BankId, DramConfig, GlobalRowId, MemoryController, RowInSubarray, SubarrayId,
+};
+use proptest::prelude::*;
+
+fn small_config() -> DramConfig {
+    DramConfig::lpddr4_small()
+        .with_banks(2)
+        .with_subarrays_per_bank(2)
+        .with_rows_per_subarray(32)
+        .with_row_bytes(16)
+}
+
+proptest! {
+    /// Writing then reading any row returns the written bytes.
+    #[test]
+    fn write_read_roundtrip(row in 0usize..32, data in proptest::collection::vec(any::<u8>(), 16)) {
+        let mut mem = MemoryController::new(small_config());
+        mem.write_row(BankId(0), SubarrayId(0), RowInSubarray(row), &data).unwrap();
+        let back = mem.read_row(BankId(0), SubarrayId(0), RowInSubarray(row)).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    /// RowClone always makes dst equal to src and never corrupts src.
+    #[test]
+    fn row_clone_preserves_source(
+        src in 0usize..32,
+        dst in 0usize..32,
+        data in proptest::collection::vec(any::<u8>(), 16),
+    ) {
+        let mut mem = MemoryController::new(small_config());
+        mem.poke_row(BankId(1), SubarrayId(1), RowInSubarray(src), &data).unwrap();
+        mem.row_clone(BankId(1), SubarrayId(1), RowInSubarray(src), RowInSubarray(dst)).unwrap();
+        prop_assert_eq!(mem.peek_row(BankId(1), SubarrayId(1), RowInSubarray(src)).unwrap(), &data[..]);
+        prop_assert_eq!(mem.peek_row(BankId(1), SubarrayId(1), RowInSubarray(dst)).unwrap(), &data[..]);
+    }
+
+    /// A victim can never flip with fewer than T_RH aggregate neighbour
+    /// activations, and always can at exactly T_RH (fresh window).
+    #[test]
+    fn threshold_is_exact(count in 0u64..6000) {
+        let mut mem = MemoryController::new(small_config().with_rowhammer_threshold(3000));
+        let aggressor = GlobalRowId::new(0, 0, 11);
+        let victim = GlobalRowId::new(0, 0, 10);
+        mem.hammer(aggressor, count).unwrap();
+        let out = mem.attempt_flip(victim, &[3]).unwrap();
+        prop_assert_eq!(out.flipped(), count >= 3000);
+    }
+
+    /// Disturbance from two aggressors adds linearly.
+    #[test]
+    fn double_sided_adds(a in 0u64..3000, b in 0u64..3000) {
+        let mut mem = MemoryController::new(small_config().with_rowhammer_threshold(100_000));
+        mem.hammer(GlobalRowId::new(0, 0, 9), a).unwrap();
+        mem.hammer(GlobalRowId::new(0, 0, 11), b).unwrap();
+        prop_assert_eq!(mem.disturbance(GlobalRowId::new(0, 0, 10)), a + b);
+    }
+
+    /// swap_rows_via is an involution: applying it twice restores both rows.
+    #[test]
+    fn swap_twice_is_identity(
+        a in 0usize..30,
+        b in 0usize..30,
+        da in proptest::collection::vec(any::<u8>(), 16),
+        db in proptest::collection::vec(any::<u8>(), 16),
+    ) {
+        prop_assume!(a != b);
+        let mut mem = MemoryController::new(small_config());
+        mem.poke_row(BankId(0), SubarrayId(0), RowInSubarray(a), &da).unwrap();
+        mem.poke_row(BankId(0), SubarrayId(0), RowInSubarray(b), &db).unwrap();
+        let scratch = RowInSubarray(31);
+        mem.swap_rows_via(BankId(0), SubarrayId(0), RowInSubarray(a), RowInSubarray(b), scratch).unwrap();
+        mem.swap_rows_via(BankId(0), SubarrayId(0), RowInSubarray(a), RowInSubarray(b), scratch).unwrap();
+        prop_assert_eq!(mem.peek_row(BankId(0), SubarrayId(0), RowInSubarray(a)).unwrap(), &da[..]);
+        prop_assert_eq!(mem.peek_row(BankId(0), SubarrayId(0), RowInSubarray(b)).unwrap(), &db[..]);
+    }
+
+    /// Simulated time is monotone under any operation sequence.
+    #[test]
+    fn time_is_monotone(ops in proptest::collection::vec(0u8..4, 1..50)) {
+        let mut mem = MemoryController::new(small_config());
+        let mut last = mem.now();
+        for op in ops {
+            match op {
+                0 => { mem.activate(GlobalRowId::new(0, 0, 5)).unwrap(); }
+                1 => { mem.precharge(BankId(0), SubarrayId(0)).unwrap(); }
+                2 => { mem.row_clone(BankId(0), SubarrayId(0), RowInSubarray(1), RowInSubarray(2)).unwrap(); }
+                _ => { mem.hammer(GlobalRowId::new(0, 0, 7), 10).unwrap(); }
+            }
+            prop_assert!(mem.now() >= last);
+            last = mem.now();
+        }
+    }
+}

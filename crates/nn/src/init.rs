@@ -1,0 +1,70 @@
+//! Weight initialization and seeded RNG helpers.
+//!
+//! Every stochastic component of the reproduction takes an explicit seed so
+//! that experiments are bit-reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tensor::Tensor;
+
+/// A deterministic RNG from a 64-bit seed.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Kaiming-uniform initialization: `U(-b, b)` with `b = sqrt(6 / fan_in)`.
+pub fn kaiming_uniform(shape: &[usize], fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    let bound = (6.0 / fan_in.max(1) as f32).sqrt();
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| rng.gen_range(-bound..bound)).collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// Standard-normal tensor scaled by `std`.
+pub fn normal(shape: &[usize], std: f32, rng: &mut impl Rng) -> Tensor {
+    let n: usize = shape.iter().product();
+    // Box–Muller transform; avoids needing rand_distr.
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < n {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Tensor::from_vec(shape, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a = kaiming_uniform(&[4, 4], 4, &mut seeded_rng(42));
+        let b = kaiming_uniform(&[4, 4], 4, &mut seeded_rng(42));
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn kaiming_respects_bound() {
+        let t = kaiming_uniform(&[1000], 6, &mut seeded_rng(1));
+        let bound = 1.0; // sqrt(6/6)
+        assert!(t.as_slice().iter().all(|&x| x.abs() <= bound));
+        // Roughly zero-centred.
+        assert!(t.sum().abs() / 1000.0 < 0.1);
+    }
+
+    #[test]
+    fn normal_has_requested_scale() {
+        let t = normal(&[10_000], 2.0, &mut seeded_rng(3));
+        let mean = t.sum() / 10_000.0;
+        let var = t.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / 10_000.0;
+        assert!(mean.abs() < 0.1);
+        assert!((var.sqrt() - 2.0).abs() < 0.1);
+    }
+}

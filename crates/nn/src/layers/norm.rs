@@ -1,0 +1,218 @@
+//! Per-channel normalization with learnable affine parameters.
+//!
+//! A batch-norm-style layer: activations are normalized per channel using
+//! batch statistics in training mode (with the exact batch-norm backward,
+//! which differentiates through the statistics) and running statistics in
+//! inference mode (frozen-statistics backward). The inference-time
+//! behaviour — the only thing BFA interacts with — is the standard affine
+//! `y = γ·(x−μ)/σ + β`.
+
+use crate::layers::{Layer, Param};
+use crate::tensor::Tensor;
+
+/// Per-channel normalization over NCHW or NC inputs.
+#[derive(Debug)]
+pub struct ChannelNorm {
+    name: String,
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    cached_xhat: Option<Tensor>,
+    cached_inv_std: Vec<f32>,
+    cached_train: bool,
+}
+
+impl ChannelNorm {
+    /// New layer over `channels` channels.
+    pub fn new(name: impl Into<String>, channels: usize) -> Self {
+        let name = name.into();
+        ChannelNorm {
+            gamma: Param::new(format!("{name}.gamma"), Tensor::full(&[channels], 1.0), false),
+            beta: Param::new(format!("{name}.beta"), Tensor::zeros(&[channels]), false),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            name,
+            cached_xhat: None,
+            cached_inv_std: Vec::new(),
+            cached_train: false,
+        }
+    }
+
+    fn channels(&self) -> usize {
+        self.running_mean.len()
+    }
+
+    /// Per-channel iteration helper: yields (channel, slice range stride).
+    fn channel_of(idx: usize, shape: &[usize]) -> usize {
+        match shape.len() {
+            2 => idx % shape[1],
+            4 => (idx / (shape[2] * shape[3])) % shape[1],
+            _ => panic!("channelnorm supports 2-d or 4-d inputs"),
+        }
+    }
+}
+
+impl Layer for ChannelNorm {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let c = self.channels();
+        let shape = x.shape().to_vec();
+        let (mean, var) = if train {
+            // Batch statistics per channel.
+            let mut sum = vec![0.0f64; c];
+            let mut sumsq = vec![0.0f64; c];
+            let mut count = vec![0usize; c];
+            for (i, &v) in x.as_slice().iter().enumerate() {
+                let ch = Self::channel_of(i, &shape);
+                sum[ch] += v as f64;
+                sumsq[ch] += (v as f64) * (v as f64);
+                count[ch] += 1;
+            }
+            let mean: Vec<f32> = sum
+                .iter()
+                .zip(&count)
+                .map(|(s, &n)| (s / n.max(1) as f64) as f32)
+                .collect();
+            let var: Vec<f32> = sumsq
+                .iter()
+                .zip(&count)
+                .zip(&mean)
+                .map(|((sq, &n), &m)| ((sq / n.max(1) as f64) as f32 - m * m).max(0.0))
+                .collect();
+            for ch in 0..c {
+                self.running_mean[ch] =
+                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean[ch];
+                self.running_var[ch] =
+                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var[ch];
+            }
+            (mean, var)
+        } else {
+            (self.running_mean.clone(), self.running_var.clone())
+        };
+
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let gv = self.gamma.value.as_slice().to_vec();
+        let bv = self.beta.value.as_slice().to_vec();
+        let mut xhat = vec![0.0f32; x.len()];
+        let mut y = vec![0.0f32; x.len()];
+        for (i, &v) in x.as_slice().iter().enumerate() {
+            let ch = Self::channel_of(i, &shape);
+            let h = (v - mean[ch]) * inv_std[ch];
+            xhat[i] = h;
+            y[i] = gv[ch] * h + bv[ch];
+        }
+        self.cached_xhat = Some(Tensor::from_vec(&shape, xhat));
+        self.cached_inv_std = inv_std;
+        self.cached_train = train;
+        Tensor::from_vec(&shape, y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let xhat = self.cached_xhat.as_ref().expect("backward before forward");
+        let shape = grad_out.shape().to_vec();
+        let c = self.channels();
+        let gv = self.gamma.value.as_slice().to_vec();
+
+        // Parameter gradients (same in both modes).
+        let mut sum_g = vec![0.0f32; c];
+        let mut sum_gh = vec![0.0f32; c];
+        let mut count = vec![0usize; c];
+        for (i, (&g, &h)) in grad_out.as_slice().iter().zip(xhat.as_slice()).enumerate() {
+            let ch = Self::channel_of(i, &shape);
+            sum_g[ch] += g;
+            sum_gh[ch] += g * h;
+            count[ch] += 1;
+        }
+        for ch in 0..c {
+            self.gamma.grad.as_mut_slice()[ch] += sum_gh[ch];
+            self.beta.grad.as_mut_slice()[ch] += sum_g[ch];
+        }
+
+        let mut gx = vec![0.0f32; grad_out.len()];
+        if self.cached_train {
+            // Exact batch-norm backward (statistics depend on the batch):
+            // dx = γ·invstd·(g − mean(g) − x̂·mean(g·x̂)).
+            let mean_g: Vec<f32> =
+                sum_g.iter().zip(&count).map(|(s, &n)| s / n.max(1) as f32).collect();
+            let mean_gh: Vec<f32> =
+                sum_gh.iter().zip(&count).map(|(s, &n)| s / n.max(1) as f32).collect();
+            for (i, (&g, &h)) in grad_out.as_slice().iter().zip(xhat.as_slice()).enumerate() {
+                let ch = Self::channel_of(i, &shape);
+                gx[i] = gv[ch] * self.cached_inv_std[ch] * (g - mean_g[ch] - h * mean_gh[ch]);
+            }
+        } else {
+            // Frozen running statistics: plain affine backward.
+            for (i, &g) in grad_out.as_slice().iter().enumerate() {
+                let ch = Self::channel_of(i, &shape);
+                gx[i] = g * gv[ch] * self.cached_inv_std[ch];
+            }
+        }
+        Tensor::from_vec(&shape, gx)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_mode_normalizes_batch() {
+        let mut n = ChannelNorm::new("bn", 1);
+        let x = Tensor::from_vec(&[4, 1], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = n.forward(&x, true);
+        let mean: f32 = y.as_slice().iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        let var: f32 = y.as_slice().iter().map(|v| v * v).sum::<f32>() / 4.0;
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn inference_uses_running_stats() {
+        let mut n = ChannelNorm::new("bn", 1);
+        // Train on a fixed distribution for many steps.
+        let x = Tensor::from_vec(&[4, 1], vec![10.0, 12.0, 8.0, 10.0]);
+        for _ in 0..200 {
+            n.forward(&x, true);
+        }
+        // Inference on the same data should be approximately normalized.
+        let y = n.forward(&x, false);
+        let mean: f32 = y.as_slice().iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 0.1, "running mean not learned: {mean}");
+    }
+
+    #[test]
+    fn nchw_channels_are_independent() {
+        let mut n = ChannelNorm::new("bn", 2);
+        // Channel 0 all zeros, channel 1 large values.
+        let x = Tensor::from_vec(&[1, 2, 1, 2], vec![0.0, 0.0, 100.0, 200.0]);
+        let y = n.forward(&x, true);
+        // Channel 0 stays 0, channel 1 normalizes to ±1.
+        assert_eq!(&y.as_slice()[..2], &[0.0, 0.0]);
+        assert!((y.as_slice()[2] + 1.0).abs() < 1e-3);
+        assert!((y.as_slice()[3] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn backward_affine_grads() {
+        let mut n = ChannelNorm::new("bn", 1);
+        let x = Tensor::from_vec(&[2, 1], vec![1.0, 3.0]);
+        let _ = n.forward(&x, true);
+        let _ = n.backward(&Tensor::full(&[2, 1], 1.0));
+        // dβ = sum of grads = 2; dγ = Σ g·x̂ = x̂₀+x̂₁ = 0 for symmetric batch.
+        assert!((n.beta.grad.as_slice()[0] - 2.0).abs() < 1e-6);
+        assert!(n.gamma.grad.as_slice()[0].abs() < 1e-5);
+    }
+}

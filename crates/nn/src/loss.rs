@@ -1,0 +1,110 @@
+//! Softmax cross-entropy loss — the objective both the trainer minimizes
+//! and the BFA attacker maximizes (Eqn. 1 of the paper).
+
+use crate::tensor::Tensor;
+
+/// Numerically stable row-wise softmax of a `[n, k]` tensor.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let k = logits.shape()[1];
+    let mut out = Vec::with_capacity(logits.len());
+    for row in logits.as_slice().chunks(k) {
+        let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&x| (x - m).exp()).collect();
+        let z: f32 = exps.iter().sum();
+        out.extend(exps.iter().map(|&e| e / z));
+    }
+    Tensor::from_vec(logits.shape(), out)
+}
+
+/// Mean cross-entropy of `logits: [n, k]` against integer `labels`.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size or a label is out
+/// of range.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), n, "labels must match batch size");
+    let probs = softmax(logits);
+    let mut total = 0.0f32;
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < k, "label {label} out of range for {k} classes");
+        let p = probs.as_slice()[i * k + label].max(1e-12);
+        total -= p.ln();
+    }
+    total / n as f32
+}
+
+/// Gradient of mean cross-entropy w.r.t. the logits: `(softmax − onehot)/n`.
+pub fn cross_entropy_grad(logits: &Tensor, labels: &[usize]) -> Tensor {
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), n, "labels must match batch size");
+    let mut grad = softmax(logits);
+    let inv_n = 1.0 / n as f32;
+    for (i, &label) in labels.iter().enumerate() {
+        grad.as_mut_slice()[i * k + label] -= 1.0;
+    }
+    grad.scale(inv_n);
+    grad
+}
+
+/// Fraction of rows whose argmax equals the label.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let preds = logits.argmax_rows();
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f32 / labels.len().max(1) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let l = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let p = softmax(&l);
+        for row in p.as_slice().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let l = Tensor::from_vec(&[1, 2], vec![1000.0, 1001.0]);
+        let p = softmax(&l);
+        assert!(p.as_slice().iter().all(|x| x.is_finite()));
+        assert!(p.as_slice()[1] > p.as_slice()[0]);
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_low() {
+        let confident = Tensor::from_vec(&[1, 3], vec![10.0, -10.0, -10.0]);
+        assert!(cross_entropy(&confident, &[0]) < 1e-3);
+        let wrong = Tensor::from_vec(&[1, 3], vec![10.0, -10.0, -10.0]);
+        assert!(cross_entropy(&wrong, &[1]) > 5.0);
+    }
+
+    #[test]
+    fn grad_matches_numerical() {
+        let l = Tensor::from_vec(&[2, 3], vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0]);
+        let labels = [2usize, 0];
+        let g = cross_entropy_grad(&l, &labels);
+        let eps = 1e-3;
+        for idx in 0..6 {
+            let mut lp = l.clone();
+            lp.as_mut_slice()[idx] += eps;
+            let mut lm = l.clone();
+            lm.as_mut_slice()[idx] -= eps;
+            let num = (cross_entropy(&lp, &labels) - cross_entropy(&lm, &labels)) / (2.0 * eps);
+            assert!((num - g.as_slice()[idx]).abs() < 1e-3, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let l = Tensor::from_vec(&[2, 2], vec![0.9, 0.1, 0.2, 0.8]);
+        assert_eq!(accuracy(&l, &[0, 1]), 1.0);
+        assert_eq!(accuracy(&l, &[1, 1]), 0.5);
+    }
+}

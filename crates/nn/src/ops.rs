@@ -1,0 +1,458 @@
+//! Dense numeric kernels: matmul, im2col convolution, pooling.
+//!
+//! These free functions are shared between the float training path
+//! (`dd-nn` layers) and the quantized inference path (`dd-qnn`), which
+//! dequantizes weights and calls the same kernels.
+
+use crate::tensor::Tensor;
+
+/// `C = A × B` for `A: [m, k]`, `B: [k, n]`.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (kb, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, kb, "matmul inner dimensions differ: {k} vs {kb}");
+    let mut out = vec![0.0f32; m * n];
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let brow = &bv[p * n..(p + 1) * n];
+            for (o, &bval) in orow.iter_mut().zip(brow) {
+                *o += aval * bval;
+            }
+        }
+    }
+    Tensor::from_vec(&[m, n], out)
+}
+
+/// `C = Aᵀ × B` for `A: [k, m]`, `B: [k, n]` (used in weight-gradient
+/// computation without materializing the transpose).
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = (a.shape()[0], a.shape()[1]);
+    let (kb, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, kb, "matmul_tn inner dimensions differ: {k} vs {kb}");
+    let mut out = vec![0.0f32; m * n];
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    for p in 0..k {
+        let arow = &av[p * m..(p + 1) * m];
+        let brow = &bv[p * n..(p + 1) * n];
+        for (i, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bval) in orow.iter_mut().zip(brow) {
+                *o += aval * bval;
+            }
+        }
+    }
+    Tensor::from_vec(&[m, n], out)
+}
+
+/// `C = A × Bᵀ` for `A: [m, k]`, `B: [n, k]`.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (n, kb) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, kb, "matmul_nt inner dimensions differ: {k} vs {kb}");
+    let mut out = vec![0.0f32; m * n];
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &bv[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    }
+    Tensor::from_vec(&[m, n], out)
+}
+
+/// Geometry of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel side.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding on each side.
+    pub padding: usize,
+}
+
+impl ConvGeometry {
+    /// Output spatial side for an input side `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the padded input.
+    pub fn out_side(&self, h: usize) -> usize {
+        let padded = h + 2 * self.padding;
+        assert!(padded >= self.kernel, "kernel {} larger than padded input {padded}", self.kernel);
+        (padded - self.kernel) / self.stride + 1
+    }
+}
+
+/// im2col: unfold `[n, c, h, w]` into `[n * oh * ow, c * k * k]` patches.
+pub fn im2col(x: &Tensor, g: &ConvGeometry) -> Tensor {
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (oh, ow) = (g.out_side(h), g.out_side(w));
+    let patch = c * g.kernel * g.kernel;
+    let mut out = vec![0.0f32; n * oh * ow * patch];
+    let xv = x.as_slice();
+    for b in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row_base = ((b * oh + oy) * ow + ox) * patch;
+                for ch in 0..c {
+                    for ky in 0..g.kernel {
+                        let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue;
+                        }
+                        let src_base = ((b * c + ch) * h + iy as usize) * w;
+                        let dst_base = row_base + (ch * g.kernel + ky) * g.kernel;
+                        for kx in 0..g.kernel {
+                            let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                            if ix < 0 || ix as usize >= w {
+                                continue;
+                            }
+                            out[dst_base + kx] = xv[src_base + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(&[n * oh * ow, patch], out)
+}
+
+/// col2im: fold `[n * oh * ow, c * k * k]` patch gradients back into an
+/// input gradient `[n, c, h, w]` (accumulating overlaps).
+pub fn col2im(cols: &Tensor, g: &ConvGeometry, n: usize, h: usize, w: usize) -> Tensor {
+    let c = g.in_channels;
+    let (oh, ow) = (g.out_side(h), g.out_side(w));
+    let patch = c * g.kernel * g.kernel;
+    let mut out = vec![0.0f32; n * c * h * w];
+    let cv = cols.as_slice();
+    for b in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row_base = ((b * oh + oy) * ow + ox) * patch;
+                for ch in 0..c {
+                    for ky in 0..g.kernel {
+                        let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue;
+                        }
+                        let dst_base = ((b * c + ch) * h + iy as usize) * w;
+                        let src_base = row_base + (ch * g.kernel + ky) * g.kernel;
+                        for kx in 0..g.kernel {
+                            let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                            if ix < 0 || ix as usize >= w {
+                                continue;
+                            }
+                            out[dst_base + ix as usize] += cv[src_base + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(&[n, c, h, w], out)
+}
+
+/// Convolution forward. `x: [n, c, h, w]`, `weight: [oc, c*k*k]`,
+/// `bias: [oc]` → `[n, oc, oh, ow]`. Also returns the im2col matrix for
+/// reuse in the backward pass.
+pub fn conv2d_forward(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    g: &ConvGeometry,
+) -> (Tensor, Tensor) {
+    let (n, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
+    let (oh, ow) = (g.out_side(h), g.out_side(w));
+    let cols = im2col(x, g); // [n*oh*ow, patch]
+    let prod = matmul_nt(&cols, weight); // [n*oh*ow, oc]
+    let oc = g.out_channels;
+    let pv = prod.as_slice();
+    let bv = bias.as_slice();
+    let mut out = vec![0.0f32; n * oc * oh * ow];
+    // Transpose [n*oh*ow, oc] -> [n, oc, oh, ow] adding bias.
+    for b in 0..n {
+        for pos in 0..oh * ow {
+            let src = (b * oh * ow + pos) * oc;
+            for o in 0..oc {
+                out[(b * oc + o) * oh * ow + pos] = pv[src + o] + bv[o];
+            }
+        }
+    }
+    (Tensor::from_vec(&[n, oc, oh, ow], out), cols)
+}
+
+/// Convolution backward.
+///
+/// Returns `(grad_input, grad_weight, grad_bias)` given the upstream
+/// gradient `grad_out: [n, oc, oh, ow]`, the cached `cols` from the
+/// forward pass and the weight matrix.
+pub fn conv2d_backward(
+    grad_out: &Tensor,
+    cols: &Tensor,
+    weight: &Tensor,
+    g: &ConvGeometry,
+    in_h: usize,
+    in_w: usize,
+) -> (Tensor, Tensor, Tensor) {
+    let (n, oc, oh, ow) = (
+        grad_out.shape()[0],
+        grad_out.shape()[1],
+        grad_out.shape()[2],
+        grad_out.shape()[3],
+    );
+    let gv = grad_out.as_slice();
+    // Reorder grad_out to [n*oh*ow, oc].
+    let mut gmat = vec![0.0f32; n * oh * ow * oc];
+    for b in 0..n {
+        for o in 0..oc {
+            for pos in 0..oh * ow {
+                gmat[(b * oh * ow + pos) * oc + o] = gv[(b * oc + o) * oh * ow + pos];
+            }
+        }
+    }
+    let gmat = Tensor::from_vec(&[n * oh * ow, oc], gmat);
+    // grad_weight[oc, patch] = gmatᵀ × cols
+    let grad_weight = matmul_tn(&gmat, cols);
+    // grad_bias[oc] = column sums of gmat
+    let mut grad_bias = vec![0.0f32; oc];
+    for row in gmat.as_slice().chunks(oc) {
+        for (gb, &v) in grad_bias.iter_mut().zip(row) {
+            *gb += v;
+        }
+    }
+    // grad_cols[n*oh*ow, patch] = gmat × weight
+    let grad_cols = matmul(&gmat, weight);
+    let grad_input = col2im(&grad_cols, g, n, in_h, in_w);
+    (grad_input, grad_weight, Tensor::from_vec(&[oc], grad_bias))
+}
+
+/// 2×2 average pooling forward on `[n, c, h, w]` (h, w even).
+pub fn avgpool2_forward(x: &Tensor) -> Tensor {
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    assert!(h % 2 == 0 && w % 2 == 0, "avgpool2 requires even spatial dims");
+    let (oh, ow) = (h / 2, w / 2);
+    let xv = x.as_slice();
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    for bc in 0..n * c {
+        let src = &xv[bc * h * w..(bc + 1) * h * w];
+        let dst = &mut out[bc * oh * ow..(bc + 1) * oh * ow];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let i = 2 * oy * w + 2 * ox;
+                dst[oy * ow + ox] = 0.25 * (src[i] + src[i + 1] + src[i + w] + src[i + w + 1]);
+            }
+        }
+    }
+    Tensor::from_vec(&[n, c, oh, ow], out)
+}
+
+/// 2×2 average pooling backward.
+pub fn avgpool2_backward(grad_out: &Tensor, in_h: usize, in_w: usize) -> Tensor {
+    let (n, c, oh, ow) = (
+        grad_out.shape()[0],
+        grad_out.shape()[1],
+        grad_out.shape()[2],
+        grad_out.shape()[3],
+    );
+    let gv = grad_out.as_slice();
+    let mut out = vec![0.0f32; n * c * in_h * in_w];
+    for bc in 0..n * c {
+        let src = &gv[bc * oh * ow..(bc + 1) * oh * ow];
+        let dst = &mut out[bc * in_h * in_w..(bc + 1) * in_h * in_w];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let g = 0.25 * src[oy * ow + ox];
+                let i = 2 * oy * in_w + 2 * ox;
+                dst[i] += g;
+                dst[i + 1] += g;
+                dst[i + in_w] += g;
+                dst[i + in_w + 1] += g;
+            }
+        }
+    }
+    Tensor::from_vec(&[n, c, in_h, in_w], out)
+}
+
+/// Global average pooling `[n, c, h, w]` → `[n, c]`.
+pub fn global_avgpool_forward(x: &Tensor) -> Tensor {
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let inv = 1.0 / (h * w) as f32;
+    let xv = x.as_slice();
+    let mut out = vec![0.0f32; n * c];
+    for (bc, o) in out.iter_mut().enumerate() {
+        *o = xv[bc * h * w..(bc + 1) * h * w].iter().sum::<f32>() * inv;
+    }
+    Tensor::from_vec(&[n, c], out)
+}
+
+/// Global average pooling backward.
+pub fn global_avgpool_backward(grad_out: &Tensor, in_h: usize, in_w: usize) -> Tensor {
+    let (n, c) = (grad_out.shape()[0], grad_out.shape()[1]);
+    let inv = 1.0 / (in_h * in_w) as f32;
+    let gv = grad_out.as_slice();
+    let mut out = vec![0.0f32; n * c * in_h * in_w];
+    for bc in 0..n * c {
+        let g = gv[bc] * inv;
+        out[bc * in_h * in_w..(bc + 1) * in_h * in_w]
+            .iter_mut()
+            .for_each(|x| *x = g);
+    }
+    Tensor::from_vec(&[n, c, in_h, in_w], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_2x2() {
+        let a = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec(&[2, 2], vec![5.0, 6.0, 7.0, 8.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_variants_agree() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(&[3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        // aᵀ stored as [3,2]: matmul_tn(aT, b) with aT = a viewed [3,2]... check
+        // via explicit transposes instead.
+        let at = Tensor::from_vec(&[3, 2], vec![1., 4., 2., 5., 3., 6.]);
+        let c_tn = matmul_tn(&at, &b);
+        assert_eq!(c.as_slice(), c_tn.as_slice());
+        let bt = Tensor::from_vec(&[2, 3], vec![7., 9., 11., 8., 10., 12.]);
+        let c_nt = matmul_nt(&a, &bt);
+        assert_eq!(c.as_slice(), c_nt.as_slice());
+    }
+
+    #[test]
+    fn conv_identity_kernel() {
+        // 1x1 conv with weight 1 reproduces the input.
+        let g = ConvGeometry { in_channels: 1, out_channels: 1, kernel: 1, stride: 1, padding: 0 };
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let w = Tensor::from_vec(&[1, 1], vec![1.0]);
+        let b = Tensor::zeros(&[1]);
+        let (y, _) = conv2d_forward(&x, &w, &b, &g);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn conv_3x3_sum_kernel_with_padding() {
+        let g = ConvGeometry { in_channels: 1, out_channels: 1, kernel: 3, stride: 1, padding: 1 };
+        let x = Tensor::full(&[1, 1, 3, 3], 1.0);
+        let w = Tensor::full(&[1, 9], 1.0);
+        let b = Tensor::zeros(&[1]);
+        let (y, _) = conv2d_forward(&x, &w, &b, &g);
+        // Center sees 9 ones, edges 6, corners 4.
+        assert_eq!(y.shape(), &[1, 1, 3, 3]);
+        assert_eq!(y.as_slice()[4], 9.0);
+        assert_eq!(y.as_slice()[0], 4.0);
+        assert_eq!(y.as_slice()[1], 6.0);
+    }
+
+    #[test]
+    fn conv_backward_gradcheck() {
+        // Numerical gradient check on a tiny conv.
+        let g = ConvGeometry { in_channels: 2, out_channels: 3, kernel: 3, stride: 1, padding: 1 };
+        let n = 2;
+        let (h, w) = (4, 4);
+        let mut rng_state = 12345u64;
+        let mut next = move || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((rng_state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        let x = Tensor::from_vec(&[n, 2, h, w], (0..n * 2 * h * w).map(|_| next()).collect());
+        let wt = Tensor::from_vec(&[3, 18], (0..54).map(|_| next()).collect());
+        let b = Tensor::from_vec(&[3], (0..3).map(|_| next()).collect());
+
+        let loss = |x: &Tensor, wt: &Tensor, b: &Tensor| -> f32 {
+            let (y, _) = conv2d_forward(x, wt, b, &g);
+            // Loss = sum of squares / 2.
+            y.as_slice().iter().map(|v| v * v).sum::<f32>() / 2.0
+        };
+        let (y, cols) = conv2d_forward(&x, &wt, &b, &g);
+        let grad_out = y.clone(); // dL/dy = y for L = ||y||^2/2
+        let (gx, gw, gb) = conv2d_backward(&grad_out, &cols, &wt, &g, h, w);
+
+        let eps = 1e-2;
+        // Check a few weight coordinates.
+        for &idx in &[0usize, 7, 23, 53] {
+            let mut wp = wt.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = wt.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let num = (loss(&x, &wp, &b) - loss(&x, &wm, &b)) / (2.0 * eps);
+            let ana = gw.as_slice()[idx];
+            assert!((num - ana).abs() < 0.05 * (1.0 + ana.abs()), "dW[{idx}]: num {num} vs ana {ana}");
+        }
+        // Check an input coordinate and a bias coordinate.
+        let mut xp = x.clone();
+        xp.as_mut_slice()[5] += eps;
+        let mut xm = x.clone();
+        xm.as_mut_slice()[5] -= eps;
+        let num = (loss(&xp, &wt, &b) - loss(&xm, &wt, &b)) / (2.0 * eps);
+        assert!((num - gx.as_slice()[5]).abs() < 0.05 * (1.0 + num.abs()));
+        let mut bp = b.clone();
+        bp.as_mut_slice()[1] += eps;
+        let mut bm = b.clone();
+        bm.as_mut_slice()[1] -= eps;
+        let num = (loss(&x, &wt, &bp) - loss(&x, &wt, &bm)) / (2.0 * eps);
+        assert!((num - gb.as_slice()[1]).abs() < 0.05 * (1.0 + num.abs()));
+    }
+
+    #[test]
+    fn avgpool_roundtrip_shapes() {
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = avgpool2_forward(&x);
+        assert_eq!(y.as_slice(), &[2.5]);
+        let gx = avgpool2_backward(&y, 2, 2);
+        assert_eq!(gx.as_slice(), &[0.625; 4]);
+    }
+
+    #[test]
+    fn global_avgpool() {
+        let x = Tensor::from_vec(&[1, 2, 2, 2], vec![1., 2., 3., 4., 10., 10., 10., 10.]);
+        let y = global_avgpool_forward(&x);
+        assert_eq!(y.as_slice(), &[2.5, 10.0]);
+        let g = global_avgpool_backward(&Tensor::from_vec(&[1, 2], vec![4.0, 8.0]), 2, 2);
+        assert_eq!(&g.as_slice()[..4], &[1.0; 4]);
+        assert_eq!(&g.as_slice()[4..], &[2.0; 4]);
+    }
+
+    #[test]
+    fn conv_out_side() {
+        let g = ConvGeometry { in_channels: 1, out_channels: 1, kernel: 3, stride: 2, padding: 1 };
+        assert_eq!(g.out_side(16), 8);
+        let g2 = ConvGeometry { kernel: 3, stride: 1, padding: 1, ..g };
+        assert_eq!(g2.out_side(16), 16);
+    }
+}

@@ -1,0 +1,65 @@
+//! The analytical side of the paper (§5.1): swap timing, security
+//! formulas, time-to-break, latency, and the hardware-overhead table —
+//! no training required, runs instantly.
+//!
+//! Run with: `cargo run --release --example defense_analysis`
+
+use dnn_defender_repro::prelude::*;
+use dnn_defender::{chain_schedule, overhead_table, parallel_schedule, rh_thresholds};
+
+fn main() {
+    let config = DramConfig::lpddr4_small();
+    let model = SecurityModel::from_config(&config);
+    let timing = config.timing;
+
+    println!("RowHammer threshold survey (Fig 1a):");
+    for p in rh_thresholds() {
+        println!("  {:<14} T_RH = {}", p.generation, p.threshold);
+    }
+
+    println!("\nSwap timing (§5.1):");
+    println!("  T_AAP  = {}", timing.t_aap);
+    println!("  T_swap = {} (3 x T_AAP, pipelined)", timing.t_swap());
+    let chain = chain_schedule(100, &timing, true);
+    let naive = chain_schedule(100, &timing, false);
+    println!(
+        "  100-swap chain: pipelined {} vs naive {} ({} rowclones vs {})",
+        chain.latency, naive.latency, chain.row_clones, naive.row_clones
+    );
+    let par = parallel_schedule(1600, 16, &timing, true);
+    println!("  1600 swaps over 16 banks: {}", par.latency);
+
+    println!("\nSecurity analysis per T_RH:");
+    println!(
+        "  {:>5} {:>14} {:>14} {:>12} {:>12}",
+        "T_RH", "DD days", "SHADOW days", "max defend", "atk BFAs"
+    );
+    for t_rh in [1000u64, 2000, 4000, 8000] {
+        println!(
+            "  {:>5} {:>14.0} {:>14.0} {:>12} {:>12}",
+            t_rh,
+            model.time_to_break_days(t_rh, DefenseOp::DnnDefenderSwap),
+            model.time_to_break_days(t_rh, DefenseOp::ShadowShuffle),
+            model.max_defended_bfas(t_rh),
+            model.max_bfas_per_tref(t_rh),
+        );
+    }
+
+    println!("\nThe paper's formulas for S_bit = 4800 secured bits at T_RH = 4k:");
+    let n_s = model.rows_per_bank(4800);
+    println!("  N_s (rows/bank)        = {n_s}");
+    println!("  window (T_ACT x T_RH)  = {}", model.threshold_window(4000));
+    println!("  max swaps per window   = {}", model.max_swaps_per_window(4000));
+    println!("  T_n                    = {}", model.t_n(4000, n_s));
+    println!("  swaps per T_ref (N)    = {}", model.swaps_per_tref(4000, n_s));
+
+    println!("\nHardware overhead (Table 2, 32GB/16-bank DDR4):");
+    for e in overhead_table(&DramConfig::ddr4_32gb()) {
+        println!(
+            "  {:<16} {:>8.2} MB reported, fast memory: {}",
+            e.framework,
+            e.total_reported_mb(),
+            if e.needs_fast_memory() { "yes" } else { "no" }
+        );
+    }
+}

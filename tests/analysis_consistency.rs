@@ -1,0 +1,92 @@
+//! Consistency checks between the analytical models, the simulator
+//! timing, and the paper's reported anchor numbers.
+
+use dd_dram::{DramConfig, Nanos, TimingParams};
+use dnn_defender::{chain_schedule, overhead_table, DefenseOp, SecurityModel};
+
+#[test]
+fn simulated_swap_time_matches_analytical_t_swap() {
+    // Three RowClones on the simulator must cost exactly the analytical
+    // T_swap = 3 x T_AAP.
+    let config = DramConfig::lpddr4_small();
+    let mut mem = dd_dram::MemoryController::new(config.clone());
+    let before = mem.stats().busy;
+    mem.swap_rows_via(
+        dd_dram::BankId(0),
+        dd_dram::SubarrayId(0),
+        dd_dram::RowInSubarray(1),
+        dd_dram::RowInSubarray(2),
+        dd_dram::RowInSubarray(127),
+    )
+    .expect("swap");
+    let spent = mem.stats().busy - before;
+    assert_eq!(spent, config.timing.t_swap());
+}
+
+#[test]
+fn pipelined_chain_latency_equals_closed_form() {
+    let timing = TimingParams::lpddr4();
+    for n in [1u64, 2, 10, 1000] {
+        let s = chain_schedule(n, &timing, true);
+        let expected = timing.t_aap * u128::from(4 + 3 * (n - 1));
+        assert_eq!(s.latency, expected, "n = {n}");
+    }
+}
+
+#[test]
+fn paper_anchor_time_to_break() {
+    let m = SecurityModel::from_config(&DramConfig::lpddr4_small());
+    let dd = m.time_to_break_days(4000, DefenseOp::DnnDefenderSwap);
+    let sh = m.time_to_break_days(4000, DefenseOp::ShadowShuffle);
+    assert!((dd - 1180.0).abs() < 15.0, "DD@4k = {dd}");
+    assert!((sh - 894.0).abs() < 15.0, "SHADOW@4k = {sh}");
+}
+
+#[test]
+fn paper_anchor_attacker_capacity() {
+    let m = SecurityModel::from_config(&DramConfig::lpddr4_small());
+    for (t_rh, anchor) in [(8000u64, 7_000u64), (4000, 14_000), (2000, 28_000), (1000, 55_000)] {
+        let got = m.max_bfas_per_tref(t_rh);
+        let rel = (got as f64 - anchor as f64).abs() / anchor as f64;
+        assert!(rel < 0.05, "T_RH {t_rh}: {got} vs anchor {anchor}");
+    }
+}
+
+#[test]
+fn latency_per_tref_is_bounded_and_ordered() {
+    let m = SecurityModel::from_config(&DramConfig::lpddr4_small());
+    let mut last = Nanos::ZERO;
+    for n in [1_000u64, 7_000, 14_000, 28_000, 55_000, 110_000] {
+        let dd = m.latency_per_tref(n, DefenseOp::DnnDefenderSwap);
+        assert!(dd > last);
+        assert!(dd < m.timing.t_ref);
+        assert!(dd < m.latency_per_tref(n, DefenseOp::ShadowShuffle));
+        last = dd;
+    }
+}
+
+#[test]
+fn overhead_table_totals_match_paper() {
+    let t = overhead_table(&DramConfig::ddr4_32gb());
+    let get = |name: &str| t.iter().find(|e| e.framework == name).expect(name);
+    assert_eq!(get("Counter per Row").total_reported_mb(), 32.0);
+    assert_eq!(get("Counter Tree").total_reported_mb(), 2.0);
+    assert_eq!(get("DNN-Defender").total_reported_mb(), 0.0);
+    assert!((get("Graphene").total_reported_mb() - 1.65).abs() < 1e-9);
+    assert!((get("SHADOW").total_reported_mb() - 0.16).abs() < 1e-9);
+}
+
+#[test]
+fn rowhammer_threshold_window_scales_with_paper_trend() {
+    // Fig 1(a): lower T_RH = shorter window = harder for every defense.
+    let m = SecurityModel::from_config(&DramConfig::lpddr4_small());
+    let survey = dnn_defender::rh_thresholds();
+    let mut windows: Vec<(u64, Nanos)> = survey
+        .iter()
+        .map(|p| (p.threshold, m.threshold_window(p.threshold)))
+        .collect();
+    windows.sort_by_key(|(t, _)| *t);
+    for pair in windows.windows(2) {
+        assert!(pair[0].1 <= pair[1].1);
+    }
+}
