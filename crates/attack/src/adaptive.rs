@@ -96,7 +96,7 @@ fn semi_white_box(
             let flip = model.flip_bit(addr);
             let loss = model.loss(&data.search_images, &data.search_labels);
             model.unflip(flip);
-            if best.map_or(true, |(_, bl)| loss > bl) {
+            if best.is_none_or(|(_, bl)| loss > bl) {
                 best = Some((addr, loss));
             }
         }
@@ -151,12 +151,12 @@ mod tests {
     use crate::profile::multi_round_profile;
     use crate::testutil::trained_victim;
 
-    fn profile_bits(
-        model: &mut QModel,
-        data: &AttackData,
-        rounds: usize,
-    ) -> HashSet<BitAddr> {
-        let config = AttackConfig { target_accuracy: 0.3, max_flips: 15, ..Default::default() };
+    fn profile_bits(model: &mut QModel, data: &AttackData, rounds: usize) -> HashSet<BitAddr> {
+        let config = AttackConfig {
+            target_accuracy: 0.3,
+            max_flips: 15,
+            ..Default::default()
+        };
         multi_round_profile(model, data, &config, rounds).all()
     }
 
@@ -165,9 +165,18 @@ mod tests {
         let (mut model, data, clean) = trained_victim();
         // Profile enough rounds to cover what a naive attacker would flip.
         let protected = profile_bits(&mut model, &data, 2);
-        let config = AttackConfig { target_accuracy: 0.3, max_flips: 15, ..Default::default() };
-        let report =
-            attack_protected(&mut model, &data, &config, &protected, ThreatModel::SemiWhiteBox);
+        let config = AttackConfig {
+            target_accuracy: 0.3,
+            max_flips: 15,
+            ..Default::default()
+        };
+        let report = attack_protected(
+            &mut model,
+            &data,
+            &config,
+            &protected,
+            ThreatModel::SemiWhiteBox,
+        );
         // The naive attack's chosen bits are exactly the profiled ones, so
         // nearly nothing lands and accuracy barely moves.
         assert!(
@@ -183,23 +192,43 @@ mod tests {
         let (mut model, data, clean) = trained_victim();
         let protected = profile_bits(&mut model, &data, 1);
         let snapshot = model.snapshot_q();
-        let config = AttackConfig { target_accuracy: 0.3, max_flips: 25, ..Default::default() };
-        let report =
-            attack_protected(&mut model, &data, &config, &protected, ThreatModel::WhiteBox);
+        let config = AttackConfig {
+            target_accuracy: 0.3,
+            max_flips: 25,
+            ..Default::default()
+        };
+        let report = attack_protected(
+            &mut model,
+            &data,
+            &config,
+            &protected,
+            ThreatModel::WhiteBox,
+        );
         model.restore_q(&snapshot);
         // Adaptive attacker skips protected bits but finds others.
-        assert!(report.final_accuracy < clean, "white-box attacker found nothing");
+        assert!(
+            report.final_accuracy < clean,
+            "white-box attacker found nothing"
+        );
         assert_eq!(report.landed_flips, report.attempted_flips);
     }
 
     #[test]
     fn more_secured_bits_means_more_attacker_effort() {
         let (mut model, data, _) = trained_victim();
-        let config = AttackConfig { target_accuracy: 0.45, max_flips: 40, ..Default::default() };
+        let config = AttackConfig {
+            target_accuracy: 0.45,
+            max_flips: 40,
+            ..Default::default()
+        };
         let profile = multi_round_profile(
             &mut model,
             &data,
-            &AttackConfig { target_accuracy: 0.3, max_flips: 15, ..Default::default() },
+            &AttackConfig {
+                target_accuracy: 0.3,
+                max_flips: 15,
+                ..Default::default()
+            },
             4,
         );
         let snapshot = model.snapshot_q();
@@ -208,8 +237,13 @@ mod tests {
         for rounds_protected in [0usize, 2, 4] {
             let n: usize = profile.round_sizes.iter().take(rounds_protected).sum();
             let protected = profile.prefix(n);
-            let report =
-                attack_protected(&mut model, &data, &config, &protected, ThreatModel::WhiteBox);
+            let report = attack_protected(
+                &mut model,
+                &data,
+                &config,
+                &protected,
+                ThreatModel::WhiteBox,
+            );
             model.restore_q(&snapshot);
             let flips = if report.final_accuracy <= config.target_accuracy {
                 report.attempted_flips

@@ -93,6 +93,9 @@ impl AttackData {
 /// Find the best (highest first-order gain) non-skipped bit of every
 /// parameter: the intra-layer search. Returns `(addr, gain)` per parameter
 /// that has at least one allowed bit.
+// The loop indexes are semantic (bit/param addresses), not mere
+// positions; iterator rewrites would obscure that.
+#[allow(clippy::needless_range_loop)]
 pub fn intra_layer_candidates(
     model: &QModel,
     grads: &[Tensor],
@@ -115,7 +118,7 @@ pub fn intra_layer_candidates(
                 if gain <= 0.0 {
                     continue;
                 }
-                if best.map_or(true, |(_, bg)| gain > bg) {
+                if best.is_none_or(|(_, bg)| gain > bg) {
                     let addr = BitAddr { param, index, bit };
                     if !skip.contains(&addr) {
                         best = Some((addr, gain));
@@ -160,7 +163,7 @@ pub fn run_bfa(
             let flip = model.flip_bit(addr);
             let loss = model.loss(&data.search_images, &data.search_labels);
             model.unflip(flip);
-            if best.map_or(true, |(_, bl)| loss > bl) {
+            if best.is_none_or(|(_, bl)| loss > bl) {
                 best = Some((addr, loss));
             }
         }
@@ -175,7 +178,12 @@ pub fn run_bfa(
         } else {
             None
         };
-        steps.push(AttackStep { flip, loss_before, loss_after, accuracy });
+        steps.push(AttackStep {
+            flip,
+            loss_before,
+            loss_after,
+            accuracy,
+        });
 
         if final_accuracy <= config.target_accuracy {
             reached_target = true;
@@ -204,9 +212,17 @@ mod tests {
     #[test]
     fn bfa_collapses_accuracy_with_few_flips() {
         let (mut model, data, _) = trained_victim();
-        let config = AttackConfig { target_accuracy: 0.35, max_flips: 60, ..Default::default() };
+        let config = AttackConfig {
+            target_accuracy: 0.35,
+            max_flips: 60,
+            ..Default::default()
+        };
         let report = run_bfa(&mut model, &data, &config, &HashSet::new());
-        assert!(report.reached_target, "BFA failed: final {}", report.final_accuracy);
+        assert!(
+            report.reached_target,
+            "BFA failed: final {}",
+            report.final_accuracy
+        );
         assert!(report.bit_flips <= 60);
         assert!(report.clean_accuracy > 0.8);
     }
@@ -214,7 +230,11 @@ mod tests {
     #[test]
     fn every_step_increases_search_loss() {
         let (mut model, data, _) = trained_victim();
-        let config = AttackConfig { target_accuracy: 0.0, max_flips: 5, ..Default::default() };
+        let config = AttackConfig {
+            target_accuracy: 0.0,
+            max_flips: 5,
+            ..Default::default()
+        };
         let report = run_bfa(&mut model, &data, &config, &HashSet::new());
         for step in &report.steps {
             assert!(
@@ -231,7 +251,11 @@ mod tests {
         let (mut model, data, _) = trained_victim();
         // First run to discover what BFA flips.
         let snapshot = model.snapshot_q();
-        let config = AttackConfig { target_accuracy: 0.3, max_flips: 20, ..Default::default() };
+        let config = AttackConfig {
+            target_accuracy: 0.3,
+            max_flips: 20,
+            ..Default::default()
+        };
         let first = run_bfa(&mut model, &data, &config, &HashSet::new());
         let found: HashSet<BitAddr> = first.steps.iter().map(|s| s.flip.addr).collect();
         model.restore_q(&snapshot);
@@ -245,7 +269,11 @@ mod tests {
     #[test]
     fn trajectory_starts_at_clean() {
         let (mut model, data, _) = trained_victim();
-        let config = AttackConfig { target_accuracy: 0.3, max_flips: 10, ..Default::default() };
+        let config = AttackConfig {
+            target_accuracy: 0.3,
+            max_flips: 10,
+            ..Default::default()
+        };
         let report = run_bfa(&mut model, &data, &config, &HashSet::new());
         let traj = report.trajectory();
         assert_eq!(traj[0].0, 0);

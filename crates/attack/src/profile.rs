@@ -75,7 +75,11 @@ pub fn multi_round_profile(
         }
     }
 
-    ProfileReport { bits: found, round_sizes, round_final_accuracies }
+    ProfileReport {
+        bits: found,
+        round_sizes,
+        round_final_accuracies,
+    }
 }
 
 #[cfg(test)]
@@ -87,15 +91,27 @@ mod tests {
     fn profiling_restores_the_model() {
         let (mut model, data, _) = trained_victim();
         let before = model.snapshot_q();
-        let config = AttackConfig { target_accuracy: 0.3, max_flips: 15, ..Default::default() };
+        let config = AttackConfig {
+            target_accuracy: 0.3,
+            max_flips: 15,
+            ..Default::default()
+        };
         let _ = multi_round_profile(&mut model, &data, &config, 3);
-        assert_eq!(model.hamming_from(&before), 0, "profiling corrupted the model");
+        assert_eq!(
+            model.hamming_from(&before),
+            0,
+            "profiling corrupted the model"
+        );
     }
 
     #[test]
     fn rounds_find_disjoint_bits() {
         let (mut model, data, _) = trained_victim();
-        let config = AttackConfig { target_accuracy: 0.3, max_flips: 15, ..Default::default() };
+        let config = AttackConfig {
+            target_accuracy: 0.3,
+            max_flips: 15,
+            ..Default::default()
+        };
         let report = multi_round_profile(&mut model, &data, &config, 3);
         let unique: HashSet<BitAddr> = report.bits.iter().copied().collect();
         assert_eq!(unique.len(), report.bits.len(), "rounds repeated a bit");
@@ -106,7 +122,11 @@ mod tests {
     #[test]
     fn more_rounds_secure_more_bits() {
         let (mut model, data, _) = trained_victim();
-        let config = AttackConfig { target_accuracy: 0.3, max_flips: 15, ..Default::default() };
+        let config = AttackConfig {
+            target_accuracy: 0.3,
+            max_flips: 15,
+            ..Default::default()
+        };
         let short = multi_round_profile(&mut model, &data, &config, 1);
         let long = multi_round_profile(&mut model, &data, &config, 4);
         assert!(long.bits.len() > short.bits.len());
@@ -117,7 +137,11 @@ mod tests {
     #[test]
     fn prefix_returns_priority_order() {
         let (mut model, data, _) = trained_victim();
-        let config = AttackConfig { target_accuracy: 0.3, max_flips: 10, ..Default::default() };
+        let config = AttackConfig {
+            target_accuracy: 0.3,
+            max_flips: 10,
+            ..Default::default()
+        };
         let report = multi_round_profile(&mut model, &data, &config, 2);
         let k = report.bits.len().min(3);
         let prefix = report.prefix(k);

@@ -34,8 +34,9 @@ pub fn run_random_attack(
     let mut final_accuracy = clean;
 
     // Build the cumulative weight counts for uniform sampling over params.
-    let weights_per_param: Vec<usize> =
-        (0..model.num_qparams()).map(|p| model.qtensor(p).len()).collect();
+    let weights_per_param: Vec<usize> = (0..model.num_qparams())
+        .map(|p| model.qtensor(p).len())
+        .collect();
     let total_weights: usize = weights_per_param.iter().sum();
 
     for i in 1..=flips {
@@ -46,14 +47,21 @@ pub fn run_random_attack(
             param += 1;
         }
         let bit = rng.gen_range(0..dd_qnn::WEIGHT_BITS);
-        model.flip_bit(BitAddr { param, index: w, bit });
+        model.flip_bit(BitAddr {
+            param,
+            index: w,
+            bit,
+        });
         if i % record_every.max(1) == 0 || i == flips {
             final_accuracy = model.accuracy(eval_images, eval_labels);
             trajectory.push((i, final_accuracy));
         }
     }
 
-    RandomAttackReport { trajectory, final_accuracy }
+    RandomAttackReport {
+        trajectory,
+        final_accuracy,
+    }
 }
 
 #[cfg(test)]
@@ -94,7 +102,10 @@ mod tests {
             cfg.target_accuracy,
         );
         // The random attack after 60 flips should not be close to collapse.
-        assert!(random.final_accuracy > 0.3, "random attack unexpectedly strong");
+        assert!(
+            random.final_accuracy > 0.3,
+            "random attack unexpectedly strong"
+        );
     }
 
     #[test]

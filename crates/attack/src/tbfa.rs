@@ -52,7 +52,7 @@ fn attack_success_rate(model: &mut QModel, data: &AttackData, goal: TbfaGoal) ->
     let mut hits = 0usize;
     let mut total = 0usize;
     for (pred, &label) in preds.iter().zip(&data.eval_labels) {
-        if goal.source_class.map_or(true, |s| label == s) {
+        if goal.source_class.is_none_or(|s| label == s) {
             total += 1;
             hits += usize::from(*pred == goal.target_class);
         }
@@ -74,7 +74,7 @@ fn targeted_grads(model: &mut QModel, data: &AttackData, goal: TbfaGoal) -> Vec<
         .search_labels
         .iter()
         .map(|&l| {
-            if goal.source_class.map_or(true, |s| l == s) {
+            if goal.source_class.is_none_or(|s| l == s) {
                 goal.target_class
             } else {
                 l
@@ -89,6 +89,9 @@ fn targeted_grads(model: &mut QModel, data: &AttackData, goal: TbfaGoal) -> Vec<
 /// Each iteration flips the bit with the most *negative* first-order
 /// effect on the targeted loss (we want the malicious labels to become
 /// likely), evaluating the top-k candidates exactly.
+// The loop indexes are semantic (bit/param addresses), not mere
+// positions; iterator rewrites would obscure that.
+#[allow(clippy::needless_range_loop)]
 pub fn run_tbfa(
     model: &mut QModel,
     data: &AttackData,
@@ -101,7 +104,7 @@ pub fn run_tbfa(
         .search_labels
         .iter()
         .map(|&l| {
-            if goal.source_class.map_or(true, |s| l == s) {
+            if goal.source_class.is_none_or(|s| l == s) {
                 goal.target_class
             } else {
                 l
@@ -134,7 +137,7 @@ pub fn run_tbfa(
                     if skip.contains(&addr) {
                         continue;
                     }
-                    if best.map_or(true, |(_, bg)| gain < bg) {
+                    if best.is_none_or(|(_, bg)| gain < bg) {
                         best = Some((addr, gain));
                     }
                 }
@@ -153,7 +156,7 @@ pub fn run_tbfa(
             let flip = model.flip_bit(addr);
             let loss = model.loss(&data.search_images, &malicious_labels);
             model.unflip(flip);
-            if best.map_or(true, |(_, bl)| loss < bl) {
+            if best.is_none_or(|(_, bl)| loss < bl) {
                 best = Some((addr, loss));
             }
         }
@@ -167,7 +170,13 @@ pub fn run_tbfa(
 
     let final_asr = attack_success_rate(model, data, goal);
     let final_accuracy = model.accuracy(&data.eval_images, &data.eval_labels);
-    TbfaReport { goal, flips, clean_asr, final_asr, final_accuracy }
+    TbfaReport {
+        goal,
+        flips,
+        clean_asr,
+        final_asr,
+        final_accuracy,
+    }
 }
 
 #[cfg(test)]
@@ -178,8 +187,15 @@ mod tests {
     #[test]
     fn all_to_one_attack_redirects_predictions() {
         let (mut model, data, _) = trained_victim();
-        let goal = TbfaGoal { source_class: None, target_class: 2 };
-        let config = AttackConfig { target_accuracy: 0.0, max_flips: 30, ..Default::default() };
+        let goal = TbfaGoal {
+            source_class: None,
+            target_class: 2,
+        };
+        let config = AttackConfig {
+            target_accuracy: 0.0,
+            max_flips: 30,
+            ..Default::default()
+        };
         let report = run_tbfa(&mut model, &data, &config, goal, &HashSet::new());
         assert!(
             report.final_asr > report.clean_asr + 0.3,
@@ -196,16 +212,30 @@ mod tests {
         let all = run_tbfa(
             &mut model,
             &data,
-            &AttackConfig { target_accuracy: 0.0, max_flips: 20, ..Default::default() },
-            TbfaGoal { source_class: None, target_class: 1 },
+            &AttackConfig {
+                target_accuracy: 0.0,
+                max_flips: 20,
+                ..Default::default()
+            },
+            TbfaGoal {
+                source_class: None,
+                target_class: 1,
+            },
             &HashSet::new(),
         );
         model.restore_q(&snapshot);
         let one = run_tbfa(
             &mut model,
             &data,
-            &AttackConfig { target_accuracy: 0.0, max_flips: 20, ..Default::default() },
-            TbfaGoal { source_class: Some(0), target_class: 1 },
+            &AttackConfig {
+                target_accuracy: 0.0,
+                max_flips: 20,
+                ..Default::default()
+            },
+            TbfaGoal {
+                source_class: Some(0),
+                target_class: 1,
+            },
             &HashSet::new(),
         );
         // The class-restricted attack should preserve more overall
@@ -222,8 +252,15 @@ mod tests {
     fn skip_set_blocks_targeted_flips_too() {
         let (mut model, data, _) = trained_victim();
         let snapshot = model.snapshot_q();
-        let goal = TbfaGoal { source_class: None, target_class: 3 };
-        let config = AttackConfig { target_accuracy: 0.0, max_flips: 10, ..Default::default() };
+        let goal = TbfaGoal {
+            source_class: None,
+            target_class: 3,
+        };
+        let config = AttackConfig {
+            target_accuracy: 0.0,
+            max_flips: 10,
+            ..Default::default()
+        };
         let first = run_tbfa(&mut model, &data, &config, goal, &HashSet::new());
         model.restore_q(&snapshot);
         let found: HashSet<BitAddr> = first.flips.iter().map(|f| f.addr).collect();

@@ -30,9 +30,19 @@ pub fn trained_victim() -> (QModel, AttackData, f32) {
         base_width: 4,
     };
     let mut net = build_model(&config, &mut rng);
-    let cfg = TrainConfig { epochs: 8, batch_size: 32, lr: 0.1, momentum: 0.9, weight_decay: 0.0 };
+    let cfg = TrainConfig {
+        epochs: 8,
+        batch_size: 32,
+        lr: 0.1,
+        momentum: 0.9,
+        weight_decay: 0.0,
+    };
     let report = train(&mut net, &ds, cfg, &mut rng);
-    assert!(report.test_accuracy > 0.8, "victim too weak: {}", report.test_accuracy);
+    assert!(
+        report.test_accuracy > 0.8,
+        "victim too weak: {}",
+        report.test_accuracy
+    );
     let model = QModel::from_network(net);
     let batch = ds.attack_batch(64, &mut rng);
     let data = AttackData::single_batch(batch.images, batch.labels);

@@ -245,9 +245,14 @@ mod tests {
 
     #[test]
     fn counter_per_row_prevents_flip() {
-        let mut mem = MemoryController::new(DramConfig::lpddr4_small());
+        let mut mem = MemoryController::try_new(DramConfig::lpddr4_small()).expect("valid config");
         let mut cpr = CounterPerRow::new();
-        hammer_in_bursts(&mut mem, |m, a, n| cpr.on_activations(m, a, n, 2400), 10, 480);
+        hammer_in_bursts(
+            &mut mem,
+            |m, a, n| cpr.on_activations(m, a, n, 2400),
+            10,
+            480,
+        );
         assert!(!mem.attempt_flip(gid(10), &[0]).unwrap().flipped());
         assert!(cpr.refreshes >= 2);
         assert_eq!(cpr.live_counters(), 1);
@@ -255,9 +260,14 @@ mod tests {
 
     #[test]
     fn hydra_prevents_flip_with_few_spills() {
-        let mut mem = MemoryController::new(DramConfig::lpddr4_small());
+        let mut mem = MemoryController::try_new(DramConfig::lpddr4_small()).expect("valid config");
         let mut hydra = HydraTracker::new(16, 800);
-        hammer_in_bursts(&mut mem, |m, a, n| hydra.on_activations(m, a, n, 2400), 10, 480);
+        hammer_in_bursts(
+            &mut mem,
+            |m, a, n| hydra.on_activations(m, a, n, 2400),
+            10,
+            480,
+        );
         assert!(!mem.attempt_flip(gid(10), &[0]).unwrap().flipped());
         assert!(hydra.refreshes >= 1);
         // Only the single hot group spilled per-row counters.
@@ -266,7 +276,7 @@ mod tests {
 
     #[test]
     fn hydra_ignores_cold_groups() {
-        let mut mem = MemoryController::new(DramConfig::lpddr4_small());
+        let mut mem = MemoryController::try_new(DramConfig::lpddr4_small()).expect("valid config");
         let mut hydra = HydraTracker::new(16, 800);
         // Touch many different rows lightly: all stay in the coarse regime.
         for row in (0..100).step_by(3) {
@@ -279,27 +289,35 @@ mod tests {
 
     #[test]
     fn twice_prevents_flip_and_prunes_cold_rows() {
-        let mut mem = MemoryController::new(DramConfig::lpddr4_small());
+        let mut mem = MemoryController::try_new(DramConfig::lpddr4_small()).expect("valid config");
         let mut twice = TwiceTable::new();
         // Background noise on cold rows.
         for row in 40..60 {
             mem.hammer(gid(row), 2).unwrap();
-            twice.on_activations(&mut mem, gid(row), 2, 2400, 4).unwrap();
+            twice
+                .on_activations(&mut mem, gid(row), 2, 2400, 4)
+                .unwrap();
         }
         // The real attack.
         for _ in 0..10 {
             mem.hammer(gid(11), 480).unwrap();
-            twice.on_activations(&mut mem, gid(11), 480, 2400, 4).unwrap();
+            twice
+                .on_activations(&mut mem, gid(11), 480, 2400, 4)
+                .unwrap();
         }
         assert!(!mem.attempt_flip(gid(10), &[0]).unwrap().flipped());
         assert!(twice.refreshes >= 1);
         assert!(twice.pruned > 0, "pruning never fired");
-        assert!(twice.live_entries() <= 5, "table grew: {}", twice.live_entries());
+        assert!(
+            twice.live_entries() <= 5,
+            "table grew: {}",
+            twice.live_entries()
+        );
     }
 
     #[test]
     fn trackers_reset_between_windows() {
-        let mut mem = MemoryController::new(DramConfig::lpddr4_small());
+        let mut mem = MemoryController::try_new(DramConfig::lpddr4_small()).expect("valid config");
         let mut cpr = CounterPerRow::new();
         cpr.on_activations(&mut mem, gid(5), 100, 2400).unwrap();
         assert_eq!(cpr.live_counters(), 1);

@@ -10,7 +10,10 @@
 
 use std::collections::HashMap;
 
-use dd_dram::{DramError, GlobalRowId, MemoryController};
+use dd_dram::rowhammer::preferred_aggressor;
+use dd_dram::{DramConfig, DramError, GlobalRowId, MemoryController};
+use dnn_defender::defense::{CampaignView, DefenseMechanism, DefenseStats, FlipAttempt};
+use dnn_defender::overhead::{overhead_table, OverheadEntry};
 
 /// A Misra–Gries frequent-items summary over row activations.
 ///
@@ -34,7 +37,11 @@ impl MisraGries {
     /// Panics when `entries` is zero.
     pub fn new(entries: usize) -> Self {
         assert!(entries > 0, "summary needs at least one entry");
-        MisraGries { entries, counts: HashMap::with_capacity(entries), decrements: 0 }
+        MisraGries {
+            entries,
+            counts: HashMap::with_capacity(entries),
+            decrements: 0,
+        }
     }
 
     /// Record `n` activations of `row`; returns the row's current estimate.
@@ -91,13 +98,26 @@ pub struct GrapheneDefense {
     epoch: u64,
     /// Victim refreshes issued.
     pub refreshes: u64,
+    stats: DefenseStats,
 }
 
 impl GrapheneDefense {
     /// Defense with a `entries`-slot table tripping at `trip` activations
     /// (typically `T_RH / 2` to absorb estimate error).
     pub fn new(entries: usize, trip: u64) -> Self {
-        GrapheneDefense { table: MisraGries::new(entries), trip, epoch: 0, refreshes: 0 }
+        GrapheneDefense {
+            table: MisraGries::new(entries),
+            trip,
+            epoch: 0,
+            refreshes: 0,
+            stats: DefenseStats::default(),
+        }
+    }
+
+    /// Defense sized for a device: a 16-entry table tripping at
+    /// `T_RH / 2` (the margin that absorbs Misra–Gries estimate error).
+    pub fn for_config(config: &DramConfig) -> Self {
+        GrapheneDefense::new(16, (config.rowhammer_threshold / 2).max(1))
     }
 
     /// Observe an attacker hammer burst and, if the aggressor trips the
@@ -138,6 +158,58 @@ impl MisraGries {
     }
 }
 
+impl DefenseMechanism for GrapheneDefense {
+    fn name(&self) -> &str {
+        "Graphene"
+    }
+
+    /// One campaign: the attacker hammers toward `T_RH` in bursts while
+    /// Graphene's command-stream tap observes every burst and refreshes
+    /// the victims of any aggressor whose estimate trips. Victim data is
+    /// never relocated, so the weight map (when present) stays coherent
+    /// for free.
+    fn filter_flip(&mut self, view: CampaignView<'_>) -> Result<FlipAttempt, DramError> {
+        let CampaignView {
+            mem,
+            victim,
+            bit_in_row,
+            ..
+        } = view;
+        let t_rh = mem.config().rowhammer_threshold;
+        let rows = mem.config().rows_per_subarray;
+        let aggressor = preferred_aggressor(victim, rows);
+        let burst = (t_rh / 10).max(1);
+        let mut hammered = 0u64;
+        while hammered < t_rh {
+            let n = burst.min(t_rh - hammered);
+            mem.hammer(aggressor, n)?;
+            self.on_activations(mem, aggressor, n)?;
+            hammered += n;
+        }
+        let outcome = mem.attempt_flip(victim, &[bit_in_row])?;
+        let attempt = if outcome.flipped() {
+            FlipAttempt::Landed
+        } else {
+            FlipAttempt::Resisted
+        };
+        self.stats.record(attempt);
+        Ok(attempt)
+    }
+
+    fn stats(&self) -> DefenseStats {
+        DefenseStats {
+            defense_ops: self.refreshes,
+            ..self.stats
+        }
+    }
+
+    fn overhead(&self, config: &DramConfig) -> Option<OverheadEntry> {
+        overhead_table(config)
+            .into_iter()
+            .find(|e| e.framework == "Graphene")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,7 +227,11 @@ mod tests {
             mg.observe(gid(50 + i), 1);
             mg.observe(gid(7), 10);
         }
-        assert!(mg.estimate(gid(7)) > 100, "heavy hitter lost: {}", mg.estimate(gid(7)));
+        assert!(
+            mg.estimate(gid(7)) > 100,
+            "heavy hitter lost: {}",
+            mg.estimate(gid(7))
+        );
         assert!(mg.occupancy() <= 4);
     }
 
@@ -165,14 +241,14 @@ mod tests {
         mg.observe(gid(1), 100);
         mg.observe(gid(2), 50);
         mg.observe(gid(3), 30); // evicts min counts by 30
-        // True count of row 1 is 100; estimate ≥ 100 - decrements.
+                                // True count of row 1 is 100; estimate ≥ 100 - decrements.
         assert!(mg.estimate(gid(1)) >= 100 - mg.decrements);
     }
 
     #[test]
     fn graphene_prevents_the_flip() {
         let config = DramConfig::lpddr4_small(); // T_RH = 4800
-        let mut mem = MemoryController::new(config);
+        let mut mem = MemoryController::try_new(config).expect("valid config");
         let mut defense = GrapheneDefense::new(16, 2400);
         let aggressor = gid(11);
         let victim = gid(10);
@@ -191,7 +267,7 @@ mod tests {
     #[test]
     fn undefended_same_pattern_flips() {
         let config = DramConfig::lpddr4_small();
-        let mut mem = MemoryController::new(config);
+        let mut mem = MemoryController::try_new(config).expect("valid config");
         let aggressor = gid(11);
         let victim = gid(10);
         for _ in 0..10 {
@@ -203,12 +279,16 @@ mod tests {
     #[test]
     fn table_resets_on_new_window() {
         let config = DramConfig::lpddr4_small();
-        let mut mem = MemoryController::new(config);
+        let mut mem = MemoryController::try_new(config).expect("valid config");
         let mut defense = GrapheneDefense::new(4, 1000);
         defense.on_activations(&mut mem, gid(5), 900).unwrap();
         assert_eq!(defense.table.estimate(gid(5)), 900);
         mem.advance(dd_dram::Nanos::from_millis(65));
         defense.on_activations(&mut mem, gid(5), 10).unwrap();
-        assert_eq!(defense.table.estimate(gid(5)), 10, "stale count survived refresh window");
+        assert_eq!(
+            defense.table.estimate(gid(5)),
+            10,
+            "stale count survived refresh window"
+        );
     }
 }

@@ -12,9 +12,13 @@
 //!   in Fig. 8(a)/(b);
 //! * it dedicates 0.16 MB of DRAM to shadow rows (Table 2).
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-use dd_dram::{DramError, GlobalRowId, MemoryController, RowInSubarray};
+use dd_dram::rowhammer::preferred_aggressor;
+use dd_dram::{DramConfig, DramError, GlobalRowId, MemoryController, RowInSubarray};
+use dnn_defender::defense::{CampaignView, DefenseMechanism, DefenseStats, FlipAttempt};
+use dnn_defender::overhead::{overhead_table, OverheadEntry};
 
 /// SHADOW defense state.
 #[derive(Debug)]
@@ -49,6 +53,13 @@ impl ShadowDefense {
             self.used_this_window = 0;
         }
         self.used_this_window < self.budget_per_window
+    }
+
+    /// Record one shuffle against the per-window budget (used by the
+    /// map-coherent [`ShadowMechanism`] campaign).
+    fn note_shuffle(&mut self) {
+        self.shuffles += 1;
+        self.used_this_window += 1;
     }
 
     /// One attacker campaign against `victim` with SHADOW watching.
@@ -114,15 +125,139 @@ impl ShadowDefense {
     }
 }
 
+/// SHADOW behind the [`DefenseMechanism`] API: owns its RNG and keeps a
+/// deployed weight map coherent by shuffling via a data-preserving
+/// exchange when one is present.
+#[derive(Debug)]
+pub struct ShadowMechanism {
+    inner: ShadowDefense,
+    rng: StdRng,
+    stats: DefenseStats,
+}
+
+impl ShadowMechanism {
+    /// Mechanism with the given per-window shuffle budget.
+    pub fn new(budget_per_window: u64, seed: u64) -> Self {
+        ShadowMechanism {
+            inner: ShadowDefense::new(budget_per_window),
+            rng: StdRng::seed_from_u64(seed),
+            stats: DefenseStats::default(),
+        }
+    }
+
+    /// The wrapped defense state.
+    pub fn inner(&self) -> &ShadowDefense {
+        &self.inner
+    }
+
+    /// Map-coherent campaign: same trip logic as
+    /// [`ShadowDefense::run_campaign`], but each shuffle is realized as an
+    /// exchange through the reserved row (3 RowClones + metadata
+    /// maintenance ≈ the paper's `4 × T_AAP` shuffle cost) so the
+    /// displaced row's weights survive and the map can follow the move.
+    fn run_campaign_mapped(
+        &mut self,
+        mem: &mut MemoryController,
+        map: &mut dnn_defender::WeightMap,
+        victim: GlobalRowId,
+        bit_in_row: usize,
+    ) -> Result<bool, DramError> {
+        let t_rh = mem.config().rowhammer_threshold;
+        let trip = ((t_rh as f64) * self.inner.trip_fraction) as u64;
+        let rows = mem.config().rows_per_subarray;
+        let reserved = RowInSubarray(mem.config().first_reserved_row());
+        let mut current = victim;
+
+        let mut remaining_windows = 4u32;
+        while remaining_windows > 0 {
+            let aggressor = preferred_aggressor(current, rows);
+            let to_trip = trip.saturating_sub(mem.disturbance(current)).max(1);
+            mem.hammer(aggressor, to_trip)?;
+            if mem.disturbance(current) >= t_rh {
+                let outcome = mem.attempt_flip(current, &[bit_in_row])?;
+                if outcome.flipped() {
+                    return Ok(true);
+                }
+            }
+            if self.inner.budget_available(mem) {
+                let dest =
+                    RowInSubarray(self.rng.gen_range(0..mem.config().data_rows_per_subarray()));
+                if dest != current.row && dest != reserved {
+                    mem.swap_rows_via(current.bank, current.subarray, current.row, dest, reserved)?;
+                    self.stats.row_clones += 3;
+                    // Metadata maintenance costs another partial copy.
+                    mem.advance(mem.config().timing.t_aap);
+                    let dest_addr = GlobalRowId {
+                        bank: current.bank,
+                        subarray: current.subarray,
+                        row: dest,
+                    };
+                    map.relocate(current, dest_addr);
+                    current = dest_addr;
+                    self.inner.note_shuffle();
+                }
+                remaining_windows -= 1;
+            } else {
+                let aggressor = preferred_aggressor(current, rows);
+                let need = t_rh.saturating_sub(mem.disturbance(current)).max(1);
+                mem.hammer(aggressor, need)?;
+                let outcome = mem.attempt_flip(current, &[bit_in_row])?;
+                return Ok(outcome.flipped());
+            }
+        }
+        Ok(false)
+    }
+}
+
+impl DefenseMechanism for ShadowMechanism {
+    fn name(&self) -> &str {
+        "SHADOW"
+    }
+
+    fn filter_flip(&mut self, view: CampaignView<'_>) -> Result<FlipAttempt, DramError> {
+        let CampaignView {
+            mem,
+            map,
+            victim,
+            bit_in_row,
+            ..
+        } = view;
+        let before = self.inner.shuffles;
+        let flipped = match map {
+            Some(map) => self.run_campaign_mapped(mem, map, victim, bit_in_row)?,
+            None => self
+                .inner
+                .run_campaign(mem, victim, bit_in_row, &mut self.rng)?,
+        };
+        self.stats.defense_ops += self.inner.shuffles - before;
+        let attempt = if flipped {
+            FlipAttempt::Landed
+        } else {
+            FlipAttempt::Resisted
+        };
+        self.stats.record(attempt);
+        Ok(attempt)
+    }
+
+    fn stats(&self) -> DefenseStats {
+        self.stats
+    }
+
+    fn overhead(&self, config: &DramConfig) -> Option<OverheadEntry> {
+        overhead_table(config)
+            .into_iter()
+            .find(|e| e.framework == "SHADOW")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dd_dram::DramConfig;
     use dd_nn::init::seeded_rng;
 
     #[test]
     fn shadow_with_budget_protects() {
-        let mut mem = MemoryController::new(DramConfig::lpddr4_small());
+        let mut mem = MemoryController::try_new(DramConfig::lpddr4_small()).expect("valid config");
         let mut shadow = ShadowDefense::new(1000);
         let mut rng = seeded_rng(4);
         let victim = GlobalRowId::new(0, 0, 10);
@@ -133,7 +268,7 @@ mod tests {
 
     #[test]
     fn shadow_without_budget_fails() {
-        let mut mem = MemoryController::new(DramConfig::lpddr4_small());
+        let mut mem = MemoryController::try_new(DramConfig::lpddr4_small()).expect("valid config");
         let mut shadow = ShadowDefense::new(0);
         let mut rng = seeded_rng(5);
         let victim = GlobalRowId::new(0, 0, 10);
@@ -155,7 +290,7 @@ mod tests {
 
     #[test]
     fn budget_resets_each_window() {
-        let mut mem = MemoryController::new(DramConfig::lpddr4_small());
+        let mut mem = MemoryController::try_new(DramConfig::lpddr4_small()).expect("valid config");
         let mut shadow = ShadowDefense::new(2);
         let mut rng = seeded_rng(6);
         let victim = GlobalRowId::new(0, 0, 20);

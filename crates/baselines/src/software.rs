@@ -20,8 +20,16 @@
 //! which is exactly the comparison Table 3 draws against DNN-Defender
 //! (no training, no accuracy drop).
 
-use dd_nn::model::Network;
+use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
+
+use dd_dram::DramError;
+use dd_nn::data::Dataset;
+use dd_nn::model::Network;
+use dd_nn::train::{train, TrainConfig};
+use dnn_defender::defense::{
+    hammer_to_flip, CampaignView, DefenseMechanism, DefenseStats, FlipAttempt,
+};
 
 /// Clip every quantizable weight of a network to `±limit × std(param)`.
 ///
@@ -37,8 +45,13 @@ pub fn clip_weights(net: &mut Network, limit: f32) -> usize {
         }
         let n = p.value.len().max(1);
         let mean: f32 = p.value.as_slice().iter().sum::<f32>() / n as f32;
-        let var: f32 =
-            p.value.as_slice().iter().map(|&w| (w - mean) * (w - mean)).sum::<f32>() / n as f32;
+        let var: f32 = p
+            .value
+            .as_slice()
+            .iter()
+            .map(|&w| (w - mean) * (w - mean))
+            .sum::<f32>()
+            / n as f32;
         let bound = limit * var.sqrt();
         for w in p.value.as_mut_slice() {
             if w.abs() > bound {
@@ -113,11 +126,145 @@ pub fn mean_abs_weight(net: &mut Network) -> f32 {
     let mut count = 0usize;
     net.visit_params(&mut |p| {
         if p.quantizable {
-            sum += p.value.as_slice().iter().map(|w| w.abs() as f64).sum::<f64>();
+            sum += p
+                .value
+                .as_slice()
+                .iter()
+                .map(|w| w.abs() as f64)
+                .sum::<f64>();
             count += p.value.len();
         }
     });
     (sum / count.max(1) as f64) as f32
+}
+
+/// Which training-side transform a [`SoftwareDefense`] applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SoftwareKind {
+    /// Piece-wise clustering, approximated by symmetric weight clipping
+    /// plus a recovery fine-tune.
+    Clustering,
+    /// Binary (±α) weights with recovery fine-tunes.
+    BinaryWeights,
+    /// Wider model (×2 base width) diluting each weight's influence.
+    CapacityX2,
+}
+
+impl SoftwareKind {
+    /// Table 3 row label.
+    pub fn name(self) -> &'static str {
+        match self {
+            SoftwareKind::Clustering => "Piece-wise clustering",
+            SoftwareKind::BinaryWeights => "Binary weight",
+            SoftwareKind::CapacityX2 => "Model Capacity x2",
+        }
+    }
+}
+
+/// The software (training-side) defenses behind the [`DefenseMechanism`]
+/// API. They transform the *model*, not the memory system, so every
+/// campaign lands ([`FlipAttempt::Landed`]) — robustness shows up as
+/// higher post-attack accuracy instead of blocked flips, exactly how
+/// Table 3 compares them.
+#[derive(Debug)]
+pub struct SoftwareDefense {
+    kind: SoftwareKind,
+    /// Epochs for each recovery fine-tune pass (0 = transform only).
+    pub recovery_epochs: usize,
+    stats: DefenseStats,
+}
+
+impl SoftwareDefense {
+    /// Defense of the given kind with the Table 3 recovery schedule.
+    pub fn new(kind: SoftwareKind) -> Self {
+        SoftwareDefense {
+            kind,
+            recovery_epochs: 4,
+            stats: DefenseStats::default(),
+        }
+    }
+
+    /// Defense with a custom recovery fine-tune length (tests use short
+    /// schedules).
+    pub fn with_recovery_epochs(kind: SoftwareKind, epochs: usize) -> Self {
+        SoftwareDefense {
+            kind,
+            recovery_epochs: epochs,
+            stats: DefenseStats::default(),
+        }
+    }
+
+    /// The transform kind.
+    pub fn kind(&self) -> SoftwareKind {
+        self.kind
+    }
+}
+
+impl DefenseMechanism for SoftwareDefense {
+    fn name(&self) -> &str {
+        self.kind.name()
+    }
+
+    fn capacity_multiplier(&self) -> usize {
+        match self.kind {
+            SoftwareKind::CapacityX2 => 2,
+            _ => 1,
+        }
+    }
+
+    /// Transform + recovery fine-tune + re-transform (the
+    /// transform-train-transform pattern approximating the training-time
+    /// versions of these defenses).
+    fn prepare_victim(&mut self, net: &mut Network, dataset: &Dataset, rng: &mut StdRng) {
+        if self.recovery_epochs == 0 {
+            match self.kind {
+                SoftwareKind::Clustering => {
+                    clip_weights(net, 2.0);
+                }
+                SoftwareKind::BinaryWeights => binarize_weights(net),
+                SoftwareKind::CapacityX2 => {}
+            }
+            return;
+        }
+        let ft = TrainConfig {
+            epochs: self.recovery_epochs,
+            batch_size: 64,
+            lr: 0.01,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        };
+        match self.kind {
+            SoftwareKind::Clustering => {
+                clip_weights(net, 2.0);
+                train(net, dataset, ft, rng);
+                clip_weights(net, 2.0);
+            }
+            SoftwareKind::BinaryWeights => {
+                binarize_weights(net);
+                train(net, dataset, ft, rng);
+                binarize_weights(net);
+                // One more recovery pass for the norm/bias parameters.
+                let ft2 = TrainConfig { lr: 0.005, ..ft };
+                train(net, dataset, ft2, rng);
+                binarize_weights(net);
+            }
+            SoftwareKind::CapacityX2 => {}
+        }
+    }
+
+    fn filter_flip(&mut self, view: CampaignView<'_>) -> Result<FlipAttempt, DramError> {
+        let outcome = if hammer_to_flip(view.mem, view.victim, view.bit_in_row)? {
+            FlipAttempt::Landed
+        } else {
+            FlipAttempt::Resisted
+        };
+        self.stats.record(outcome);
+        Ok(outcome)
+    }
+
+    fn stats(&self) -> DefenseStats {
+        self.stats
+    }
 }
 
 #[cfg(test)]

@@ -16,10 +16,13 @@
 //! attacker RRS was designed for) the campaign is broken with high
 //! probability.
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use dd_dram::{DramError, GlobalRowId, MemoryController, RowInSubarray};
+use dd_dram::{DramConfig, DramError, GlobalRowId, MemoryController, RowInSubarray};
+use dnn_defender::defense::{CampaignView, DefenseMechanism, DefenseStats, FlipAttempt};
+use dnn_defender::overhead::{overhead_table, OverheadEntry};
 
 /// Which swap-based scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -83,7 +86,10 @@ pub struct RowSwapDefense {
 impl RowSwapDefense {
     /// New defense of the given scheme.
     pub fn new(scheme: SwapScheme) -> Self {
-        RowSwapDefense { scheme, total_swaps: 0 }
+        RowSwapDefense {
+            scheme,
+            total_swaps: 0,
+        }
     }
 
     /// The scheme.
@@ -123,7 +129,10 @@ impl RowSwapDefense {
                 let outcome = mem.attempt_flip(victim, &[bit_in_row])?;
                 if outcome.flipped() {
                     self.total_swaps += swaps;
-                    return Ok(SwapCampaignOutcome { flipped: true, swaps });
+                    return Ok(SwapCampaignOutcome {
+                        flipped: true,
+                        swaps,
+                    });
                 }
             }
             // Mitigation: swap the aggressor row's *data* to a random row.
@@ -165,18 +174,103 @@ impl RowSwapDefense {
         // Final attempt with whatever disturbance accumulated.
         let outcome = mem.attempt_flip(victim, &[bit_in_row])?;
         self.total_swaps += swaps;
-        Ok(SwapCampaignOutcome { flipped: outcome.flipped(), swaps })
+        Ok(SwapCampaignOutcome {
+            flipped: outcome.flipped(),
+            swaps,
+        })
+    }
+}
+
+/// RRS/SRS behind the [`DefenseMechanism`] API: owns its RNG and models a
+/// fixed attacker-tracking assumption per instance.
+///
+/// The standard BFA attacker of the common protocol is blind to the
+/// mitigation and chases its chosen aggressor *data*
+/// ([`AttackerTracking::FollowsAggressorData`]) — the attacker RRS was
+/// designed against, and the calibration the Table 3 comparison uses. The
+/// paper's white-box refutation (Fig. 9 / §5.1) instantiates the
+/// mechanism with [`AttackerTracking::FollowsVictimAdjacency`] instead.
+#[derive(Debug)]
+pub struct RowSwapMechanism {
+    inner: RowSwapDefense,
+    tracking: AttackerTracking,
+    rng: StdRng,
+    stats: DefenseStats,
+}
+
+impl RowSwapMechanism {
+    /// Mechanism under the standard (aggressor-data-tracking) attacker.
+    pub fn new(scheme: SwapScheme, seed: u64) -> Self {
+        RowSwapMechanism::with_tracking(scheme, AttackerTracking::FollowsAggressorData, seed)
+    }
+
+    /// Mechanism under an explicit attacker-tracking assumption.
+    pub fn with_tracking(scheme: SwapScheme, tracking: AttackerTracking, seed: u64) -> Self {
+        RowSwapMechanism {
+            inner: RowSwapDefense::new(scheme),
+            tracking,
+            rng: StdRng::seed_from_u64(seed),
+            stats: DefenseStats::default(),
+        }
+    }
+
+    /// The wrapped scheme.
+    pub fn scheme(&self) -> SwapScheme {
+        self.inner.scheme()
+    }
+}
+
+impl DefenseMechanism for RowSwapMechanism {
+    fn name(&self) -> &str {
+        self.inner.scheme().name()
+    }
+
+    /// One campaign through the mechanistic RRS/SRS simulation. The
+    /// mitigation's swaps are virtual (aggressor re-aim bookkeeping, no
+    /// data movement), so a deployed weight map stays coherent.
+    fn filter_flip(&mut self, view: CampaignView<'_>) -> Result<FlipAttempt, DramError> {
+        let CampaignView {
+            mem,
+            victim,
+            bit_in_row,
+            ..
+        } = view;
+        let before = self.inner.total_swaps;
+        let outcome =
+            self.inner
+                .run_campaign(mem, victim, bit_in_row, self.tracking, &mut self.rng)?;
+        self.stats.defense_ops += self.inner.total_swaps - before;
+        let attempt = if outcome.flipped {
+            FlipAttempt::Landed
+        } else {
+            FlipAttempt::Resisted
+        };
+        self.stats.record(attempt);
+        Ok(attempt)
+    }
+
+    fn stats(&self) -> DefenseStats {
+        self.stats
+    }
+
+    fn overhead(&self, config: &DramConfig) -> Option<OverheadEntry> {
+        let framework = match self.inner.scheme() {
+            SwapScheme::Rrs => "RRS",
+            SwapScheme::Srs => "SRS",
+        };
+        overhead_table(config)
+            .into_iter()
+            .find(|e| e.framework == framework)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dd_dram::DramConfig;
     use dd_nn::init::seeded_rng;
 
     fn setup() -> (MemoryController, GlobalRowId) {
-        let mem = MemoryController::new(DramConfig::lpddr4_small());
+        let mem = MemoryController::try_new(DramConfig::lpddr4_small()).expect("valid config");
         (mem, GlobalRowId::new(0, 0, 10))
     }
 
@@ -228,14 +322,31 @@ mod tests {
         let mut rng = seeded_rng(3);
         let mut rrs = RowSwapDefense::new(SwapScheme::Rrs);
         let r = rrs
-            .run_campaign(&mut mem, victim, 0, AttackerTracking::FollowsVictimAdjacency, &mut rng)
+            .run_campaign(
+                &mut mem,
+                victim,
+                0,
+                AttackerTracking::FollowsVictimAdjacency,
+                &mut rng,
+            )
             .unwrap();
         let (mut mem2, victim2) = setup();
         let mut srs = RowSwapDefense::new(SwapScheme::Srs);
         let s = srs
-            .run_campaign(&mut mem2, victim2, 0, AttackerTracking::FollowsVictimAdjacency, &mut rng)
+            .run_campaign(
+                &mut mem2,
+                victim2,
+                0,
+                AttackerTracking::FollowsVictimAdjacency,
+                &mut rng,
+            )
             .unwrap();
-        assert!(s.swaps <= r.swaps, "SRS should swap at most as often (srs {} vs rrs {})", s.swaps, r.swaps);
+        assert!(
+            s.swaps <= r.swaps,
+            "SRS should swap at most as often (srs {} vs rrs {})",
+            s.swaps,
+            r.swaps
+        );
     }
 
     #[test]

@@ -45,21 +45,63 @@ fn bench_parallel_banks(c: &mut Criterion) {
 }
 
 fn bench_three_vs_four_copy_swap(c: &mut Criterion) {
-    let mut mem = MemoryController::new(DramConfig::lpddr4_small());
+    let mut mem = MemoryController::try_new(DramConfig::lpddr4_small()).expect("valid config");
     let mut group = c.benchmark_group("ablation/swap_copies");
     group.bench_function("three_copy", |b| {
         b.iter(|| {
-            mem.row_clone(dd_dram::BankId(0), dd_dram::SubarrayId(0), RowInSubarray(1), RowInSubarray(126)).unwrap();
-            mem.row_clone(dd_dram::BankId(0), dd_dram::SubarrayId(0), RowInSubarray(2), RowInSubarray(1)).unwrap();
-            mem.row_clone(dd_dram::BankId(0), dd_dram::SubarrayId(0), RowInSubarray(126), RowInSubarray(2)).unwrap();
+            mem.row_clone(
+                dd_dram::BankId(0),
+                dd_dram::SubarrayId(0),
+                RowInSubarray(1),
+                RowInSubarray(126),
+            )
+            .unwrap();
+            mem.row_clone(
+                dd_dram::BankId(0),
+                dd_dram::SubarrayId(0),
+                RowInSubarray(2),
+                RowInSubarray(1),
+            )
+            .unwrap();
+            mem.row_clone(
+                dd_dram::BankId(0),
+                dd_dram::SubarrayId(0),
+                RowInSubarray(126),
+                RowInSubarray(2),
+            )
+            .unwrap();
         })
     });
     group.bench_function("four_copy_with_non_target_refresh", |b| {
         b.iter(|| {
-            mem.row_clone(dd_dram::BankId(0), dd_dram::SubarrayId(0), RowInSubarray(1), RowInSubarray(126)).unwrap();
-            mem.row_clone(dd_dram::BankId(0), dd_dram::SubarrayId(0), RowInSubarray(2), RowInSubarray(1)).unwrap();
-            mem.row_clone(dd_dram::BankId(0), dd_dram::SubarrayId(0), RowInSubarray(126), RowInSubarray(2)).unwrap();
-            mem.row_clone(dd_dram::BankId(0), dd_dram::SubarrayId(0), RowInSubarray(3), RowInSubarray(126)).unwrap();
+            mem.row_clone(
+                dd_dram::BankId(0),
+                dd_dram::SubarrayId(0),
+                RowInSubarray(1),
+                RowInSubarray(126),
+            )
+            .unwrap();
+            mem.row_clone(
+                dd_dram::BankId(0),
+                dd_dram::SubarrayId(0),
+                RowInSubarray(2),
+                RowInSubarray(1),
+            )
+            .unwrap();
+            mem.row_clone(
+                dd_dram::BankId(0),
+                dd_dram::SubarrayId(0),
+                RowInSubarray(126),
+                RowInSubarray(2),
+            )
+            .unwrap();
+            mem.row_clone(
+                dd_dram::BankId(0),
+                dd_dram::SubarrayId(0),
+                RowInSubarray(3),
+                RowInSubarray(126),
+            )
+            .unwrap();
         })
     });
     group.finish();

@@ -35,7 +35,13 @@ fn victim() -> (QModel, AttackData) {
         base_width: 4,
     };
     let mut net = build_model(&config, &mut rng);
-    let tc = TrainConfig { epochs: 4, batch_size: 32, lr: 0.1, momentum: 0.9, weight_decay: 0.0 };
+    let tc = TrainConfig {
+        epochs: 4,
+        batch_size: 32,
+        lr: 0.1,
+        momentum: 0.9,
+        weight_decay: 0.0,
+    };
     train(&mut net, &ds, tc, &mut rng);
     let model = QModel::from_network(net);
     let batch = ds.attack_batch(32, &mut rng);
@@ -45,7 +51,11 @@ fn victim() -> (QModel, AttackData) {
 fn bench_bfa_iteration(c: &mut Criterion) {
     let (mut model, data) = victim();
     let snapshot = model.snapshot_q();
-    let config = AttackConfig { target_accuracy: 0.0, max_flips: 1, ..Default::default() };
+    let config = AttackConfig {
+        target_accuracy: 0.0,
+        max_flips: 1,
+        ..Default::default()
+    };
     c.bench_function("attack/bfa_one_iteration", |b| {
         b.iter(|| {
             let report = run_bfa(&mut model, &data, &config, &HashSet::new());
@@ -57,10 +67,18 @@ fn bench_bfa_iteration(c: &mut Criterion) {
 
 fn bench_protected_attack(c: &mut Criterion) {
     let (model, _) = victim();
-    let mut system =
-        ProtectedSystem::deploy(model, DramConfig::lpddr4_small(), DefenseConfig::default(), 3)
-            .expect("deploy");
-    let addr = BitAddr { param: 0, index: 0, bit: 7 };
+    let mut system = ProtectedSystem::deploy(
+        model,
+        DramConfig::lpddr4_small(),
+        DefenseConfig::default(),
+        3,
+    )
+    .expect("deploy");
+    let addr = BitAddr {
+        param: 0,
+        index: 0,
+        bit: 7,
+    };
     system.protect([addr]);
     c.bench_function("defense/attack_protected_bit_full_swap", |b| {
         b.iter(|| black_box(system.attack_bit(addr).unwrap()))
@@ -72,11 +90,18 @@ fn bench_unprotected_attack(c: &mut Criterion) {
     let mut system = ProtectedSystem::deploy(
         model,
         DramConfig::lpddr4_small(),
-        DefenseConfig { enabled: false, ..Default::default() },
+        DefenseConfig {
+            enabled: false,
+            ..Default::default()
+        },
         4,
     )
     .expect("deploy");
-    let addr = BitAddr { param: 0, index: 1, bit: 0 };
+    let addr = BitAddr {
+        param: 0,
+        index: 1,
+        bit: 0,
+    };
     c.bench_function("defense/attack_unprotected_bit", |b| {
         b.iter(|| black_box(system.attack_bit(addr).unwrap()))
     });
@@ -84,9 +109,19 @@ fn bench_unprotected_attack(c: &mut Criterion) {
 
 fn bench_profiling_round(c: &mut Criterion) {
     let (mut model, data) = victim();
-    let config = AttackConfig { target_accuracy: 0.3, max_flips: 5, ..Default::default() };
+    let config = AttackConfig {
+        target_accuracy: 0.3,
+        max_flips: 5,
+        ..Default::default()
+    };
     c.bench_function("defense/profile_one_round_5_flips", |b| {
-        b.iter(|| black_box(dd_attack::multi_round_profile(&mut model, &data, &config, 1).bits.len()))
+        b.iter(|| {
+            black_box(
+                dd_attack::multi_round_profile(&mut model, &data, &config, 1)
+                    .bits
+                    .len(),
+            )
+        })
     });
 }
 

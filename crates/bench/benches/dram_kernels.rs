@@ -7,7 +7,7 @@ use std::hint::black_box;
 use dd_dram::{BankId, DramConfig, GlobalRowId, MemoryController, RowInSubarray, SubarrayId};
 
 fn bench_activate(c: &mut Criterion) {
-    let mut mem = MemoryController::new(DramConfig::lpddr4_small());
+    let mut mem = MemoryController::try_new(DramConfig::lpddr4_small()).expect("valid config");
     c.bench_function("dram/activate", |b| {
         b.iter(|| {
             mem.activate(black_box(GlobalRowId::new(0, 0, 5))).unwrap();
@@ -17,37 +17,44 @@ fn bench_activate(c: &mut Criterion) {
 }
 
 fn bench_hammer_burst(c: &mut Criterion) {
-    let mut mem = MemoryController::new(DramConfig::lpddr4_small());
+    let mut mem = MemoryController::try_new(DramConfig::lpddr4_small()).expect("valid config");
     c.bench_function("dram/hammer_4800", |b| {
         b.iter(|| {
-            mem.hammer(black_box(GlobalRowId::new(0, 0, 11)), 4800).unwrap();
+            mem.hammer(black_box(GlobalRowId::new(0, 0, 11)), 4800)
+                .unwrap();
         })
     });
 }
 
 fn bench_row_clone(c: &mut Criterion) {
-    let mut mem = MemoryController::new(DramConfig::lpddr4_small());
-    mem.poke_row(BankId(0), SubarrayId(0), RowInSubarray(1), &[0xA5; 64]).unwrap();
+    let mut mem = MemoryController::try_new(DramConfig::lpddr4_small()).expect("valid config");
+    mem.poke_row(BankId(0), SubarrayId(0), RowInSubarray(1), &[0xA5; 64])
+        .unwrap();
     c.bench_function("dram/row_clone", |b| {
         b.iter(|| {
-            mem.row_clone(BankId(0), SubarrayId(0), RowInSubarray(1), RowInSubarray(2)).unwrap();
+            mem.row_clone(BankId(0), SubarrayId(0), RowInSubarray(1), RowInSubarray(2))
+                .unwrap();
         })
     });
 }
 
 fn bench_full_row_write_read(c: &mut Criterion) {
-    let mut mem = MemoryController::new(DramConfig::lpddr4_small());
+    let mut mem = MemoryController::try_new(DramConfig::lpddr4_small()).expect("valid config");
     let data = vec![0x3C; 64];
     c.bench_function("dram/write_read_row", |b| {
         b.iter(|| {
-            mem.write_row(BankId(1), SubarrayId(1), RowInSubarray(9), black_box(&data)).unwrap();
-            black_box(mem.read_row(BankId(1), SubarrayId(1), RowInSubarray(9)).unwrap());
+            mem.write_row(BankId(1), SubarrayId(1), RowInSubarray(9), black_box(&data))
+                .unwrap();
+            black_box(
+                mem.read_row(BankId(1), SubarrayId(1), RowInSubarray(9))
+                    .unwrap(),
+            );
         })
     });
 }
 
 fn bench_swap_via_scratch(c: &mut Criterion) {
-    let mut mem = MemoryController::new(DramConfig::lpddr4_small());
+    let mut mem = MemoryController::try_new(DramConfig::lpddr4_small()).expect("valid config");
     c.bench_function("dram/swap_rows_via_scratch", |b| {
         b.iter(|| {
             mem.swap_rows_via(

@@ -22,7 +22,11 @@ fn batch() -> (dd_nn::Tensor, Vec<usize>) {
 
 fn bench_forward(c: &mut Criterion) {
     let mut group = c.benchmark_group("qnn/forward_batch16");
-    for arch in [Architecture::Mlp, Architecture::Vgg11, Architecture::ResNet20] {
+    for arch in [
+        Architecture::Mlp,
+        Architecture::Vgg11,
+        Architecture::ResNet20,
+    ] {
         let mut model = make_model(arch);
         let (x, _) = batch();
         group.bench_function(arch.name(), |b| {
@@ -46,7 +50,11 @@ fn bench_weight_grads(c: &mut Criterion) {
 
 fn bench_bit_flip_sync(c: &mut Criterion) {
     let mut model = make_model(Architecture::ResNet20);
-    let addr = dd_qnn::BitAddr { param: 3, index: 7, bit: 7 };
+    let addr = dd_qnn::BitAddr {
+        param: 3,
+        index: 7,
+        bit: 7,
+    };
     c.bench_function("qnn/flip_bit_sync", |b| {
         b.iter(|| {
             let flip = model.flip_bit(black_box(addr));

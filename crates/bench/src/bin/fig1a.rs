@@ -29,7 +29,10 @@ fn main() {
         &["Generation", "T_RH (hammer count)", "vs LPDDR4 (new)"],
         &rows,
     );
-    let ddr3_new = points.iter().find(|p| p.generation == "DDR3 (new)").unwrap();
+    let ddr3_new = points
+        .iter()
+        .find(|p| p.generation == "DDR3 (new)")
+        .unwrap();
     println!(
         "\nAttackers need ~{:.1}x fewer hammers on LPDDR4 (new) than DDR3 (new).",
         ddr3_new.threshold as f64 / baseline as f64

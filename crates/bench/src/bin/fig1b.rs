@@ -14,8 +14,16 @@ use dd_qnn::Architecture;
 
 fn main() {
     let width = if quick_mode() { 2 } else { 4 };
-    println!("Training ResNet-34 (base width {width}) on {}...", DatasetKind::ImageNet.name());
-    let mut victim = prepare_victim(Architecture::ResNet34, DatasetKind::ImageNet, width, 20240604);
+    println!(
+        "Training ResNet-34 (base width {width}) on {}...",
+        DatasetKind::ImageNet.name()
+    );
+    let mut victim = prepare_victim(
+        Architecture::ResNet34,
+        DatasetKind::ImageNet,
+        width,
+        20240604,
+    );
     println!(
         "Victim ready: {} quantizable layers, {} weight bits, clean accuracy {}",
         victim.model.num_qparams(),
@@ -53,7 +61,10 @@ fn main() {
     // attacker continues its greedy path from the believed-flipped state,
     // i.e. one long BFA round); later rounds add adaptive-attack cover.
     let rounds = if quick_mode() { 2 } else { 4 };
-    let profile_cfg = AttackConfig { target_accuracy: 0.0, ..config };
+    let profile_cfg = AttackConfig {
+        target_accuracy: 0.0,
+        ..config
+    };
     let profile =
         dd_attack::multi_round_profile(&mut victim.model, &victim.data, &profile_cfg, rounds);
     let protected = profile.all();
@@ -86,7 +97,11 @@ fn main() {
         "Summary",
         &["Curve", "Flips spent", "Final accuracy"],
         &[
-            vec!["BFA (targeted)".into(), bfa.bit_flips.to_string(), pct(bfa.final_accuracy)],
+            vec![
+                "BFA (targeted)".into(),
+                bfa.bit_flips.to_string(),
+                pct(bfa.final_accuracy),
+            ],
             vec![
                 "Random attack".into(),
                 random_flips.to_string(),

@@ -20,18 +20,31 @@ fn main() {
             format!("{}K", n / 1000),
             format!("{:.2}", dd.as_millis_f64()),
             format!("{:.2}", shadow.as_millis_f64()),
-            format!("{:.1}%", 100.0 * (1.0 - dd.as_millis_f64() / shadow.as_millis_f64())),
+            format!(
+                "{:.1}%",
+                100.0 * (1.0 - dd.as_millis_f64() / shadow.as_millis_f64())
+            ),
         ]);
     }
     print_table(
         "Fig 8(b): defense latency per T_ref (ms) vs number of BFAs",
-        &["# BFAs", "DNN-Defender (ms)", "SHADOW (ms)", "DD latency saving"],
+        &[
+            "# BFAs",
+            "DNN-Defender (ms)",
+            "SHADOW (ms)",
+            "DD latency saving",
+        ],
         &rows,
     );
 
     // Per-threshold view: which anchor point each threshold permits.
     let mut rows = Vec::new();
-    for (t_rh, n) in [(8000u64, 7_000u64), (4000, 14_000), (2000, 28_000), (1000, 55_000)] {
+    for (t_rh, n) in [
+        (8000u64, 7_000u64),
+        (4000, 14_000),
+        (2000, 28_000),
+        (1000, 55_000),
+    ] {
         let capacity = model.max_bfas_per_tref(t_rh);
         rows.push(vec![
             format!("{}k", t_rh / 1000),

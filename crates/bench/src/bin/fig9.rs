@@ -84,8 +84,7 @@ fn run_model(arch: Architecture, dataset: DatasetKind, seed: u64) {
         for k in (0..=extra).step_by(attack_cfg.record_every.max(1)) {
             let acc = traj
                 .iter()
-                .filter(|(f, _)| *f <= k)
-                .last()
+                .rfind(|(f, _)| *f <= k)
                 .map(|(_, a)| *a)
                 .unwrap_or(report.clean_accuracy);
             cells.push(pct(acc));
@@ -98,7 +97,11 @@ fn run_model(arch: Architecture, dataset: DatasetKind, seed: u64) {
     }
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     print_table(
-        &format!("Fig 9: {} / {} — accuracy vs SB + extra flips", arch.name(), dataset.name()),
+        &format!(
+            "Fig 9: {} / {} — accuracy vs SB + extra flips",
+            arch.name(),
+            dataset.name()
+        ),
         &header_refs,
         &rows,
     );

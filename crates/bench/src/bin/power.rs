@@ -20,7 +20,10 @@ fn main() {
             })
             .collect();
         print_table(
-            &format!("Defense energy per T_ref at T_RH = {}k (max attack rate)", t_rh / 1000),
+            &format!(
+                "Defense energy per T_ref at T_RH = {}k (max attack rate)",
+                t_rh / 1000
+            ),
             &["Scheme", "Energy (nJ)", "Power (mW)"],
             &rows,
         );

@@ -24,7 +24,13 @@ fn main() {
         .collect();
     print_table(
         "Table 2: RowHammer mitigation hardware overhead (32GB, 16-bank DDR4)",
-        &["Framework", "Involved memory", "Capacity overhead", "Area overhead", "Total MB"],
+        &[
+            "Framework",
+            "Involved memory",
+            "Capacity overhead",
+            "Area overhead",
+            "Total MB",
+        ],
         &rows,
     );
     println!(

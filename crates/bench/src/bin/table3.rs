@@ -1,178 +1,150 @@
-//! Table 3: defense comparison on ResNet-20 / CIFAR-10 (stand-in):
-//! clean accuracy, post-attack accuracy, and bit-flip budget for the
-//! baseline, software defenses, and hardware defenses.
+//! Table 3: defense comparison on ResNet-20 / CIFAR-10 (stand-in) —
+//! clean accuracy, post-attack accuracy, and flip budget for the
+//! baseline, software defenses, and hardware defenses, all driven
+//! through one `ScenarioMatrix` entry point. The Fig. 8 analytical rows
+//! ride along from the same matrix.
 
-use dd_attack::{AttackConfig, AttackData};
+use dd_attack::AttackConfig;
 use dd_baselines::{
-    binarize_weights, clip_weights, evaluate_defense, DefenseEvalRow, LandingFilter, SwapScheme,
+    GrapheneDefense, RowSwapMechanism, ScenarioMatrix, ShadowMechanism, SoftwareDefense,
+    SoftwareKind, SwapScheme, VictimSpec,
 };
-use dd_bench::{pct, prepare_victim, print_table, quick_mode, DatasetKind};
-use dd_nn::train::{train, TrainConfig};
-use dd_nn::Network;
-use dd_qnn::{build_model, Architecture, ModelConfig, QModel};
+use dd_bench::{pct, print_table, quick_mode, DatasetKind};
+use dd_qnn::Architecture;
+use dnn_defender::defense::{DefenseConfig, DnnDefenderDefense, Undefended};
 
 /// Budget for undefended/software rows (attack stops early on collapse).
 fn soft_budget() -> usize {
-    if quick_mode() { 12 } else { 60 }
+    if quick_mode() {
+        12
+    } else {
+        60
+    }
 }
 
 /// Budget for hardware-defense rows (scaled from the paper's attempt
-/// counts; the leak rate is what matters, so these stay large).
+/// counts; the leak *rate* is what matters, so these stay large).
 fn hw_budget(paper: usize) -> usize {
-    if quick_mode() { 12 } else { paper.min(350) }
-}
-
-/// Two-phase training mirroring `prepare_victim`'s recipe.
-fn train_fresh(mc: &ModelConfig, dataset: &dd_nn::Dataset, rng: &mut rand::rngs::StdRng) -> Network {
-    let epochs = if quick_mode() { 5 } else { 14 };
-    let tc = TrainConfig { epochs, batch_size: 64, lr: 0.03, momentum: 0.9, weight_decay: 1e-4 };
-    let ft = TrainConfig { epochs: if quick_mode() { 2 } else { 6 }, lr: tc.lr / 5.0, ..tc };
-    let mut net = build_model(mc, rng);
-    train(&mut net, dataset, tc, rng);
-    train(&mut net, dataset, ft, rng);
-    net
-}
-
-fn software_variant(
-    name: &str,
-    kind: &str,
-    data: &AttackData,
-    cfg: &AttackConfig,
-    seed: u64,
-) -> DefenseEvalRow {
-    let mut rng = dd_nn::init::seeded_rng(seed);
-    let spec = DatasetKind::Cifar10.spec();
-    let dataset = dd_nn::Dataset::generate(spec, &mut rng);
-    let width = if quick_mode() { 2 } else { 4 };
-    let mc = ModelConfig {
-        arch: Architecture::ResNet20,
-        in_channels: spec.channels,
-        image_side: spec.height,
-        classes: spec.classes,
-        base_width: if kind == "capacity" { width * 2 } else { width },
-    };
-    let mut net = train_fresh(&mc, &dataset, &mut rng);
-    // Transform + short recovery fine-tune (the transform-train-transform
-    // pattern approximates the training-time versions of these defenses).
-    let ft = TrainConfig {
-        epochs: if quick_mode() { 2 } else { 4 },
-        batch_size: 64,
-        lr: 0.01,
-        momentum: 0.9,
-        weight_decay: 0.0,
-    };
-    match kind {
-        "clustering" => {
-            clip_weights(&mut net, 2.0);
-            train(&mut net, &dataset, ft, &mut rng);
-            clip_weights(&mut net, 2.0);
-        }
-        "binary" => {
-            binarize_weights(&mut net);
-            train(&mut net, &dataset, ft, &mut rng);
-            binarize_weights(&mut net);
-            // One more recovery pass for the norm/bias parameters.
-            let ft2 = TrainConfig { epochs: ft.epochs, lr: 0.005, ..ft };
-            train(&mut net, &dataset, ft2, &mut rng);
-            binarize_weights(&mut net);
-        }
-        _ => {}
+    if quick_mode() {
+        12
+    } else {
+        paper.min(350)
     }
-    let mut model = QModel::from_network(net);
-    evaluate_defense(name, &mut model, data, cfg, LandingFilter::AlwaysLands, soft_budget())
 }
 
 fn main() {
     let width = if quick_mode() { 2 } else { 4 };
-    println!("Training ResNet-20 (base width {width}) on {}...", DatasetKind::Cifar10.name());
-    let mut victim = prepare_victim(Architecture::ResNet20, DatasetKind::Cifar10, width, 333);
-    println!("clean accuracy {}", pct(victim.clean_accuracy));
-    let cfg = AttackConfig {
+    let epochs = if quick_mode() { 5 } else { 14 };
+    println!(
+        "Table 3 matrix: ResNet-20 (base width {width}) on {}, budgets {}/{}+ \
+         (every cell retrains the victim deterministically; cells run in parallel)...",
+        DatasetKind::Cifar10.name(),
+        soft_budget(),
+        hw_budget(342),
+    );
+
+    let attack = AttackConfig {
         target_accuracy: DatasetKind::Cifar10.chance() * 1.1,
         max_flips: 400,
         ..Default::default()
     };
+    let matrix = ScenarioMatrix::new(VictimSpec::paper(
+        Architecture::ResNet20,
+        width,
+        epochs,
+        333,
+    ))
+    .defense("Baseline (undefended)", |_, _| Box::new(Undefended::new()))
+    .defense(SoftwareKind::Clustering.name(), |_, _| {
+        Box::new(SoftwareDefense::new(SoftwareKind::Clustering))
+    })
+    .defense(SoftwareKind::BinaryWeights.name(), |_, _| {
+        Box::new(SoftwareDefense::new(SoftwareKind::BinaryWeights))
+    })
+    .defense(SoftwareKind::CapacityX2.name(), |_, _| {
+        Box::new(SoftwareDefense::new(SoftwareKind::CapacityX2))
+    })
+    .defense_budgeted("Graphene", hw_budget(342), |_, config| {
+        Box::new(GrapheneDefense::for_config(config))
+    })
+    .defense_budgeted("RRS", hw_budget(342), |seed, _| {
+        Box::new(RowSwapMechanism::new(SwapScheme::Rrs, seed))
+    })
+    .defense_budgeted("SRS", hw_budget(378), |seed, _| {
+        Box::new(RowSwapMechanism::new(SwapScheme::Srs, seed))
+    })
+    .defense_budgeted("SHADOW", hw_budget(985), |seed, _| {
+        Box::new(ShadowMechanism::new(1000, seed))
+    })
+    .defense_budgeted("DNN-Defender", hw_budget(1150), |seed, _| {
+        Box::new(DnnDefenderDefense::with_profiling(
+            DefenseConfig::default(),
+            2,
+            seed,
+        ))
+    })
+    .attack_config(attack)
+    .budget(soft_budget())
+    .seed(333);
 
-    let mut rows: Vec<DefenseEvalRow> = Vec::new();
+    let report = matrix.run().expect("matrix run");
 
-    // Baseline: undefended 8-bit ResNet-20.
-    rows.push(evaluate_defense(
-        "Baseline ResNet-20",
-        &mut victim.model,
-        &victim.data,
-        &cfg,
-        LandingFilter::AlwaysLands,
-        soft_budget(),
-    ));
-
-    // Software defenses (fresh victims with the transform applied).
-    rows.push(software_variant("Piece-wise clustering", "clustering", &victim.data, &cfg, 334));
-    rows.push(software_variant("Binary weight", "binary", &victim.data, &cfg, 335));
-    rows.push(software_variant("Model Capacity x2", "capacity", &victim.data, &cfg, 336));
-
-    // Hardware defenses on the common victim.
-    rows.push(evaluate_defense(
-        "RRS",
-        &mut victim.model,
-        &victim.data,
-        &cfg,
-        LandingFilter::row_swap(SwapScheme::Rrs, 41),
-        hw_budget(342),
-    ));
-    rows.push(evaluate_defense(
-        "SRS",
-        &mut victim.model,
-        &victim.data,
-        &cfg,
-        LandingFilter::row_swap(SwapScheme::Srs, 42),
-        hw_budget(378),
-    ));
-    rows.push(evaluate_defense(
-        "SHADOW",
-        &mut victim.model,
-        &victim.data,
-        &cfg,
-        LandingFilter::probabilistic(0.002, 43),
-        hw_budget(985),
-    ));
-
-    // DNN-Defender: profile and secure the vulnerable set. Round-1 depth
-    // covers the naive attacker's whole greedy path (see EXPERIMENTS.md);
-    // the second round adds adaptive-attack cover.
-    let dd_budget = hw_budget(1150);
-    let profile_cfg =
-        AttackConfig { target_accuracy: 0.0, max_flips: dd_budget, ..Default::default() };
-    let profile = dd_attack::multi_round_profile(&mut victim.model, &victim.data, &profile_cfg, 2);
-    rows.push(evaluate_defense(
-        "DNN-Defender",
-        &mut victim.model,
-        &victim.data,
-        &cfg,
-        LandingFilter::ProtectedSet(profile.all()),
-        dd_budget,
-    ));
-
-    let table: Vec<Vec<String>> = rows
+    let table: Vec<Vec<String>> = report
+        .cells
         .iter()
-        .map(|r| {
+        .map(|c| {
             vec![
-                r.name.clone(),
-                pct(r.clean_accuracy),
-                pct(r.post_attack_accuracy),
-                r.attempts.to_string(),
-                r.landed.to_string(),
+                c.scenario.defense.clone(),
+                pct(c.clean_accuracy),
+                pct(c.post_attack_accuracy),
+                c.attempts.to_string(),
+                c.landed.to_string(),
+                c.stats.defense_ops.to_string(),
             ]
         })
         .collect();
     print_table(
         "Table 3: BFA defense comparison (ResNet-20, CIFAR-10 stand-in)",
-        &["Defense", "Clean acc", "Post-attack acc", "Flip attempts", "Landed"],
+        &[
+            "Defense",
+            "Clean acc",
+            "Post-attack acc",
+            "Flip attempts",
+            "Landed",
+            "Defense ops",
+        ],
         &table,
     );
+
+    let fig8: Vec<Vec<String>> = matrix
+        .security_analysis(&[1000, 2000, 4000, 8000])
+        .iter()
+        .map(|r| {
+            vec![
+                r.t_rh.to_string(),
+                format!("{:.0}", r.dd_days),
+                format!("{:.0}", r.shadow_days),
+                r.max_defended_bfas.to_string(),
+                r.attacker_bfas.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 8 (analytical): time-to-break and capacity per T_RH",
+        &[
+            "T_RH",
+            "DD days",
+            "SHADOW days",
+            "Max defended BFAs",
+            "Attacker BFAs",
+        ],
+        &fig8,
+    );
+
     println!(
         "\nShape check (paper): baseline collapses to chance in tens of flips; \
          software defenses raise the required flips / bound the damage; \
-         RRS/SRS leak a few campaigns; SHADOW leaks almost none; \
+         RRS/SRS leak a few campaigns; Graphene and SHADOW leak almost none; \
          DNN-Defender holds clean accuracy with zero landed flips."
     );
 }

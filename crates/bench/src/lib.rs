@@ -91,8 +91,18 @@ pub fn prepare_victim(
     // are occasionally seed-sensitive at this scale, so keep the best of
     // up to three attempts.
     let epochs = if quick_mode() { 5 } else { 14 };
-    let tc = TrainConfig { epochs, batch_size: 64, lr: 0.03, momentum: 0.9, weight_decay: 1e-4 };
-    let ft = TrainConfig { epochs: if quick_mode() { 2 } else { 6 }, lr: tc.lr / 5.0, ..tc };
+    let tc = TrainConfig {
+        epochs,
+        batch_size: 64,
+        lr: 0.03,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+    };
+    let ft = TrainConfig {
+        epochs: if quick_mode() { 2 } else { 6 },
+        lr: tc.lr / 5.0,
+        ..tc
+    };
     let mut best: Option<(dd_nn::Network, f32)> = None;
     for attempt in 0..3 {
         let mut attempt_rng = seeded_rng(seed ^ (attempt as u64) << 32);
@@ -101,7 +111,7 @@ pub fn prepare_victim(
         let report = train(&mut net, &dataset, ft, &mut attempt_rng);
         let acc = report.test_accuracy;
         let good_enough = acc > 0.85;
-        if best.as_ref().map_or(true, |(_, b)| acc > *b) {
+        if best.as_ref().is_none_or(|(_, b)| acc > *b) {
             best = Some((net, acc));
         }
         if good_enough {
@@ -123,7 +133,14 @@ pub fn prepare_victim(
     // Report quantized accuracy on the eval batch for consistency with
     // the attack trajectories.
     let clean_accuracy = model.accuracy(&data.eval_images, &data.eval_labels);
-    Victim { model, data, dataset, clean_accuracy, arch, dataset_kind }
+    Victim {
+        model,
+        data,
+        dataset,
+        clean_accuracy,
+        arch,
+        dataset_kind,
+    }
 }
 
 /// Print a fixed-width ASCII table.

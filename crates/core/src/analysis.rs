@@ -166,12 +166,30 @@ pub struct RhThresholdPoint {
 /// drop from DDR3 (new) to LPDDR4 (new).
 pub fn rh_thresholds() -> Vec<RhThresholdPoint> {
     vec![
-        RhThresholdPoint { generation: "DDR3 (old)", threshold: 139_000 },
-        RhThresholdPoint { generation: "DDR3 (new)", threshold: 22_400 },
-        RhThresholdPoint { generation: "DDR4 (old)", threshold: 17_500 },
-        RhThresholdPoint { generation: "DDR4 (new)", threshold: 10_000 },
-        RhThresholdPoint { generation: "LPDDR4 (old)", threshold: 16_800 },
-        RhThresholdPoint { generation: "LPDDR4 (new)", threshold: 4_800 },
+        RhThresholdPoint {
+            generation: "DDR3 (old)",
+            threshold: 139_000,
+        },
+        RhThresholdPoint {
+            generation: "DDR3 (new)",
+            threshold: 22_400,
+        },
+        RhThresholdPoint {
+            generation: "DDR4 (old)",
+            threshold: 17_500,
+        },
+        RhThresholdPoint {
+            generation: "DDR4 (new)",
+            threshold: 10_000,
+        },
+        RhThresholdPoint {
+            generation: "LPDDR4 (old)",
+            threshold: 16_800,
+        },
+        RhThresholdPoint {
+            generation: "LPDDR4 (new)",
+            threshold: 4_800,
+        },
     ]
 }
 
@@ -187,7 +205,12 @@ mod tests {
     fn attacker_capacity_matches_paper_anchors() {
         let m = model();
         // Paper Fig. 8(b): ≈55K / 28K / 14K / 7K BFAs per T_ref.
-        let points = [(1000u64, 55_000u64), (2000, 28_000), (4000, 14_000), (8000, 7_000)];
+        let points = [
+            (1000u64, 55_000u64),
+            (2000, 28_000),
+            (4000, 14_000),
+            (8000, 7_000),
+        ];
         for (t_rh, expected) in points {
             let got = m.max_bfas_per_tref(t_rh);
             let err = (got as f64 - expected as f64).abs() / expected as f64;
@@ -240,7 +263,7 @@ mod tests {
         let n = m.swaps_per_tref(4000, n_s);
         assert!(n > 0);
         // Sanity: swaps per tref can't exceed tref / t_swap * banks.
-        assert!(n < (m.timing.t_ref / m.timing.t_swap()) as u64 * m.banks as u64);
+        assert!(n < (m.timing.t_ref / m.timing.t_swap()) as u64 * m.banks);
     }
 
     #[test]

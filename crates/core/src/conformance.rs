@@ -1,0 +1,206 @@
+//! Shared conformance protocol for [`DefenseMechanism`] implementations.
+//!
+//! Every mechanism — DNN-Defender and all the `dd-baselines` families —
+//! must survive the same deploy → attack → stats lifecycle with its
+//! [`DefenseStats`] bookkeeping intact. The integration test
+//! `tests/trait_conformance.rs` runs [`check`] over the full roster; new
+//! defenses get conformance coverage by adding one factory line there.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dd_attack::{AttackConfig, AttackData};
+use dd_dram::DramConfig;
+use dd_nn::data::{Dataset, SyntheticSpec};
+use dd_nn::train::{train, TrainConfig};
+use dd_qnn::{build_model, Architecture, BitAddr, ModelConfig, QModel};
+
+use crate::defense::{DefenseMechanism, DefenseStats, FlipAttempt};
+use crate::system::ProtectedSystem;
+
+/// Outcome of one conformance run.
+#[derive(Debug, Clone)]
+pub struct ConformanceReport {
+    /// The mechanism's display name.
+    pub name: String,
+    /// Per-campaign outcomes in order.
+    pub outcomes: Vec<FlipAttempt>,
+    /// Final bookkeeping.
+    pub stats: DefenseStats,
+    /// Whether the mechanism kept a secured-bit set.
+    pub has_secured_set: bool,
+}
+
+impl ConformanceReport {
+    /// Campaigns that landed.
+    pub fn landed(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.landed()).count()
+    }
+
+    /// Campaigns that were resisted.
+    pub fn resisted(&self) -> usize {
+        self.outcomes.len() - self.landed()
+    }
+}
+
+fn tiny_victim(seed: u64) -> (dd_nn::Network, Dataset) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = SyntheticSpec {
+        classes: 4,
+        channels: 1,
+        height: 8,
+        width: 8,
+        train_per_class: 32,
+        test_per_class: 16,
+        noise: 0.4,
+        brightness_jitter: 0.1,
+    };
+    let dataset = Dataset::generate(spec, &mut rng);
+    let config = ModelConfig {
+        arch: Architecture::Mlp,
+        in_channels: 1,
+        image_side: 8,
+        classes: 4,
+        base_width: 4,
+    };
+    let mut net = build_model(&config, &mut rng);
+    let tc = TrainConfig {
+        epochs: 6,
+        batch_size: 32,
+        lr: 0.1,
+        momentum: 0.9,
+        weight_decay: 0.0,
+    };
+    train(&mut net, &dataset, tc, &mut rng);
+    (net, dataset)
+}
+
+/// Drive `defense` through the shared deploy → attack → stats protocol on
+/// a real [`ProtectedSystem`] deployment and assert the bookkeeping
+/// invariants every implementation must uphold:
+///
+/// * one [`DefenseStats::attempts`] entry per campaign;
+/// * `flips_resisted + flips_landed == attempts`;
+/// * `defense_misses <= flips_landed`;
+/// * landed / resisted counts agree with the returned outcomes;
+/// * the DRAM image and the live model stay bit-identical (checked by the
+///   debug assertion inside [`ProtectedSystem::attack_bit`]).
+///
+/// Returns the report so family-specific tests can add their own
+/// assertions (e.g. "Graphene resists everything").
+///
+/// # Panics
+///
+/// Panics when the mechanism violates any shared invariant.
+pub fn check<D: DefenseMechanism>(defense: D, campaigns: usize, seed: u64) -> ConformanceReport {
+    let mut defense = defense;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc0f0);
+    let (mut net, dataset) = tiny_victim(seed);
+    defense.prepare_victim(&mut net, &dataset, &mut rng);
+    let mut model = QModel::from_network(net);
+
+    let batch = dataset.attack_batch(48, &mut rng);
+    let data = AttackData::single_batch(batch.images, batch.labels);
+    let attack_cfg = AttackConfig {
+        target_accuracy: 0.0,
+        max_flips: campaigns,
+        ..Default::default()
+    };
+    defense.on_deploy(&mut model, &data, &attack_cfg);
+
+    let mut system = ProtectedSystem::deploy_with(model, DramConfig::lpddr4_small(), defense)
+        .expect("conformance deploy");
+
+    // Attack a mix of bits: secured ones when the mechanism keeps a set
+    // (they exercise the protected path) padded with classifier sign bits
+    // (the unprotected path).
+    let has_secured_set = system.defense().secured_bits().is_some();
+    let mut bits: Vec<BitAddr> = system
+        .defense()
+        .secured_bits()
+        .map(|s| {
+            let mut v: Vec<BitAddr> = s.iter().copied().collect();
+            v.sort_unstable();
+            v.truncate(campaigns / 2);
+            v
+        })
+        .unwrap_or_default();
+    let last = system.model_mut().num_qparams() - 1;
+    let weights = system.model_mut().qtensor(last).len();
+    let mut i = 0;
+    while bits.len() < campaigns {
+        bits.push(BitAddr {
+            param: last,
+            index: (i * 11) % weights,
+            bit: 7,
+        });
+        i += 1;
+    }
+
+    let before = system.stats();
+    assert_eq!(
+        before,
+        DefenseStats::default(),
+        "fresh mechanism must start at zero stats"
+    );
+    // The common protocol: one refresh window per campaign.
+    let mut outcomes = Vec::with_capacity(bits.len());
+    for &bit in &bits {
+        system.next_window();
+        outcomes.push(system.attack_bit(bit).expect("conformance campaign"));
+    }
+    let stats = system.stats();
+    let name = system.defense().name().to_string();
+
+    assert!(!name.is_empty(), "mechanism must have a display name");
+    assert_eq!(
+        stats.attempts as usize,
+        outcomes.len(),
+        "{name}: one attempts entry per campaign"
+    );
+    assert!(
+        stats.invariants_hold(),
+        "{name}: stats invariants violated: {stats:?}"
+    );
+    let landed = outcomes.iter().filter(|o| o.landed()).count();
+    assert_eq!(
+        stats.flips_landed as usize, landed,
+        "{name}: landed count disagrees"
+    );
+    assert_eq!(
+        stats.flips_resisted as usize,
+        outcomes.len() - landed,
+        "{name}: resisted count disagrees"
+    );
+
+    ConformanceReport {
+        name,
+        outcomes,
+        stats,
+        has_secured_set,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defense::{DefenseConfig, DnnDefenderDefense, Undefended};
+
+    #[test]
+    fn undefended_conforms_and_lands_everything() {
+        let report = check(Undefended::new(), 6, 11);
+        assert_eq!(report.landed(), 6);
+        assert!(!report.has_secured_set);
+    }
+
+    #[test]
+    fn dnn_defender_conforms_and_resists_its_secured_set() {
+        let defense = DnnDefenderDefense::with_profiling(DefenseConfig::default(), 2, 11);
+        let report = check(defense, 6, 11);
+        assert!(report.has_secured_set);
+        assert!(
+            report.resisted() >= 3,
+            "secured half must be resisted: {report:?}"
+        );
+    }
+}

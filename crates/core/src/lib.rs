@@ -11,12 +11,16 @@
 //!
 //! Module map:
 //!
+//! * [`defense`] — the [`defense::DefenseMechanism`] trait every
+//!   mitigation (DNN-Defender and the `dd-baselines` families) implements,
+//!   plus the unified [`defense::DefenseStats`] bookkeeping;
 //! * [`mapping`] — the weight→DRAM mapping file (Fig. 4);
 //! * [`swap`] — the four-step RowClone swap (Algorithm 1, Fig. 5);
 //! * [`schedule`] — the pipelined swap timeline (Fig. 6);
 //! * [`priority`] — priority protection planning (§4);
 //! * [`system`] — [`system::ProtectedSystem`]: model + DRAM + defense,
-//!   with the attacker-vs-swap race played out on the simulator;
+//!   generic over the installed [`defense::DefenseMechanism`], with the
+//!   attacker-vs-defense race played out on the simulator;
 //! * [`analysis`] — the §5.1 security / latency formulas (Fig. 8);
 //! * [`overhead`] — the Table 2 hardware-overhead comparison.
 //!
@@ -36,6 +40,9 @@
 //!     .push(Linear::kaiming("fc", 16, 4, &mut rng));
 //! let model = QModel::from_network(net);
 //!
+//! // `deploy` installs DNN-Defender; `deploy_with` accepts any
+//! // `DefenseMechanism` (a baseline, `Undefended`, or a boxed
+//! // `DynDefense`).
 //! let mut system = ProtectedSystem::deploy(
 //!     model,
 //!     dd_dram::DramConfig::lpddr4_small(),
@@ -48,11 +55,14 @@
 //! system.protect([bit]);
 //! let attempt = system.attack_bit(bit)?;
 //! assert!(!attempt.landed());
+//! assert!(system.stats().invariants_hold());
 //! # Ok(())
 //! # }
 //! ```
 
 pub mod analysis;
+pub mod conformance;
+pub mod defense;
 pub mod mapping;
 pub mod overhead;
 pub mod power;
@@ -62,10 +72,14 @@ pub mod swap;
 pub mod system;
 
 pub use analysis::{rh_thresholds, DefenseOp, SecurityModel};
+pub use defense::{
+    CampaignView, DefenseConfig, DefenseMechanism, DefenseStats, DnnDefenderDefense, DynDefense,
+    FlipAttempt, Undefended,
+};
 pub use mapping::{BitLocation, RowSlot, WeightMap};
 pub use overhead::{overhead_table, CapacityCost, MemKind, OverheadEntry};
 pub use power::{power_table, saving_versus, PowerProfile};
 pub use priority::ProtectionPlan;
 pub use schedule::{chain_schedule, parallel_schedule, SwapSchedule};
 pub use swap::{SwapEngine, SwapOutcome};
-pub use system::{DefenseConfig, DefenseStats, FlipAttempt, ProtectedSystem};
+pub use system::ProtectedSystem;

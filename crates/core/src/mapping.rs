@@ -58,6 +58,9 @@ impl WeightMap {
     /// # Panics
     ///
     /// Panics if the device has too few data rows for the model.
+    // The loop indexes are semantic (bit/param addresses), not mere
+    // positions; iterator rewrites would obscure that.
+    #[allow(clippy::needless_range_loop)]
     pub fn layout(model: &QModel, config: &DramConfig) -> Self {
         let row_bytes = config.row_bytes;
         let data_rows = config.data_rows_per_subarray();
@@ -68,7 +71,10 @@ impl WeightMap {
         let mut row_cursor = 0usize;
 
         let next_row = |cursor: &mut usize| -> GlobalRowId {
-            assert!(*cursor < capacity_rows, "model does not fit in the configured DRAM");
+            assert!(
+                *cursor < capacity_rows,
+                "model does not fit in the configured DRAM"
+            );
             // Round-robin over banks first, then subarray, then row.
             let bank = *cursor % config.banks;
             let rest = *cursor / config.banks;
@@ -85,18 +91,24 @@ impl WeightMap {
                 let len = row_bytes.min(total - offset);
                 let row = next_row(&mut row_cursor);
                 slots_of_param[param].push(slots.len());
-                slots.push(RowSlot { row, param, offset, len });
+                slots.push(RowSlot {
+                    row,
+                    param,
+                    offset,
+                    len,
+                });
                 offset += len;
             }
         }
 
-        let row_to_slot = slots
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.row, i))
-            .collect();
+        let row_to_slot = slots.iter().enumerate().map(|(i, s)| (s.row, i)).collect();
 
-        WeightMap { slots, slots_of_param, row_to_slot, row_bytes }
+        WeightMap {
+            slots,
+            slots_of_param,
+            row_to_slot,
+            row_bytes,
+        }
     }
 
     /// All row slots in layout order.
@@ -130,7 +142,10 @@ impl WeightMap {
             .expect("weight index beyond parameter size");
         let slot = &self.slots[slot_idx];
         let byte_in_row = addr.index - slot.offset;
-        BitLocation { row: slot.row, bit_in_row: byte_in_row * 8 + addr.bit as usize }
+        BitLocation {
+            row: slot.row,
+            bit_in_row: byte_in_row * 8 + addr.bit as usize,
+        }
     }
 
     /// The slot stored in `row`, if it holds weights.
@@ -169,10 +184,7 @@ impl WeightMap {
 
     /// Rows that hold at least one of the given bits (the *target rows*
     /// of the priority protection mechanism).
-    pub fn target_rows<'a>(
-        &self,
-        bits: impl IntoIterator<Item = &'a BitAddr>,
-    ) -> Vec<GlobalRowId> {
+    pub fn target_rows<'a>(&self, bits: impl IntoIterator<Item = &'a BitAddr>) -> Vec<GlobalRowId> {
         let mut seen = std::collections::HashSet::new();
         let mut rows = Vec::new();
         for &addr in bits {
@@ -225,7 +237,11 @@ mod tests {
         let map = WeightMap::layout(&model, &config);
         let banks_used: std::collections::HashSet<usize> =
             map.slots().iter().map(|s| s.row.bank.0).collect();
-        assert_eq!(banks_used.len(), config.banks, "weights not striped over all banks");
+        assert_eq!(
+            banks_used.len(),
+            config.banks,
+            "weights not striped over all banks"
+        );
         // Consecutive slots land in different banks.
         assert_ne!(map.slots()[0].row.bank, map.slots()[1].row.bank);
     }
@@ -235,7 +251,11 @@ mod tests {
         let (model, config) = model_and_config();
         let map = WeightMap::layout(&model, &config);
         // Weight 100 of param 0, bit 7: row holds bytes [64..128) in slot 1.
-        let loc = map.locate(BitAddr { param: 0, index: 100, bit: 7 });
+        let loc = map.locate(BitAddr {
+            param: 0,
+            index: 100,
+            bit: 7,
+        });
         let slot = map.slot_at(loc.row).unwrap();
         assert_eq!(slot.param, 0);
         assert!(slot.offset <= 100 && 100 < slot.offset + slot.len);
@@ -246,7 +266,11 @@ mod tests {
     fn relocate_swaps_row_bindings() {
         let (model, config) = model_and_config();
         let mut map = WeightMap::layout(&model, &config);
-        let addr = BitAddr { param: 0, index: 0, bit: 0 };
+        let addr = BitAddr {
+            param: 0,
+            index: 0,
+            bit: 0,
+        };
         let before = map.locate(addr);
         let free_row = GlobalRowId::new(0, 7, 100); // not used by layout
         assert!(map.slot_at(free_row).is_none());
@@ -266,9 +290,21 @@ mod tests {
         let map = WeightMap::layout(&model, &config);
         // Two bits in the same weight byte share a row.
         let bits = [
-            BitAddr { param: 0, index: 0, bit: 0 },
-            BitAddr { param: 0, index: 0, bit: 7 },
-            BitAddr { param: 0, index: 1, bit: 3 },
+            BitAddr {
+                param: 0,
+                index: 0,
+                bit: 0,
+            },
+            BitAddr {
+                param: 0,
+                index: 0,
+                bit: 7,
+            },
+            BitAddr {
+                param: 0,
+                index: 1,
+                bit: 3,
+            },
         ];
         let rows = map.target_rows(bits.iter());
         assert_eq!(rows.len(), 1);

@@ -84,7 +84,9 @@ impl OverheadEntry {
 
     /// Whether the framework needs any fast (SRAM/CAM) memory.
     pub fn needs_fast_memory(&self) -> bool {
-        self.involved.iter().any(|k| matches!(k, MemKind::Sram | MemKind::Cam))
+        self.involved
+            .iter()
+            .any(|k| matches!(k, MemKind::Sram | MemKind::Cam))
     }
 }
 
@@ -132,13 +134,19 @@ pub fn overhead_table(config: &DramConfig) -> Vec<OverheadEntry> {
         OverheadEntry {
             framework: "Counter per Row",
             involved: vec![MemKind::Dram],
-            capacity: vec![CapacityCost::Mb(mb(counter_per_row_bytes(config)), MemKind::Dram)],
+            capacity: vec![CapacityCost::Mb(
+                mb(counter_per_row_bytes(config)),
+                MemKind::Dram,
+            )],
             area: "16384 counters",
         },
         OverheadEntry {
             framework: "Counter Tree",
             involved: vec![MemKind::Dram],
-            capacity: vec![CapacityCost::Mb(mb(counter_tree_bytes(config)), MemKind::Dram)],
+            capacity: vec![CapacityCost::Mb(
+                mb(counter_tree_bytes(config)),
+                MemKind::Dram,
+            )],
             area: "1024 counters",
         },
         OverheadEntry {
@@ -218,7 +226,11 @@ mod tests {
         let t = overhead_table(&DramConfig::ddr4_32gb());
         let dd_mb = t.last().unwrap().total_reported_mb();
         for e in &t[..t.len() - 1] {
-            assert!(e.total_reported_mb() > dd_mb, "{} not more expensive", e.framework);
+            assert!(
+                e.total_reported_mb() > dd_mb,
+                "{} not more expensive",
+                e.framework
+            );
         }
     }
 
@@ -236,7 +248,10 @@ mod tests {
     #[test]
     fn capacity_rendering() {
         assert_eq!(CapacityCost::Mb(4.0, MemKind::Dram).render(), "4MB[DRAM]");
-        assert_eq!(CapacityCost::NotReported(MemKind::Sram).render(), "NR[SRAM]");
+        assert_eq!(
+            CapacityCost::NotReported(MemKind::Sram).render(),
+            "NR[SRAM]"
+        );
         assert_eq!(CapacityCost::None.render(), "0");
     }
 }

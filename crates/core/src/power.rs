@@ -83,7 +83,10 @@ pub fn power_table(config: &DramConfig, t_rh: u64) -> Vec<PowerProfile> {
 /// (positive = we save).
 pub fn saving_versus(config: &DramConfig, t_rh: u64, other: &str) -> f64 {
     let table = power_table(config, t_rh);
-    let dd = table.iter().find(|p| p.name == "DNN-Defender").expect("dd row");
+    let dd = table
+        .iter()
+        .find(|p| p.name == "DNN-Defender")
+        .expect("dd row");
     let o = table.iter().find(|p| p.name == other).expect("other row");
     1.0 - dd.defense_energy_pj / o.defense_energy_pj
 }
@@ -112,11 +115,22 @@ mod tests {
     fn dd_saves_a_lot_versus_srs() {
         let config = DramConfig::lpddr4_small();
         let table = power_table(&config, 1000);
-        let dd = &table.iter().find(|p| p.name == "DNN-Defender").unwrap().defense_energy_pj;
-        let srs = &table.iter().find(|p| p.name == "SRS").unwrap().defense_energy_pj;
+        let dd = &table
+            .iter()
+            .find(|p| p.name == "DNN-Defender")
+            .unwrap()
+            .defense_energy_pj;
+        let srs = &table
+            .iter()
+            .find(|p| p.name == "SRS")
+            .unwrap()
+            .defense_energy_pj;
         let factor = srs / dd;
         // Paper: "a significant improvement (3.4x compared with SRS)".
-        assert!(factor > 2.0 && factor < 6.0, "SRS/DD energy factor = {factor}");
+        assert!(
+            factor > 2.0 && factor < 6.0,
+            "SRS/DD energy factor = {factor}"
+        );
     }
 
     #[test]
@@ -124,7 +138,10 @@ mod tests {
         let config = DramConfig::lpddr4_small();
         let p1k = power_table(&config, 1000)[0].defense_power_mw;
         let p8k = power_table(&config, 8000)[0].defense_power_mw;
-        assert!(p8k < p1k, "fewer attack windows should mean less defense power");
+        assert!(
+            p8k < p1k,
+            "fewer attack windows should mean less defense power"
+        );
     }
 
     #[test]

@@ -46,7 +46,11 @@ impl ProtectionPlan {
     /// Build a plan from an explicit priority-ordered bit list.
     pub fn from_bits(bits: Vec<BitAddr>, profile: ProfileReport, map: &WeightMap) -> Self {
         let target_rows = map.target_rows(bits.iter());
-        ProtectionPlan { secured_bits: bits, target_rows, profile }
+        ProtectionPlan {
+            secured_bits: bits,
+            target_rows,
+            profile,
+        }
     }
 
     /// Number of secured bits.
@@ -64,7 +68,11 @@ impl ProtectionPlan {
     pub fn truncated(&self, n: usize, map: &WeightMap) -> ProtectionPlan {
         let bits: Vec<BitAddr> = self.secured_bits.iter().take(n).copied().collect();
         let target_rows = map.target_rows(bits.iter());
-        ProtectionPlan { secured_bits: bits, target_rows, profile: self.profile.clone() }
+        ProtectionPlan {
+            secured_bits: bits,
+            target_rows,
+            profile: self.profile.clone(),
+        }
     }
 
     /// Fraction of the model's bits that are secured (the paper quotes
@@ -104,7 +112,13 @@ mod tests {
             base_width: 4,
         };
         let mut net = build_model(&config, &mut rng);
-        let tc = TrainConfig { epochs: 6, batch_size: 32, lr: 0.1, momentum: 0.9, weight_decay: 0.0 };
+        let tc = TrainConfig {
+            epochs: 6,
+            batch_size: 32,
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        };
         train(&mut net, &ds, tc, &mut rng);
         let model = QModel::from_network(net);
         let batch = ds.attack_batch(48, &mut rng);
@@ -117,7 +131,11 @@ mod tests {
     fn plan_profiles_and_restores() {
         let (mut model, data, map) = victim();
         let snap = model.snapshot_q();
-        let cfg = AttackConfig { target_accuracy: 0.3, max_flips: 10, ..Default::default() };
+        let cfg = AttackConfig {
+            target_accuracy: 0.3,
+            max_flips: 10,
+            ..Default::default()
+        };
         let plan = ProtectionPlan::profile(&mut model, &data, &cfg, 2, &map);
         assert_eq!(model.hamming_from(&snap), 0);
         assert!(plan.secured_bit_count() > 0);
@@ -128,19 +146,30 @@ mod tests {
     #[test]
     fn truncation_shrinks_rows_monotonically() {
         let (mut model, data, map) = victim();
-        let cfg = AttackConfig { target_accuracy: 0.3, max_flips: 10, ..Default::default() };
+        let cfg = AttackConfig {
+            target_accuracy: 0.3,
+            max_flips: 10,
+            ..Default::default()
+        };
         let plan = ProtectionPlan::profile(&mut model, &data, &cfg, 3, &map);
         let small = plan.truncated(3, &map);
         assert_eq!(small.secured_bit_count(), 3.min(plan.secured_bit_count()));
         assert!(small.target_rows.len() <= plan.target_rows.len());
         // Priority prefix property.
-        assert_eq!(&plan.secured_bits[..small.secured_bit_count()], &small.secured_bits[..]);
+        assert_eq!(
+            &plan.secured_bits[..small.secured_bit_count()],
+            &small.secured_bits[..]
+        );
     }
 
     #[test]
     fn secured_fraction_is_small() {
         let (mut model, data, map) = victim();
-        let cfg = AttackConfig { target_accuracy: 0.3, max_flips: 10, ..Default::default() };
+        let cfg = AttackConfig {
+            target_accuracy: 0.3,
+            max_flips: 10,
+            ..Default::default()
+        };
         let plan = ProtectionPlan::profile(&mut model, &data, &cfg, 2, &map);
         let frac = plan.secured_fraction(&model);
         assert!(frac > 0.0 && frac < 0.05, "fraction {frac}");

@@ -27,7 +27,11 @@ pub struct SwapSchedule {
 /// copies); `true` models the Fig. 6 pipeline.
 pub fn chain_schedule(n: u64, timing: &TimingParams, overlap: bool) -> SwapSchedule {
     if n == 0 {
-        return SwapSchedule { swaps: 0, row_clones: 0, latency: Nanos::ZERO };
+        return SwapSchedule {
+            swaps: 0,
+            row_clones: 0,
+            latency: Nanos::ZERO,
+        };
     }
     let copies = if overlap { 4 + 3 * (n - 1) } else { 4 * n };
     SwapSchedule {
@@ -41,7 +45,11 @@ pub fn chain_schedule(n: u64, timing: &TimingParams, overlap: bool) -> SwapSched
 /// in parallel (each bank runs its own pipelined chain).
 pub fn parallel_schedule(n: u64, banks: u64, timing: &TimingParams, overlap: bool) -> SwapSchedule {
     if n == 0 || banks == 0 {
-        return SwapSchedule { swaps: 0, row_clones: 0, latency: Nanos::ZERO };
+        return SwapSchedule {
+            swaps: 0,
+            row_clones: 0,
+            latency: Nanos::ZERO,
+        };
     }
     let base = n / banks;
     let extra = n % banks;
@@ -51,7 +59,11 @@ pub fn parallel_schedule(n: u64, banks: u64, timing: &TimingParams, overlap: boo
         let chain = base + u64::from(b < extra);
         row_clones += chain_schedule(chain, timing, overlap).row_clones;
     }
-    SwapSchedule { swaps: n, row_clones, latency: longest.latency }
+    SwapSchedule {
+        swaps: n,
+        row_clones,
+        latency: longest.latency,
+    }
 }
 
 #[cfg(test)]

@@ -84,7 +84,11 @@ impl SwapEngine {
             ));
         }
         let (bank, subarray) = (target.bank, target.subarray);
-        let random_addr = GlobalRowId { bank, subarray, row: random };
+        let random_addr = GlobalRowId {
+            bank,
+            subarray,
+            row: random,
+        };
 
         // Step 1: reserved <- random.
         mem.row_clone(bank, subarray, random, reserved)?;
@@ -108,7 +112,11 @@ impl SwapEngine {
 
         self.swaps += 1;
         self.row_clones += u64::from(clones);
-        Ok(SwapOutcome { new_target_row: random_addr, vacated_row: target, row_clones: clones })
+        Ok(SwapOutcome {
+            new_target_row: random_addr,
+            vacated_row: target,
+            row_clones: clones,
+        })
     }
 }
 
@@ -128,14 +136,15 @@ mod tests {
             .push(Linear::kaiming("fc1", 64, 32, &mut rng));
         let model = QModel::from_network(net);
         let config = DramConfig::lpddr4_small();
-        let mut mem = MemoryController::new(config.clone());
+        let mut mem = MemoryController::try_new(config.clone()).expect("valid config");
         let map = WeightMap::layout(&model, &config);
         // Deploy weights into DRAM.
         for slot in map.slots() {
             let bytes = model.qtensor(slot.param).to_bytes();
             let mut row = vec![0u8; config.row_bytes];
             row[..slot.len].copy_from_slice(&bytes[slot.offset..slot.offset + slot.len]);
-            mem.poke_row(slot.row.bank, slot.row.subarray, slot.row.row, &row).unwrap();
+            mem.poke_row(slot.row.bank, slot.row.subarray, slot.row.row, &row)
+                .unwrap();
         }
         (mem, map, model)
     }
@@ -143,7 +152,11 @@ mod tests {
     #[test]
     fn swap_moves_data_and_updates_map() {
         let (mut mem, mut map, model) = setup();
-        let addr = BitAddr { param: 0, index: 0, bit: 0 };
+        let addr = BitAddr {
+            param: 0,
+            index: 0,
+            bit: 0,
+        };
         let before = map.locate(addr);
         let target_data = mem
             .peek_row(before.row.bank, before.row.subarray, before.row.row)
@@ -173,14 +186,17 @@ mod tests {
     #[test]
     fn swap_refreshes_target_disturbance() {
         let (mut mem, mut map, _model) = setup();
-        let addr = BitAddr { param: 0, index: 0, bit: 0 };
+        let addr = BitAddr {
+            param: 0,
+            index: 0,
+            bit: 0,
+        };
         let loc = map.locate(addr);
-        let aggressor = dd_dram::rowhammer::preferred_aggressor(
-            loc.row,
-            mem.config().rows_per_subarray,
-        );
+        let aggressor =
+            dd_dram::rowhammer::preferred_aggressor(loc.row, mem.config().rows_per_subarray);
         // Hammer almost to threshold.
-        mem.hammer(aggressor, mem.config().rowhammer_threshold - 1).unwrap();
+        mem.hammer(aggressor, mem.config().rowhammer_threshold - 1)
+            .unwrap();
         assert!(mem.disturbance(loc.row) > 0);
 
         let sub_rows = mem.config().rows_per_subarray;
@@ -204,7 +220,11 @@ mod tests {
     #[test]
     fn four_copies_with_non_target() {
         let (mut mem, mut map, _model) = setup();
-        let addr = BitAddr { param: 0, index: 0, bit: 0 };
+        let addr = BitAddr {
+            param: 0,
+            index: 0,
+            bit: 0,
+        };
         let loc = map.locate(addr);
         let sub_rows = mem.config().rows_per_subarray;
         let mut engine = SwapEngine::new();
@@ -225,7 +245,11 @@ mod tests {
     #[test]
     fn rejects_degenerate_rows() {
         let (mut mem, mut map, _model) = setup();
-        let addr = BitAddr { param: 0, index: 0, bit: 0 };
+        let addr = BitAddr {
+            param: 0,
+            index: 0,
+            bit: 0,
+        };
         let loc = map.locate(addr);
         let mut engine = SwapEngine::new();
         let err = engine.four_step_swap(
@@ -242,7 +266,11 @@ mod tests {
     #[test]
     fn double_swap_returns_target_home() {
         let (mut mem, mut map, _model) = setup();
-        let addr = BitAddr { param: 0, index: 5, bit: 3 };
+        let addr = BitAddr {
+            param: 0,
+            index: 5,
+            bit: 3,
+        };
         let home = map.locate(addr);
         let sub_rows = mem.config().rows_per_subarray;
         let mut engine = SwapEngine::new();
@@ -282,7 +310,11 @@ mod tests {
         let mut engine = SwapEngine::new();
         // Swap three different target rows.
         for index in [0usize, 64, 128] {
-            let loc = map.locate(BitAddr { param: 0, index, bit: 0 });
+            let loc = map.locate(BitAddr {
+                param: 0,
+                index,
+                bit: 0,
+            });
             engine
                 .four_step_swap(
                     &mut mem,

@@ -1,101 +1,35 @@
 //! The integrated protected system: quantized model + DRAM + defense.
 //!
-//! [`ProtectedSystem`] deploys a [`QModel`]'s weights into simulated DRAM,
-//! holds the defender's [`ProtectionPlan`], and exposes the attacker's
-//! primitive — [`ProtectedSystem::attack_bit`] — which plays out the
-//! RowHammer race between the hammering campaign and the four-step swap
-//! on the actual simulated device.
+//! [`ProtectedSystem`] deploys a [`QModel`]'s weights into simulated DRAM
+//! and is generic over the installed [`DefenseMechanism`]: the default is
+//! DNN-Defender's swap engine ([`DnnDefenderDefense`]), but any mechanism
+//! — a baseline mitigation, an undefended pass-through, or a boxed
+//! [`crate::defense::DynDefense`] — can guard the same deployment. The
+//! attacker's primitive, [`ProtectedSystem::attack_bit`], plays out the
+//! RowHammer race between the hammering campaign and the installed
+//! defense on the actual simulated device.
 
-use std::collections::HashSet;
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
-
-use dd_dram::{
-    rowhammer::preferred_aggressor, DramConfig, DramError, GlobalRowId, MemoryController,
-    RowInSubarray,
-};
+use dd_dram::{DramConfig, DramError, MemoryController};
 use dd_nn::Tensor;
 use dd_qnn::{BitAddr, QModel};
 
+use crate::defense::{
+    CampaignView, DefenseConfig, DefenseMechanism, DefenseStats, DnnDefenderDefense, FlipAttempt,
+};
 use crate::mapping::WeightMap;
-use crate::swap::SwapEngine;
-
-/// Defense policy knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct DefenseConfig {
-    /// Master switch: disabled = baseline undefended DRAM.
-    pub enabled: bool,
-    /// Refresh the opposite-side victim row with swap step 4.
-    pub refresh_non_targets: bool,
-    /// Optional cap on swaps per refresh window (per device). When the
-    /// number of protected-row swaps in one window would exceed it, the
-    /// defense misses and the flip lands — modelling the `N_s` capacity
-    /// bound of §5.1. `None` = uncapped.
-    pub swap_budget_per_window: Option<u64>,
-}
-
-impl Default for DefenseConfig {
-    fn default() -> Self {
-        DefenseConfig { enabled: true, refresh_non_targets: true, swap_budget_per_window: None }
-    }
-}
-
-/// Outcome of one attacker campaign against one bit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum FlipAttempt {
-    /// The bit flipped in DRAM (and the live model).
-    Landed,
-    /// DNN-Defender swapped the victim row mid-window; the campaign
-    /// never reached `T_RH` on any single location.
-    Resisted,
-    /// The defense was enabled but out of window budget; the flip landed.
-    DefenseMissed,
-}
-
-impl FlipAttempt {
-    /// Whether the model was corrupted.
-    pub fn landed(self) -> bool {
-        !matches!(self, FlipAttempt::Resisted)
-    }
-}
-
-/// Defense bookkeeping.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct DefenseStats {
-    /// Four-step swaps performed.
-    pub swaps: u64,
-    /// RowClone copies issued by the defense.
-    pub row_clones: u64,
-    /// Attacker campaigns neutralized.
-    pub flips_resisted: u64,
-    /// Attacker campaigns that corrupted memory.
-    pub flips_landed: u64,
-    /// Times the window budget forced a miss.
-    pub defense_misses: u64,
-    /// Non-target victim rows refreshed opportunistically.
-    pub non_target_refreshes: u64,
-}
 
 /// A quantized model deployed in defended DRAM.
 #[derive(Debug)]
-pub struct ProtectedSystem {
+pub struct ProtectedSystem<D: DefenseMechanism = DnnDefenderDefense> {
     mem: MemoryController,
     model: QModel,
     map: WeightMap,
-    engine: SwapEngine,
-    defense: DefenseConfig,
-    protected_bits: HashSet<BitAddr>,
-    protected_rows: HashSet<GlobalRowId>,
-    stats: DefenseStats,
-    rng: StdRng,
-    window_epoch: u64,
-    swaps_this_window: u64,
+    defense: D,
 }
 
-impl ProtectedSystem {
-    /// Deploy a model into a fresh device.
+impl ProtectedSystem<DnnDefenderDefense> {
+    /// Deploy a model into a fresh device guarded by DNN-Defender (the
+    /// paper's configuration).
     ///
     /// # Errors
     ///
@@ -106,6 +40,23 @@ impl ProtectedSystem {
         dram_config: DramConfig,
         defense: DefenseConfig,
         seed: u64,
+    ) -> Result<Self, DramError> {
+        ProtectedSystem::deploy_with(model, dram_config, DnnDefenderDefense::new(defense, seed))
+    }
+}
+
+impl<D: DefenseMechanism> ProtectedSystem<D> {
+    /// Deploy a model into a fresh device guarded by an arbitrary
+    /// [`DefenseMechanism`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DramError`] if the device configuration is invalid or
+    /// too small for the model.
+    pub fn deploy_with(
+        model: QModel,
+        dram_config: DramConfig,
+        defense: D,
     ) -> Result<Self, DramError> {
         let mut mem = MemoryController::try_new(dram_config.clone())?;
         let map = WeightMap::layout(&model, &dram_config);
@@ -119,42 +70,47 @@ impl ProtectedSystem {
             mem,
             model,
             map,
-            engine: SwapEngine::new(),
             defense,
-            protected_bits: HashSet::new(),
-            protected_rows: HashSet::new(),
-            stats: DefenseStats::default(),
-            rng: StdRng::seed_from_u64(seed),
-            window_epoch: 0,
-            swaps_this_window: 0,
         })
+    }
+
+    /// Run the defense's deployment hook (priority profiling) against the
+    /// deployed model with the attacker-grade `data`.
+    pub fn deploy_defense(
+        &mut self,
+        data: &dd_attack::AttackData,
+        config: &dd_attack::AttackConfig,
+    ) {
+        self.defense.on_deploy(&mut self.model, data, config);
     }
 
     /// Install the secured-bit set (from a
     /// [`crate::priority::ProtectionPlan`]).
     pub fn protect(&mut self, bits: impl IntoIterator<Item = BitAddr>) {
-        self.protected_bits = bits.into_iter().collect();
-        self.recompute_protected_rows();
+        let bits: Vec<BitAddr> = bits.into_iter().collect();
+        self.defense.secure_bits(&bits, Some(&self.map));
     }
 
-    fn recompute_protected_rows(&mut self) {
-        self.protected_rows =
-            self.map.target_rows(self.protected_bits.iter()).into_iter().collect();
+    /// The installed defense.
+    pub fn defense(&self) -> &D {
+        &self.defense
     }
 
-    /// The secured bits currently installed.
-    pub fn protected_bits(&self) -> &HashSet<BitAddr> {
-        &self.protected_bits
+    /// Mutable access to the installed defense.
+    pub fn defense_mut(&mut self) -> &mut D {
+        &mut self.defense
     }
 
     /// Rows currently classified as protection targets.
     pub fn protected_row_count(&self) -> usize {
-        self.protected_rows.len()
+        self.defense
+            .secured_bits()
+            .map_or(0, |bits| self.map.target_rows(bits.iter()).len())
     }
 
     /// Defense statistics so far.
     pub fn stats(&self) -> DefenseStats {
-        self.stats
+        self.defense.stats()
     }
 
     /// The simulated memory (for inspecting stats / timing).
@@ -172,150 +128,57 @@ impl ProtectedSystem {
         self.model.accuracy(images, labels)
     }
 
-    /// Whether a bit currently lies in a protected target row.
+    /// Whether a bit currently lies under the installed defense's
+    /// protection.
     pub fn is_protected(&self, addr: BitAddr) -> bool {
-        self.defense.enabled && self.protected_rows.contains(&self.map.locate(addr).row)
+        self.defense.is_secured(addr, Some(&self.map))
     }
 
-    fn window_budget_available(&mut self) -> bool {
-        let epoch = self.mem.epoch();
-        if epoch != self.window_epoch {
-            self.window_epoch = epoch;
-            self.swaps_this_window = 0;
-        }
-        match self.defense.swap_budget_per_window {
-            Some(budget) => self.swaps_this_window < budget,
-            None => true,
-        }
-    }
-
-    /// Pick a random destination row in the same subarray, avoiding the
-    /// target and (if any) the non-target row, per Algorithm 1 line 3.
-    fn pick_random_row(
-        &mut self,
-        target: GlobalRowId,
-        avoid: Option<RowInSubarray>,
-    ) -> RowInSubarray {
-        let data_rows = self.mem.config().data_rows_per_subarray();
-        loop {
-            let candidate = RowInSubarray(self.rng.gen_range(0..data_rows));
-            if candidate != target.row && Some(candidate) != avoid {
-                return candidate;
-            }
-        }
-    }
-
-    /// One full attacker campaign against `addr`: hammer the adjacent
-    /// aggressor up to `T_RH` activations and attempt the flip.
-    ///
-    /// With the defense enabled and the row protected, DNN-Defender's
-    /// periodic swap fires mid-window: the victim data moves to a random
-    /// row (refreshing it), the attacker re-aims at the new location (it
-    /// can track the target, §4) and continues hammering — but no single
-    /// physical row ever accumulates `T_RH` disturbance, so the flip is
-    /// resisted.
+    /// One full attacker campaign against `addr`: the installed defense
+    /// plays the RowHammer race on the simulated device and decides the
+    /// flip's fate; a landed flip corrupts the live model exactly as it
+    /// corrupted DRAM.
     ///
     /// # Errors
     ///
     /// Returns a [`DramError`] on invalid addresses (should not happen for
     /// bits of the deployed model).
     pub fn attack_bit(&mut self, addr: BitAddr) -> Result<FlipAttempt, DramError> {
-        let t_rh = self.mem.config().rowhammer_threshold;
-        let rows_per_subarray = self.mem.config().rows_per_subarray;
         let loc = self.map.locate(addr);
-        let protected = self.is_protected(addr);
-
-        if !protected {
-            let aggressor = preferred_aggressor(loc.row, rows_per_subarray);
-            self.mem.hammer(aggressor, t_rh)?;
-            let outcome = self.mem.attempt_flip(loc.row, &[loc.bit_in_row])?;
-            return if outcome.flipped() {
-                self.model.flip_bit(addr);
-                self.stats.flips_landed += 1;
+        let view = CampaignView {
+            mem: &mut self.mem,
+            map: Some(&mut self.map),
+            victim: loc.row,
+            bit_in_row: loc.bit_in_row,
+            addr,
+        };
+        let outcome = self.defense.filter_flip(view)?;
+        if outcome.landed() {
+            self.model.flip_bit(addr);
+            #[cfg(debug_assertions)]
+            {
+                let loc = self.map.locate(addr);
                 debug_assert_eq!(
-                    self.mem.peek_row(loc.row.bank, loc.row.subarray, loc.row.row)?
-                        [loc.bit_in_row / 8],
+                    self.mem
+                        .peek_row(loc.row.bank, loc.row.subarray, loc.row.row)?[loc.bit_in_row / 8],
                     self.model.qtensor(addr.param).get(addr.index) as u8,
                     "DRAM and model diverged"
                 );
-                Ok(FlipAttempt::Landed)
-            } else {
-                // Auto-refresh happened to rescue the row (window rolled).
-                self.stats.flips_resisted += 1;
-                Ok(FlipAttempt::Resisted)
-            };
-        }
-
-        if !self.window_budget_available() {
-            // Capacity exceeded: the defense cannot reach this row in time.
-            self.stats.defense_misses += 1;
-            let aggressor = preferred_aggressor(loc.row, rows_per_subarray);
-            self.mem.hammer(aggressor, t_rh)?;
-            let outcome = self.mem.attempt_flip(loc.row, &[loc.bit_in_row])?;
-            if outcome.flipped() {
-                self.model.flip_bit(addr);
-                self.stats.flips_landed += 1;
-                return Ok(FlipAttempt::DefenseMissed);
             }
-            self.stats.flips_resisted += 1;
-            return Ok(FlipAttempt::Resisted);
         }
+        Ok(outcome)
+    }
 
-        // The attacker hammers; the defender's swap fires before the
-        // window closes (it schedules one swap per protected row per
-        // window, §5.1).
-        let aggressor = preferred_aggressor(loc.row, rows_per_subarray);
-        self.mem.hammer(aggressor, t_rh / 2)?;
-
-        // Four-step swap: reserved <- random, random <- target,
-        // target_loc <- reserved, reserved <- non-target.
-        let reserved = RowInSubarray(self.mem.config().first_reserved_row());
-        let non_target = if self.defense.refresh_non_targets {
-            // The victim on the other side of the aggressor.
-            let other = if aggressor.row.0 + 1 < rows_per_subarray
-                && aggressor.row.0 + 1 != loc.row.row.0
-            {
-                Some(RowInSubarray(aggressor.row.0 + 1))
-            } else if aggressor.row.0 > 0 && aggressor.row.0 - 1 != loc.row.row.0 {
-                Some(RowInSubarray(aggressor.row.0 - 1))
-            } else {
-                None
-            };
-            other.filter(|r| r.0 < self.mem.config().data_rows_per_subarray())
-        } else {
-            None
-        };
-        let random = self.pick_random_row(loc.row, non_target);
-        let outcome = self.engine.four_step_swap(
-            &mut self.mem,
-            &mut self.map,
-            loc.row,
-            random,
-            reserved,
-            non_target,
-        )?;
-        self.swaps_this_window += 1;
-        self.stats.swaps += 1;
-        self.stats.row_clones += u64::from(outcome.row_clones);
-        if non_target.is_some() {
-            self.stats.non_target_refreshes += 1;
-        }
-        self.recompute_protected_rows();
-
-        // The attacker tracks the move and resumes hammering at the new
-        // location for the rest of its window.
-        let new_loc = self.map.locate(addr);
-        let new_aggressor = preferred_aggressor(new_loc.row, rows_per_subarray);
-        self.mem.hammer(new_aggressor, t_rh - t_rh / 2)?;
-        let outcome = self.mem.attempt_flip(new_loc.row, &[new_loc.bit_in_row])?;
-        if outcome.flipped() {
-            // Should not happen: no location saw a full window.
-            self.model.flip_bit(addr);
-            self.stats.flips_landed += 1;
-            return Ok(FlipAttempt::Landed);
-        }
-        self.stats.flips_resisted += 1;
-        Ok(FlipAttempt::Resisted)
+    /// Advance simulated time by one refresh interval and notify the
+    /// defense — the gap between two distinct attacker campaigns in the
+    /// common evaluation protocol. Without it, consecutive campaigns
+    /// against one row accumulate disturbance inside a single window,
+    /// which only the strictly-stronger threat model of
+    /// [`ProtectedSystem::run_campaign`] assumes.
+    pub fn next_window(&mut self) {
+        self.mem.advance(self.mem.config().timing.t_ref);
+        let epoch = self.mem.epoch();
+        self.defense.on_hammer_window(epoch);
     }
 
     /// Replay a priority-ordered attack bit sequence (e.g. the flips a
@@ -333,6 +196,7 @@ impl ProtectedSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::defense::Undefended;
     use dd_nn::data::{Dataset, SyntheticSpec};
     use dd_nn::init::seeded_rng;
     use dd_nn::train::{train, TrainConfig};
@@ -359,22 +223,35 @@ mod tests {
             base_width: 4,
         };
         let mut net = build_model(&config, &mut rng);
-        let tc = TrainConfig { epochs: 6, batch_size: 32, lr: 0.1, momentum: 0.9, weight_decay: 0.0 };
+        let tc = TrainConfig {
+            epochs: 6,
+            batch_size: 32,
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        };
         train(&mut net, &ds, tc, &mut rng);
         (QModel::from_network(net), ds)
     }
 
     fn system(defense: DefenseConfig) -> (ProtectedSystem, Dataset) {
         let (model, ds) = victim();
-        let sys = ProtectedSystem::deploy(model, DramConfig::lpddr4_small(), defense, 9)
-            .expect("deploy");
+        let sys =
+            ProtectedSystem::deploy(model, DramConfig::lpddr4_small(), defense, 9).expect("deploy");
         (sys, ds)
     }
 
     #[test]
     fn undefended_flip_lands_and_corrupts_model() {
-        let (mut sys, ds) = system(DefenseConfig { enabled: false, ..Default::default() });
-        let addr = BitAddr { param: 0, index: 0, bit: 7 };
+        let (mut sys, ds) = system(DefenseConfig {
+            enabled: false,
+            ..Default::default()
+        });
+        let addr = BitAddr {
+            param: 0,
+            index: 0,
+            bit: 7,
+        };
         let before = sys.model_mut().qtensor(0).get(0);
         let attempt = sys.attack_bit(addr).unwrap();
         assert_eq!(attempt, FlipAttempt::Landed);
@@ -386,13 +263,17 @@ mod tests {
     #[test]
     fn protected_bit_is_resisted() {
         let (mut sys, _ds) = system(DefenseConfig::default());
-        let addr = BitAddr { param: 0, index: 0, bit: 7 };
+        let addr = BitAddr {
+            param: 0,
+            index: 0,
+            bit: 7,
+        };
         sys.protect([addr]);
         let before = sys.model_mut().qtensor(0).get(0);
         let attempt = sys.attack_bit(addr).unwrap();
         assert_eq!(attempt, FlipAttempt::Resisted);
         assert_eq!(sys.model_mut().qtensor(0).get(0), before);
-        assert_eq!(sys.stats().swaps, 1);
+        assert_eq!(sys.stats().defense_ops, 1);
         assert!(sys.stats().row_clones >= 3);
     }
 
@@ -400,8 +281,16 @@ mod tests {
     fn protection_covers_whole_row() {
         let (mut sys, _ds) = system(DefenseConfig::default());
         // Protecting bit 0 of weight 0 protects every bit in that row.
-        sys.protect([BitAddr { param: 0, index: 0, bit: 0 }]);
-        let same_row = BitAddr { param: 0, index: 1, bit: 7 };
+        sys.protect([BitAddr {
+            param: 0,
+            index: 0,
+            bit: 0,
+        }]);
+        let same_row = BitAddr {
+            param: 0,
+            index: 1,
+            bit: 7,
+        };
         assert!(sys.is_protected(same_row));
         let attempt = sys.attack_bit(same_row).unwrap();
         assert_eq!(attempt, FlipAttempt::Resisted);
@@ -410,23 +299,36 @@ mod tests {
     #[test]
     fn repeated_attacks_on_protected_bit_all_resist() {
         let (mut sys, _ds) = system(DefenseConfig::default());
-        let addr = BitAddr { param: 0, index: 3, bit: 7 };
+        let addr = BitAddr {
+            param: 0,
+            index: 3,
+            bit: 7,
+        };
         sys.protect([addr]);
         for _ in 0..5 {
             assert_eq!(sys.attack_bit(addr).unwrap(), FlipAttempt::Resisted);
         }
-        assert_eq!(sys.stats().swaps, 5);
+        assert_eq!(sys.stats().defense_ops, 5);
         assert_eq!(sys.stats().flips_resisted, 5);
         assert_eq!(sys.stats().flips_landed, 0);
+        assert!(sys.stats().invariants_hold());
     }
 
     #[test]
     fn unprotected_bits_still_land_when_defense_is_on() {
         let (mut sys, _ds) = system(DefenseConfig::default());
-        sys.protect([BitAddr { param: 0, index: 0, bit: 7 }]);
+        sys.protect([BitAddr {
+            param: 0,
+            index: 0,
+            bit: 7,
+        }]);
         // A bit in a different row (different slot) is not protected.
         let row_bytes = sys.memory().config().row_bytes;
-        let far = BitAddr { param: 0, index: row_bytes * 2, bit: 7 };
+        let far = BitAddr {
+            param: 0,
+            index: row_bytes * 2,
+            bit: 7,
+        };
         assert!(!sys.is_protected(far));
         assert_eq!(sys.attack_bit(far).unwrap(), FlipAttempt::Landed);
     }
@@ -437,7 +339,11 @@ mod tests {
             swap_budget_per_window: Some(0),
             ..Default::default()
         });
-        let addr = BitAddr { param: 0, index: 0, bit: 7 };
+        let addr = BitAddr {
+            param: 0,
+            index: 0,
+            bit: 7,
+        };
         sys.protect([addr]);
         let attempt = sys.attack_bit(addr).unwrap();
         assert_eq!(attempt, FlipAttempt::DefenseMissed);
@@ -446,7 +352,10 @@ mod tests {
 
     #[test]
     fn campaign_accuracy_drops_only_when_undefended() {
-        let (mut sys_off, ds) = system(DefenseConfig { enabled: false, ..Default::default() });
+        let (mut sys_off, ds) = system(DefenseConfig {
+            enabled: false,
+            ..Default::default()
+        });
         let (mut sys_on, _) = system(DefenseConfig::default());
         let eval = ds.test.take(48);
 
@@ -455,7 +364,11 @@ mod tests {
         let last = sys_off.model_mut().num_qparams() - 1;
         let weights = sys_off.model_mut().qtensor(last).len();
         let bits: Vec<BitAddr> = (0..30)
-            .map(|i| BitAddr { param: last, index: (i * 7) % weights, bit: 7 })
+            .map(|i| BitAddr {
+                param: last,
+                index: (i * 7) % weights,
+                bit: 7,
+            })
             .collect();
         sys_on.protect(bits.clone());
 
@@ -472,7 +385,11 @@ mod tests {
     #[test]
     fn swap_keeps_model_and_dram_coherent() {
         let (mut sys, _ds) = system(DefenseConfig::default());
-        let addr = BitAddr { param: 0, index: 10, bit: 2 };
+        let addr = BitAddr {
+            param: 0,
+            index: 10,
+            bit: 2,
+        };
         sys.protect([addr]);
         for _ in 0..3 {
             sys.attack_bit(addr).unwrap();
@@ -486,6 +403,26 @@ mod tests {
             .peek_row(loc.row.bank, loc.row.subarray, loc.row.row)
             .unwrap()
             .to_vec();
-        assert_eq!(&row[..slot.len], &expected[slot.offset..slot.offset + slot.len]);
+        assert_eq!(
+            &row[..slot.len],
+            &expected[slot.offset..slot.offset + slot.len]
+        );
+    }
+
+    #[test]
+    fn generic_system_accepts_any_mechanism() {
+        let (model, _ds) = victim();
+        let mut sys =
+            ProtectedSystem::deploy_with(model, DramConfig::lpddr4_small(), Undefended::new())
+                .expect("deploy");
+        let addr = BitAddr {
+            param: 0,
+            index: 0,
+            bit: 7,
+        };
+        assert!(!sys.is_protected(addr));
+        assert_eq!(sys.attack_bit(addr).unwrap(), FlipAttempt::Landed);
+        assert_eq!(sys.defense().name(), "Baseline (undefended)");
+        assert!(sys.stats().invariants_hold());
     }
 }

@@ -108,7 +108,10 @@ impl AddressMapping {
         let row = a & Self::mask(self.row_bits);
         // The hash is an involution: decode applies the same XOR.
         let bank = self.hash_bank(raw_bank, row) as usize;
-        Ok(DecodedAddr { row: GlobalRowId::new(bank, subarray, row as usize), column })
+        Ok(DecodedAddr {
+            row: GlobalRowId::new(bank, subarray, row as usize),
+            column,
+        })
     }
 
     /// Encode coordinates back to a physical address (inverse of
@@ -126,7 +129,9 @@ impl AddressMapping {
     /// The physical addresses of a row's two RowHammer victims — what a
     /// DRAMA-style attacker computes once it has the mapping.
     pub fn victim_addrs(&self, addr: PhysAddr, rows_per_subarray: usize) -> Vec<PhysAddr> {
-        let Ok(decoded) = self.decode(addr) else { return Vec::new() };
+        let Ok(decoded) = self.decode(addr) else {
+            return Vec::new();
+        };
         decoded
             .row
             .row
@@ -204,7 +209,10 @@ mod tests {
         let m = mapping(false);
         let config = DramConfig::lpddr4_small();
         // Pick a mid-subarray row.
-        let base = m.encode(DecodedAddr { row: GlobalRowId::new(3, 2, 10), column: 5 });
+        let base = m.encode(DecodedAddr {
+            row: GlobalRowId::new(3, 2, 10),
+            column: 5,
+        });
         let victims = m.victim_addrs(base, config.rows_per_subarray);
         assert_eq!(victims.len(), 2);
         for v in victims {

@@ -37,7 +37,10 @@ impl Bank {
     pub fn subarray(&self, id: SubarrayId) -> Result<&Subarray, DramError> {
         self.subarrays
             .get(id.0)
-            .ok_or(DramError::SubarrayOutOfRange { subarray: id, subarrays: self.subarrays.len() })
+            .ok_or(DramError::SubarrayOutOfRange {
+                subarray: id,
+                subarrays: self.subarrays.len(),
+            })
     }
 
     /// Mutable subarray access.
@@ -49,7 +52,10 @@ impl Bank {
         let n = self.subarrays.len();
         self.subarrays
             .get_mut(id.0)
-            .ok_or(DramError::SubarrayOutOfRange { subarray: id, subarrays: n })
+            .ok_or(DramError::SubarrayOutOfRange {
+                subarray: id,
+                subarrays: n,
+            })
     }
 }
 

@@ -56,7 +56,12 @@ pub struct CommandTrace {
 impl CommandTrace {
     /// Create a trace retaining up to `capacity` most recent commands.
     pub fn new(capacity: usize) -> Self {
-        CommandTrace { buf: Vec::with_capacity(capacity.min(1024)), capacity, head: 0, issued: 0 }
+        CommandTrace {
+            buf: Vec::with_capacity(capacity.min(1024)),
+            capacity,
+            head: 0,
+            issued: 0,
+        }
     }
 
     /// Record a command.
@@ -111,7 +116,12 @@ mod tests {
     use super::*;
 
     fn cmd(kind: CommandKind, t: u128) -> DramCommand {
-        DramCommand { kind, target: GlobalRowId::new(0, 0, 0), aux: None, at: Nanos(t) }
+        DramCommand {
+            kind,
+            target: GlobalRowId::new(0, 0, 0),
+            aux: None,
+            at: Nanos(t),
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::timing::Nanos;
 /// use dd_dram::{DramConfig, MemoryController, BankId, SubarrayId, RowInSubarray};
 ///
 /// # fn main() -> Result<(), dd_dram::DramError> {
-/// let mut mem = MemoryController::new(DramConfig::lpddr4_small());
+/// let mut mem = MemoryController::try_new(DramConfig::lpddr4_small())?;
 /// let (b, s) = (BankId(0), SubarrayId(0));
 ///
 /// // A victim row with data; the attacker hammers its neighbour.
@@ -50,15 +50,10 @@ pub struct MemoryController {
 impl MemoryController {
     /// Build a controller over a freshly zeroed device.
     ///
-    /// # Panics
-    ///
-    /// Panics if `config` fails [`DramConfig::validate`]; use
-    /// [`MemoryController::try_new`] for a fallible constructor.
-    pub fn new(config: DramConfig) -> Self {
-        MemoryController::try_new(config).expect("invalid dram configuration")
-    }
-
-    /// Fallible constructor.
+    /// This is the single construction path: configurations are validated
+    /// and the error surfaced, never panicked over. (An infallible `new`
+    /// used to exist; it was removed so that the two construction idioms
+    /// cannot drift apart again.)
     ///
     /// # Errors
     ///
@@ -67,7 +62,13 @@ impl MemoryController {
     pub fn try_new(config: DramConfig) -> Result<Self, DramError> {
         config.validate()?;
         let banks = (0..config.banks)
-            .map(|_| Bank::new(config.subarrays_per_bank, config.rows_per_subarray, config.row_bytes))
+            .map(|_| {
+                Bank::new(
+                    config.subarrays_per_bank,
+                    config.rows_per_subarray,
+                    config.row_bytes,
+                )
+            })
             .collect();
         let rh_model = RowHammerModel::from_config(&config);
         Ok(MemoryController {
@@ -118,16 +119,26 @@ impl MemoryController {
 
     fn bank_mut(&mut self, bank: BankId) -> Result<&mut Bank, DramError> {
         let n = self.banks.len();
-        self.banks.get_mut(bank.0).ok_or(DramError::BankOutOfRange { bank, banks: n })
+        self.banks
+            .get_mut(bank.0)
+            .ok_or(DramError::BankOutOfRange { bank, banks: n })
     }
 
     fn bank_ref(&self, bank: BankId) -> Result<&Bank, DramError> {
-        self.banks.get(bank.0).ok_or(DramError::BankOutOfRange { bank, banks: self.banks.len() })
+        self.banks.get(bank.0).ok_or(DramError::BankOutOfRange {
+            bank,
+            banks: self.banks.len(),
+        })
     }
 
     fn record(&mut self, kind: CommandKind, target: GlobalRowId, aux: Option<GlobalRowId>) {
         let at = self.now;
-        self.trace.record(DramCommand { kind, target, aux, at });
+        self.trace.record(DramCommand {
+            kind,
+            target,
+            aux,
+            at,
+        });
     }
 
     /// Apply the RowHammer side effects of activating `row`: the row itself
@@ -147,7 +158,9 @@ impl MemoryController {
     /// Returns an out-of-range error for an invalid address.
     pub fn activate(&mut self, addr: GlobalRowId) -> Result<(), DramError> {
         self.config.check_addr(addr)?;
-        self.bank_mut(addr.bank)?.subarray_mut(addr.subarray)?.activate(addr.row)?;
+        self.bank_mut(addr.bank)?
+            .subarray_mut(addr.subarray)?
+            .activate(addr.row)?;
         self.now += self.config.timing.t_act;
         self.stats.acts += 1;
         self.stats.busy += self.config.timing.t_act;
@@ -168,7 +181,11 @@ impl MemoryController {
         self.stats.busy += self.config.timing.t_pre;
         self.record(
             CommandKind::Pre,
-            GlobalRowId { bank, subarray, row: RowInSubarray(0) },
+            GlobalRowId {
+                bank,
+                subarray,
+                row: RowInSubarray(0),
+            },
             None,
         );
         Ok(())
@@ -185,7 +202,11 @@ impl MemoryController {
         subarray: SubarrayId,
         row: RowInSubarray,
     ) -> Result<Vec<u8>, DramError> {
-        let addr = GlobalRowId { bank, subarray, row };
+        let addr = GlobalRowId {
+            bank,
+            subarray,
+            row,
+        };
         self.activate(addr)?;
         let data = self
             .bank_ref(bank)?
@@ -214,9 +235,15 @@ impl MemoryController {
         row: RowInSubarray,
         data: &[u8],
     ) -> Result<(), DramError> {
-        let addr = GlobalRowId { bank, subarray, row };
+        let addr = GlobalRowId {
+            bank,
+            subarray,
+            row,
+        };
         self.activate(addr)?;
-        self.bank_mut(bank)?.subarray_mut(subarray)?.write_row(row, data)?;
+        self.bank_mut(bank)?
+            .subarray_mut(subarray)?
+            .write_row(row, data)?;
         self.now += self.config.timing.t_wr;
         self.stats.writes += 1;
         self.stats.busy += self.config.timing.t_wr;
@@ -235,7 +262,11 @@ impl MemoryController {
         subarray: SubarrayId,
         row: RowInSubarray,
     ) -> Result<&[u8], DramError> {
-        Ok(self.bank_ref(bank)?.subarray(subarray)?.row(row)?.as_bytes())
+        Ok(self
+            .bank_ref(bank)?
+            .subarray(subarray)?
+            .row(row)?
+            .as_bytes())
     }
 
     /// Zero-time counterpart of [`MemoryController::write_row`] for test
@@ -247,7 +278,9 @@ impl MemoryController {
         row: RowInSubarray,
         data: &[u8],
     ) -> Result<(), DramError> {
-        self.bank_mut(bank)?.subarray_mut(subarray)?.write_row(row, data)
+        self.bank_mut(bank)?
+            .subarray_mut(subarray)?
+            .write_row(row, data)
     }
 
     /// RowClone: copy `src` → `dst` within one subarray (ACT–ACT–PRE,
@@ -264,11 +297,21 @@ impl MemoryController {
         src: RowInSubarray,
         dst: RowInSubarray,
     ) -> Result<(), DramError> {
-        let src_addr = GlobalRowId { bank, subarray, row: src };
-        let dst_addr = GlobalRowId { bank, subarray, row: dst };
+        let src_addr = GlobalRowId {
+            bank,
+            subarray,
+            row: src,
+        };
+        let dst_addr = GlobalRowId {
+            bank,
+            subarray,
+            row: dst,
+        };
         self.config.check_addr(src_addr)?;
         self.config.check_addr(dst_addr)?;
-        self.bank_mut(bank)?.subarray_mut(subarray)?.row_clone(src, dst)?;
+        self.bank_mut(bank)?
+            .subarray_mut(subarray)?
+            .row_clone(src, dst)?;
         self.now += self.config.timing.t_aap;
         self.stats.row_clones += 1;
         self.stats.acts += 2;
@@ -345,7 +388,10 @@ impl MemoryController {
         let epoch = self.epoch();
         let disturbance = self.hammer.disturbance(victim, epoch);
         if disturbance < self.rh_model.threshold {
-            return Ok(FlipOutcome::Resisted { disturbance, threshold: self.rh_model.threshold });
+            return Ok(FlipOutcome::Resisted {
+                disturbance,
+                threshold: self.rh_model.threshold,
+            });
         }
         let row = self
             .bank_mut(victim.bank)?
@@ -355,7 +401,9 @@ impl MemoryController {
             row.flip_bit(bit)?;
         }
         self.hammer.refresh(victim);
-        Ok(FlipOutcome::Flipped { bits: bits.to_vec() })
+        Ok(FlipOutcome::Flipped {
+            bits: bits.to_vec(),
+        })
     }
 
     /// Swap two rows of a subarray through a scratch row using three
@@ -386,7 +434,7 @@ mod tests {
     use super::*;
 
     fn mem() -> MemoryController {
-        MemoryController::new(DramConfig::lpddr4_small())
+        MemoryController::try_new(DramConfig::lpddr4_small()).expect("valid config")
     }
 
     fn gid(row: usize) -> GlobalRowId {
@@ -397,8 +445,11 @@ mod tests {
     fn read_back_what_was_written() {
         let mut m = mem();
         let data = vec![0x5A; 64];
-        m.write_row(BankId(0), SubarrayId(0), RowInSubarray(3), &data).unwrap();
-        let back = m.read_row(BankId(0), SubarrayId(0), RowInSubarray(3)).unwrap();
+        m.write_row(BankId(0), SubarrayId(0), RowInSubarray(3), &data)
+            .unwrap();
+        let back = m
+            .read_row(BankId(0), SubarrayId(0), RowInSubarray(3))
+            .unwrap();
         assert_eq!(back, data);
         assert!(m.stats().reads == 1 && m.stats().writes == 1);
     }
@@ -408,17 +459,26 @@ mod tests {
         let mut m = mem();
         m.hammer(gid(11), 4799).unwrap();
         let out = m.attempt_flip(gid(10), &[0]).unwrap();
-        assert_eq!(out, FlipOutcome::Resisted { disturbance: 4799, threshold: 4800 });
+        assert_eq!(
+            out,
+            FlipOutcome::Resisted {
+                disturbance: 4799,
+                threshold: 4800
+            }
+        );
     }
 
     #[test]
     fn hammer_at_threshold_flips() {
         let mut m = mem();
-        m.poke_row(BankId(0), SubarrayId(0), RowInSubarray(10), &[0u8; 64]).unwrap();
+        m.poke_row(BankId(0), SubarrayId(0), RowInSubarray(10), &[0u8; 64])
+            .unwrap();
         m.hammer(gid(11), 4800).unwrap();
         let out = m.attempt_flip(gid(10), &[5]).unwrap();
         assert!(out.flipped());
-        let row = m.peek_row(BankId(0), SubarrayId(0), RowInSubarray(10)).unwrap();
+        let row = m
+            .peek_row(BankId(0), SubarrayId(0), RowInSubarray(10))
+            .unwrap();
         assert_eq!(row[0], 1 << 5);
     }
 
@@ -447,7 +507,13 @@ mod tests {
         m.hammer(gid(11), 4000).unwrap();
         assert_eq!(m.disturbance(gid(10)), 4000);
         // Cloning the victim elsewhere recharges it.
-        m.row_clone(BankId(0), SubarrayId(0), RowInSubarray(10), RowInSubarray(50)).unwrap();
+        m.row_clone(
+            BankId(0),
+            SubarrayId(0),
+            RowInSubarray(10),
+            RowInSubarray(50),
+        )
+        .unwrap();
         assert_eq!(m.disturbance(gid(10)), 0);
     }
 
@@ -481,12 +547,28 @@ mod tests {
     #[test]
     fn swap_rows_via_scratch_exchanges_data() {
         let mut m = mem();
-        m.poke_row(BankId(0), SubarrayId(0), RowInSubarray(1), &[1; 64]).unwrap();
-        m.poke_row(BankId(0), SubarrayId(0), RowInSubarray(2), &[2; 64]).unwrap();
-        m.swap_rows_via(BankId(0), SubarrayId(0), RowInSubarray(1), RowInSubarray(2), RowInSubarray(127))
+        m.poke_row(BankId(0), SubarrayId(0), RowInSubarray(1), &[1; 64])
             .unwrap();
-        assert_eq!(m.peek_row(BankId(0), SubarrayId(0), RowInSubarray(1)).unwrap()[0], 2);
-        assert_eq!(m.peek_row(BankId(0), SubarrayId(0), RowInSubarray(2)).unwrap()[0], 1);
+        m.poke_row(BankId(0), SubarrayId(0), RowInSubarray(2), &[2; 64])
+            .unwrap();
+        m.swap_rows_via(
+            BankId(0),
+            SubarrayId(0),
+            RowInSubarray(1),
+            RowInSubarray(2),
+            RowInSubarray(127),
+        )
+        .unwrap();
+        assert_eq!(
+            m.peek_row(BankId(0), SubarrayId(0), RowInSubarray(1))
+                .unwrap()[0],
+            2
+        );
+        assert_eq!(
+            m.peek_row(BankId(0), SubarrayId(0), RowInSubarray(2))
+                .unwrap()[0],
+            1
+        );
         assert_eq!(m.stats().row_clones, 3);
         // 3 RowClones at t_aap each.
         assert_eq!(m.stats().busy, m.config().timing.t_aap * 3);
@@ -513,7 +595,9 @@ mod tests {
     fn invalid_addresses_error() {
         let mut m = mem();
         assert!(m.activate(GlobalRowId::new(99, 0, 0)).is_err());
-        assert!(m.read_row(BankId(0), SubarrayId(99), RowInSubarray(0)).is_err());
+        assert!(m
+            .read_row(BankId(0), SubarrayId(99), RowInSubarray(0))
+            .is_err());
         assert!(m.hammer(GlobalRowId::new(0, 0, 999), 1).is_err());
     }
 }

@@ -20,10 +20,7 @@ pub enum DramError {
         subarrays: usize,
     },
     /// A row index was out of range for the configured subarray.
-    RowOutOfRange {
-        row: RowInSubarray,
-        rows: usize,
-    },
+    RowOutOfRange { row: RowInSubarray, rows: usize },
     /// The written buffer did not match the configured row size.
     RowSizeMismatch { expected: usize, got: usize },
     /// RowClone requires source and destination in the same subarray.
@@ -42,7 +39,10 @@ impl fmt::Display for DramError {
             DramError::BankOutOfRange { bank, banks } => {
                 write!(f, "bank {} out of range (device has {banks} banks)", bank.0)
             }
-            DramError::SubarrayOutOfRange { subarray, subarrays } => write!(
+            DramError::SubarrayOutOfRange {
+                subarray,
+                subarrays,
+            } => write!(
                 f,
                 "subarray {} out of range (bank has {subarrays} subarrays)",
                 subarray.0
@@ -51,7 +51,10 @@ impl fmt::Display for DramError {
                 write!(f, "row {} out of range (subarray has {rows} rows)", row.0)
             }
             DramError::RowSizeMismatch { expected, got } => {
-                write!(f, "row buffer size mismatch: expected {expected} bytes, got {got}")
+                write!(
+                    f,
+                    "row buffer size mismatch: expected {expected} bytes, got {got}"
+                )
             }
             DramError::CrossSubarrayClone => {
                 write!(f, "rowclone source and destination must share a subarray")
@@ -76,14 +79,31 @@ mod tests {
     #[test]
     fn display_is_lowercase_and_nonempty() {
         let errs = [
-            DramError::BankOutOfRange { bank: BankId(17), banks: 16 },
-            DramError::SubarrayOutOfRange { subarray: SubarrayId(99), subarrays: 64 },
-            DramError::RowOutOfRange { row: RowInSubarray(600), rows: 512 },
-            DramError::RowSizeMismatch { expected: 8192, got: 64 },
+            DramError::BankOutOfRange {
+                bank: BankId(17),
+                banks: 16,
+            },
+            DramError::SubarrayOutOfRange {
+                subarray: SubarrayId(99),
+                subarrays: 64,
+            },
+            DramError::RowOutOfRange {
+                row: RowInSubarray(600),
+                rows: 512,
+            },
+            DramError::RowSizeMismatch {
+                expected: 8192,
+                got: 64,
+            },
             DramError::CrossSubarrayClone,
-            DramError::BitOutOfRange { bit: 1 << 20, bits: 65536 },
+            DramError::BitOutOfRange {
+                bit: 1 << 20,
+                bits: 65536,
+            },
             DramError::InvalidConfig("zero rows".into()),
-            DramError::ReservedRowAccess { row: RowInSubarray(510) },
+            DramError::ReservedRowAccess {
+                row: RowInSubarray(510),
+            },
         ];
         for e in errs {
             let s = e.to_string();

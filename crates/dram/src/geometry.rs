@@ -66,7 +66,7 @@ impl GlobalRowId {
 /// Use one of the presets ([`DramConfig::ddr4_32gb`],
 /// [`DramConfig::lpddr4_small`]) or the builder-style setters to construct a
 /// custom device, then validate with [`DramConfig::validate`] (done
-/// automatically by [`crate::MemoryController::new`]).
+/// automatically by [`crate::MemoryController::try_new`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DramConfig {
     /// Number of banks in the device (16 for the paper's DDR4 setup).
@@ -196,7 +196,9 @@ impl DramConfig {
     /// the reserved region swallows the whole subarray, or when `T_RH` is 0.
     pub fn validate(&self) -> Result<(), DramError> {
         if self.banks == 0 {
-            return Err(DramError::InvalidConfig("device must have at least one bank".into()));
+            return Err(DramError::InvalidConfig(
+                "device must have at least one bank".into(),
+            ));
         }
         if self.subarrays_per_bank == 0 {
             return Err(DramError::InvalidConfig(
@@ -232,7 +234,10 @@ impl DramConfig {
     /// that does not fit the configured device.
     pub fn check_addr(&self, addr: GlobalRowId) -> Result<(), DramError> {
         if addr.bank.0 >= self.banks {
-            return Err(DramError::BankOutOfRange { bank: addr.bank, banks: self.banks });
+            return Err(DramError::BankOutOfRange {
+                bank: addr.bank,
+                banks: self.banks,
+            });
         }
         if addr.subarray.0 >= self.subarrays_per_bank {
             return Err(DramError::SubarrayOutOfRange {
@@ -289,7 +294,10 @@ mod tests {
     #[test]
     fn invalid_configs_are_rejected() {
         assert!(DramConfig::lpddr4_small().with_banks(0).validate().is_err());
-        assert!(DramConfig::lpddr4_small().with_row_bytes(0).validate().is_err());
+        assert!(DramConfig::lpddr4_small()
+            .with_row_bytes(0)
+            .validate()
+            .is_err());
         assert!(DramConfig::lpddr4_small()
             .with_rows_per_subarray(1)
             .validate()

@@ -26,7 +26,7 @@
 //!
 //! # fn main() -> Result<(), dd_dram::DramError> {
 //! let config = DramConfig::lpddr4_small();
-//! let mut mem = MemoryController::new(config);
+//! let mut mem = MemoryController::try_new(config)?;
 //!
 //! // Write a pattern, RowClone it to another row in the same subarray,
 //! // and read it back.
@@ -54,13 +54,11 @@ pub mod timing;
 
 pub use addressing::{AddressMapping, DecodedAddr, PhysAddr};
 pub use bank::Bank;
-pub use refresh::RefreshSchedule;
 pub use command::{CommandKind, CommandTrace, DramCommand};
 pub use controller::MemoryController;
 pub use error::DramError;
-pub use geometry::{
-    BankId, DramConfig, GlobalRowId, RowInSubarray, SubarrayId,
-};
+pub use geometry::{BankId, DramConfig, GlobalRowId, RowInSubarray, SubarrayId};
+pub use refresh::RefreshSchedule;
 pub use rowhammer::{FlipOutcome, HammerTracker, RowHammerModel};
 pub use stats::{EnergyModel, MemStats};
 pub use subarray::{RowData, Subarray};

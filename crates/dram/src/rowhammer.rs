@@ -79,7 +79,10 @@ impl HammerTracker {
 
     /// Number of rows currently carrying non-zero disturbance from `epoch`.
     pub fn dirty_rows(&self, epoch: u64) -> usize {
-        self.counts.values().filter(|&&(e, n)| e == epoch && n > 0).count()
+        self.counts
+            .values()
+            .filter(|&&(e, n)| e == epoch && n > 0)
+            .count()
     }
 }
 
@@ -129,7 +132,11 @@ impl RowHammerModel {
         aggressor
             .row
             .neighbours(self.rows_per_subarray)
-            .map(|row| GlobalRowId { bank: aggressor.bank, subarray: aggressor.subarray, row })
+            .map(|row| GlobalRowId {
+                bank: aggressor.bank,
+                subarray: aggressor.subarray,
+                row,
+            })
             .collect()
     }
 
@@ -154,7 +161,11 @@ pub fn preferred_aggressor(victim: GlobalRowId, rows_per_subarray: usize) -> Glo
     } else {
         RowInSubarray(victim.row.0 - 1)
     };
-    GlobalRowId { bank: victim.bank, subarray: victim.subarray, row }
+    GlobalRowId {
+        bank: victim.bank,
+        subarray: victim.subarray,
+        row,
+    }
 }
 
 #[cfg(test)]
@@ -207,7 +218,10 @@ mod tests {
 
     #[test]
     fn victims_are_symmetric_neighbours() {
-        let m = RowHammerModel { threshold: 1000, rows_per_subarray: 128 };
+        let m = RowHammerModel {
+            threshold: 1000,
+            rows_per_subarray: 128,
+        };
         assert_eq!(m.victims_of(gid(10)), vec![gid(9), gid(11)]);
         assert_eq!(m.aggressors_of(gid(10)), vec![gid(9), gid(11)]);
         assert_eq!(m.victims_of(gid(0)), vec![gid(1)]);
@@ -222,7 +236,10 @@ mod tests {
 
     #[test]
     fn remaining_saturates() {
-        let m = RowHammerModel { threshold: 1000, rows_per_subarray: 128 };
+        let m = RowHammerModel {
+            threshold: 1000,
+            rows_per_subarray: 128,
+        };
         assert_eq!(m.remaining(0), 1000);
         assert_eq!(m.remaining(999), 1);
         assert_eq!(m.remaining(5000), 0);

@@ -114,8 +114,16 @@ mod tests {
 
     #[test]
     fn since_subtracts_counters() {
-        let early = MemStats { acts: 10, busy: Nanos(100), ..MemStats::new() };
-        let late = MemStats { acts: 25, busy: Nanos(400), ..MemStats::new() };
+        let early = MemStats {
+            acts: 10,
+            busy: Nanos(100),
+            ..MemStats::new()
+        };
+        let late = MemStats {
+            acts: 25,
+            busy: Nanos(400),
+            ..MemStats::new()
+        };
         let d = late.since(&early);
         assert_eq!(d.acts, 15);
         assert_eq!(d.busy, Nanos(300));
@@ -130,7 +138,12 @@ mod tests {
     #[test]
     fn energy_accumulates_per_op() {
         let e = EnergyModel::ddr4();
-        let s = MemStats { acts: 2, pres: 1, row_clones: 3, ..MemStats::new() };
+        let s = MemStats {
+            acts: 2,
+            pres: 1,
+            row_clones: 3,
+            ..MemStats::new()
+        };
         let expected = 2.0 * e.e_act + e.e_pre + 3.0 * e.e_row_clone;
         assert!((e.energy_pj(&s) - expected).abs() < 1e-9);
     }

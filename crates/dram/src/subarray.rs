@@ -18,7 +18,9 @@ pub struct RowData {
 impl RowData {
     /// An all-zero row of `len` bytes.
     pub fn zeroed(len: usize) -> Self {
-        RowData { bytes: vec![0; len] }
+        RowData {
+            bytes: vec![0; len],
+        }
     }
 
     /// Wrap an existing byte buffer.
@@ -54,7 +56,10 @@ impl RowData {
     pub fn bit(&self, bit: usize) -> Result<bool, DramError> {
         let byte = bit / 8;
         if byte >= self.bytes.len() {
-            return Err(DramError::BitOutOfRange { bit, bits: self.bytes.len() * 8 });
+            return Err(DramError::BitOutOfRange {
+                bit,
+                bits: self.bytes.len() * 8,
+            });
         }
         Ok(self.bytes[byte] >> (bit % 8) & 1 == 1)
     }
@@ -67,7 +72,10 @@ impl RowData {
     pub fn flip_bit(&mut self, bit: usize) -> Result<bool, DramError> {
         let byte = bit / 8;
         if byte >= self.bytes.len() {
-            return Err(DramError::BitOutOfRange { bit, bits: self.bytes.len() * 8 });
+            return Err(DramError::BitOutOfRange {
+                bit,
+                bits: self.bytes.len() * 8,
+            });
         }
         self.bytes[byte] ^= 1 << (bit % 8);
         Ok(self.bytes[byte] >> (bit % 8) & 1 == 1)
@@ -110,7 +118,10 @@ impl Subarray {
 
     fn check(&self, row: RowInSubarray) -> Result<(), DramError> {
         if row.0 >= self.rows.len() {
-            Err(DramError::RowOutOfRange { row, rows: self.rows.len() })
+            Err(DramError::RowOutOfRange {
+                row,
+                rows: self.rows.len(),
+            })
         } else {
             Ok(())
         }
@@ -162,7 +173,10 @@ impl Subarray {
     pub fn write_row(&mut self, row: RowInSubarray, data: &[u8]) -> Result<(), DramError> {
         self.check(row)?;
         if data.len() != self.row_bytes {
-            return Err(DramError::RowSizeMismatch { expected: self.row_bytes, got: data.len() });
+            return Err(DramError::RowSizeMismatch {
+                expected: self.row_bytes,
+                got: data.len(),
+            });
         }
         self.rows[row.0].as_bytes_mut().copy_from_slice(data);
         Ok(())
@@ -254,7 +268,10 @@ mod tests {
         let mut s = Subarray::new(4, 4);
         assert!(matches!(
             s.write_row(RowInSubarray(0), &[1, 2]),
-            Err(DramError::RowSizeMismatch { expected: 4, got: 2 })
+            Err(DramError::RowSizeMismatch {
+                expected: 4,
+                got: 2
+            })
         ));
     }
 

@@ -1,8 +1,6 @@
 //! Property-based tests for the DRAM simulator invariants.
 
-use dd_dram::{
-    BankId, DramConfig, GlobalRowId, MemoryController, RowInSubarray, SubarrayId,
-};
+use dd_dram::{BankId, DramConfig, GlobalRowId, MemoryController, RowInSubarray, SubarrayId};
 use proptest::prelude::*;
 
 fn small_config() -> DramConfig {
@@ -17,7 +15,7 @@ proptest! {
     /// Writing then reading any row returns the written bytes.
     #[test]
     fn write_read_roundtrip(row in 0usize..32, data in proptest::collection::vec(any::<u8>(), 16)) {
-        let mut mem = MemoryController::new(small_config());
+        let mut mem = MemoryController::try_new(small_config()).expect("valid config");
         mem.write_row(BankId(0), SubarrayId(0), RowInSubarray(row), &data).unwrap();
         let back = mem.read_row(BankId(0), SubarrayId(0), RowInSubarray(row)).unwrap();
         prop_assert_eq!(back, data);
@@ -30,7 +28,7 @@ proptest! {
         dst in 0usize..32,
         data in proptest::collection::vec(any::<u8>(), 16),
     ) {
-        let mut mem = MemoryController::new(small_config());
+        let mut mem = MemoryController::try_new(small_config()).expect("valid config");
         mem.poke_row(BankId(1), SubarrayId(1), RowInSubarray(src), &data).unwrap();
         mem.row_clone(BankId(1), SubarrayId(1), RowInSubarray(src), RowInSubarray(dst)).unwrap();
         prop_assert_eq!(mem.peek_row(BankId(1), SubarrayId(1), RowInSubarray(src)).unwrap(), &data[..]);
@@ -41,7 +39,7 @@ proptest! {
     /// activations, and always can at exactly T_RH (fresh window).
     #[test]
     fn threshold_is_exact(count in 0u64..6000) {
-        let mut mem = MemoryController::new(small_config().with_rowhammer_threshold(3000));
+        let mut mem = MemoryController::try_new(small_config().with_rowhammer_threshold(3000)).expect("valid config");
         let aggressor = GlobalRowId::new(0, 0, 11);
         let victim = GlobalRowId::new(0, 0, 10);
         mem.hammer(aggressor, count).unwrap();
@@ -52,7 +50,7 @@ proptest! {
     /// Disturbance from two aggressors adds linearly.
     #[test]
     fn double_sided_adds(a in 0u64..3000, b in 0u64..3000) {
-        let mut mem = MemoryController::new(small_config().with_rowhammer_threshold(100_000));
+        let mut mem = MemoryController::try_new(small_config().with_rowhammer_threshold(100_000)).expect("valid config");
         mem.hammer(GlobalRowId::new(0, 0, 9), a).unwrap();
         mem.hammer(GlobalRowId::new(0, 0, 11), b).unwrap();
         prop_assert_eq!(mem.disturbance(GlobalRowId::new(0, 0, 10)), a + b);
@@ -67,7 +65,7 @@ proptest! {
         db in proptest::collection::vec(any::<u8>(), 16),
     ) {
         prop_assume!(a != b);
-        let mut mem = MemoryController::new(small_config());
+        let mut mem = MemoryController::try_new(small_config()).expect("valid config");
         mem.poke_row(BankId(0), SubarrayId(0), RowInSubarray(a), &da).unwrap();
         mem.poke_row(BankId(0), SubarrayId(0), RowInSubarray(b), &db).unwrap();
         let scratch = RowInSubarray(31);
@@ -80,7 +78,7 @@ proptest! {
     /// Simulated time is monotone under any operation sequence.
     #[test]
     fn time_is_monotone(ops in proptest::collection::vec(0u8..4, 1..50)) {
-        let mut mem = MemoryController::new(small_config());
+        let mut mem = MemoryController::try_new(small_config()).expect("valid config");
         let mut last = mem.now();
         for op in ops {
             match op {

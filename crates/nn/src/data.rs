@@ -105,7 +105,10 @@ impl Split {
             data.extend_from_slice(&self.images.as_slice()[i * stride..(i + 1) * stride]);
             labels.push(self.labels[i]);
         }
-        Split { images: Tensor::from_vec(&[indices.len(), c, h, w], data), labels }
+        Split {
+            images: Tensor::from_vec(&[indices.len(), c, h, w], data),
+            labels,
+        }
     }
 
     /// Take the first `n` samples (or all if fewer).
@@ -146,9 +149,8 @@ impl Dataset {
                         let (y0, x0) = (gy as usize, gx as usize);
                         let (y1, x1) = ((y0 + 1).min(coarse - 1), (x0 + 1).min(coarse - 1));
                         let (fy, fx) = (gy - y0 as f32, gx - x0 as f32);
-                        let g = |yy: usize, xx: usize| {
-                            grid.as_slice()[(c * coarse + yy) * coarse + xx]
-                        };
+                        let g =
+                            |yy: usize, xx: usize| grid.as_slice()[(c * coarse + yy) * coarse + xx];
                         let v = g(y0, x0) * (1.0 - fy) * (1.0 - fx)
                             + g(y0, x1) * (1.0 - fy) * fx
                             + g(y1, x0) * fy * (1.0 - fx)
@@ -171,13 +173,13 @@ impl Dataset {
             let mut data = Vec::with_capacity(n * pixels);
             let mut labels = Vec::with_capacity(n);
             for _s in 0..per_class {
-                for class in 0..spec.classes {
+                for (class, prototype) in prototypes.iter().enumerate() {
                     let shift: f32 = {
                         let u: f32 = rng.gen_range(-1.0..1.0);
                         u * spec.brightness_jitter
                     };
                     let noise = normal(&[pixels], spec.noise, rng);
-                    for (p, &nz) in prototypes[class].iter().zip(noise.as_slice()) {
+                    for (p, &nz) in prototype.iter().zip(noise.as_slice()) {
                         data.push(p + nz + shift);
                     }
                     labels.push(class);
@@ -234,7 +236,7 @@ mod tests {
     #[test]
     fn labels_are_balanced() {
         let ds = Dataset::generate(SyntheticSpec::cifar10_like(), &mut seeded_rng(2));
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         for &l in &ds.train.labels {
             counts[l] += 1;
         }

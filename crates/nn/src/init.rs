@@ -63,7 +63,12 @@ mod tests {
     fn normal_has_requested_scale() {
         let t = normal(&[10_000], 2.0, &mut seeded_rng(3));
         let mean = t.sum() / 10_000.0;
-        let var = t.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / 10_000.0;
+        let var = t
+            .as_slice()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / 10_000.0;
         assert!(mean.abs() < 0.1);
         assert!((var.sqrt() - 2.0).abs() < 0.1);
     }

@@ -98,7 +98,13 @@ mod tests {
 
     #[test]
     fn forward_backward_shapes() {
-        let g = ConvGeometry { in_channels: 3, out_channels: 8, kernel: 3, stride: 1, padding: 1 };
+        let g = ConvGeometry {
+            in_channels: 3,
+            out_channels: 8,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let mut rng = crate::init::seeded_rng(1);
         let mut conv = Conv2d::kaiming("c1", g, &mut rng);
         let x = Tensor::zeros(&[2, 3, 8, 8]);
@@ -110,7 +116,13 @@ mod tests {
 
     #[test]
     fn strided_conv_downsamples() {
-        let g = ConvGeometry { in_channels: 4, out_channels: 4, kernel: 3, stride: 2, padding: 1 };
+        let g = ConvGeometry {
+            in_channels: 4,
+            out_channels: 4,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
         let mut rng = crate::init::seeded_rng(2);
         let mut conv = Conv2d::kaiming("c2", g, &mut rng);
         let y = conv.forward(&Tensor::zeros(&[1, 4, 16, 16]), true);
@@ -120,7 +132,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "conv weight must be")]
     fn rejects_bad_weight_shape() {
-        let g = ConvGeometry { in_channels: 1, out_channels: 1, kernel: 3, stride: 1, padding: 1 };
+        let g = ConvGeometry {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let _ = Conv2d::new("bad", g, Tensor::zeros(&[1, 4]), Tensor::zeros(&[1]));
     }
 }

@@ -136,6 +136,9 @@ mod tests {
         let mut l = Linear::kaiming("fc", 4, 3, &mut rng);
         let mut names = Vec::new();
         l.visit_params(&mut |p| names.push((p.name.clone(), p.quantizable)));
-        assert_eq!(names, vec![("fc.weight".into(), true), ("fc.bias".into(), false)]);
+        assert_eq!(
+            names,
+            vec![("fc.weight".into(), true), ("fc.bias".into(), false)]
+        );
     }
 }

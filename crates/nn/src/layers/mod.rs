@@ -39,7 +39,12 @@ impl Param {
     /// Create a parameter with a zeroed gradient of matching shape.
     pub fn new(name: impl Into<String>, value: Tensor, quantizable: bool) -> Self {
         let grad = Tensor::zeros(value.shape());
-        Param { name: name.into(), value, grad, quantizable }
+        Param {
+            name: name.into(),
+            value,
+            grad,
+            quantizable,
+        }
     }
 
     /// Reset the gradient to zero.

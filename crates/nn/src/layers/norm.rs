@@ -30,7 +30,11 @@ impl ChannelNorm {
     pub fn new(name: impl Into<String>, channels: usize) -> Self {
         let name = name.into();
         ChannelNorm {
-            gamma: Param::new(format!("{name}.gamma"), Tensor::full(&[channels], 1.0), false),
+            gamma: Param::new(
+                format!("{name}.gamma"),
+                Tensor::full(&[channels], 1.0),
+                false,
+            ),
             beta: Param::new(format!("{name}.beta"), Tensor::zeros(&[channels]), false),
             running_mean: vec![0.0; channels],
             running_var: vec![1.0; channels],
@@ -136,10 +140,16 @@ impl Layer for ChannelNorm {
         if self.cached_train {
             // Exact batch-norm backward (statistics depend on the batch):
             // dx = γ·invstd·(g − mean(g) − x̂·mean(g·x̂)).
-            let mean_g: Vec<f32> =
-                sum_g.iter().zip(&count).map(|(s, &n)| s / n.max(1) as f32).collect();
-            let mean_gh: Vec<f32> =
-                sum_gh.iter().zip(&count).map(|(s, &n)| s / n.max(1) as f32).collect();
+            let mean_g: Vec<f32> = sum_g
+                .iter()
+                .zip(&count)
+                .map(|(s, &n)| s / n.max(1) as f32)
+                .collect();
+            let mean_gh: Vec<f32> = sum_gh
+                .iter()
+                .zip(&count)
+                .map(|(s, &n)| s / n.max(1) as f32)
+                .collect();
             for (i, (&g, &h)) in grad_out.as_slice().iter().zip(xhat.as_slice()).enumerate() {
                 let ch = Self::channel_of(i, &shape);
                 gx[i] = gv[ch] * self.cached_inv_std[ch] * (g - mean_g[ch] - h * mean_gh[ch]);

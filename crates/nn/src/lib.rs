@@ -48,7 +48,9 @@ pub mod tensor;
 pub mod train;
 
 pub use data::{Dataset, Split, SyntheticSpec};
-pub use layers::{AvgPool2, ChannelNorm, Conv2d, Flatten, GlobalAvgPool, Layer, Linear, Param, Relu};
+pub use layers::{
+    AvgPool2, ChannelNorm, Conv2d, Flatten, GlobalAvgPool, Layer, Linear, Param, Relu,
+};
 pub use model::{Network, ResidualBlock};
 pub use optim::Sgd;
 pub use tensor::Tensor;

@@ -18,7 +18,10 @@ pub struct Network {
 impl Network {
     /// Empty network with a display name.
     pub fn new(name: impl Into<String>) -> Self {
-        Network { layers: Vec::new(), name: name.into() }
+        Network {
+            layers: Vec::new(),
+            name: name.into(),
+        }
     }
 
     /// Append a layer (builder style).
@@ -132,7 +135,12 @@ impl ResidualBlock {
         main: Vec<Box<dyn Layer>>,
         shortcut: Vec<Box<dyn Layer>>,
     ) -> Self {
-        ResidualBlock { name: name.into(), main, shortcut, relu_mask: None }
+        ResidualBlock {
+            name: name.into(),
+            main,
+            shortcut,
+            relu_mask: None,
+        }
     }
 
     fn run_path(path: &mut [Box<dyn Layer>], x: &Tensor, train: bool) -> Tensor {
@@ -247,8 +255,11 @@ mod tests {
     #[test]
     fn residual_identity_block_backward() {
         // Block whose main path is a zero linear layer: y = relu(x).
-        let main: Vec<Box<dyn Layer>> =
-            vec![Box::new(Linear::new("z", Tensor::zeros(&[4, 4]), Tensor::zeros(&[4])))];
+        let main: Vec<Box<dyn Layer>> = vec![Box::new(Linear::new(
+            "z",
+            Tensor::zeros(&[4, 4]),
+            Tensor::zeros(&[4]),
+        ))];
         let mut block = ResidualBlock::new("rb", main, vec![]);
         let x = Tensor::from_vec(&[1, 4], vec![1.0, -1.0, 2.0, -2.0]);
         let y = block.forward(&x, true);

@@ -105,7 +105,11 @@ impl ConvGeometry {
     /// Panics if the kernel does not fit the padded input.
     pub fn out_side(&self, h: usize) -> usize {
         let padded = h + 2 * self.padding;
-        assert!(padded >= self.kernel, "kernel {} larger than padded input {padded}", self.kernel);
+        assert!(
+            padded >= self.kernel,
+            "kernel {} larger than padded input {padded}",
+            self.kernel
+        );
         (padded - self.kernel) / self.stride + 1
     }
 }
@@ -256,7 +260,10 @@ pub fn conv2d_backward(
 /// 2×2 average pooling forward on `[n, c, h, w]` (h, w even).
 pub fn avgpool2_forward(x: &Tensor) -> Tensor {
     let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
-    assert!(h % 2 == 0 && w % 2 == 0, "avgpool2 requires even spatial dims");
+    assert!(
+        h % 2 == 0 && w % 2 == 0,
+        "avgpool2 requires even spatial dims"
+    );
     let (oh, ow) = (h / 2, w / 2);
     let xv = x.as_slice();
     let mut out = vec![0.0f32; n * c * oh * ow];
@@ -357,7 +364,13 @@ mod tests {
     #[test]
     fn conv_identity_kernel() {
         // 1x1 conv with weight 1 reproduces the input.
-        let g = ConvGeometry { in_channels: 1, out_channels: 1, kernel: 1, stride: 1, padding: 0 };
+        let g = ConvGeometry {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
         let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
         let w = Tensor::from_vec(&[1, 1], vec![1.0]);
         let b = Tensor::zeros(&[1]);
@@ -367,7 +380,13 @@ mod tests {
 
     #[test]
     fn conv_3x3_sum_kernel_with_padding() {
-        let g = ConvGeometry { in_channels: 1, out_channels: 1, kernel: 3, stride: 1, padding: 1 };
+        let g = ConvGeometry {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let x = Tensor::full(&[1, 1, 3, 3], 1.0);
         let w = Tensor::full(&[1, 9], 1.0);
         let b = Tensor::zeros(&[1]);
@@ -382,12 +401,20 @@ mod tests {
     #[test]
     fn conv_backward_gradcheck() {
         // Numerical gradient check on a tiny conv.
-        let g = ConvGeometry { in_channels: 2, out_channels: 3, kernel: 3, stride: 1, padding: 1 };
+        let g = ConvGeometry {
+            in_channels: 2,
+            out_channels: 3,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let n = 2;
         let (h, w) = (4, 4);
         let mut rng_state = 12345u64;
         let mut next = move || {
-            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng_state = rng_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((rng_state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
         };
         let x = Tensor::from_vec(&[n, 2, h, w], (0..n * 2 * h * w).map(|_| next()).collect());
@@ -412,7 +439,10 @@ mod tests {
             wm.as_mut_slice()[idx] -= eps;
             let num = (loss(&x, &wp, &b) - loss(&x, &wm, &b)) / (2.0 * eps);
             let ana = gw.as_slice()[idx];
-            assert!((num - ana).abs() < 0.05 * (1.0 + ana.abs()), "dW[{idx}]: num {num} vs ana {ana}");
+            assert!(
+                (num - ana).abs() < 0.05 * (1.0 + ana.abs()),
+                "dW[{idx}]: num {num} vs ana {ana}"
+            );
         }
         // Check an input coordinate and a bias coordinate.
         let mut xp = x.clone();
@@ -450,9 +480,20 @@ mod tests {
 
     #[test]
     fn conv_out_side() {
-        let g = ConvGeometry { in_channels: 1, out_channels: 1, kernel: 3, stride: 2, padding: 1 };
+        let g = ConvGeometry {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
         assert_eq!(g.out_side(16), 8);
-        let g2 = ConvGeometry { kernel: 3, stride: 1, padding: 1, ..g };
+        let g2 = ConvGeometry {
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            ..g
+        };
         assert_eq!(g2.out_side(16), 16);
     }
 }

@@ -18,7 +18,12 @@ pub struct Sgd {
 impl Sgd {
     /// New optimizer.
     pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
-        Sgd { lr, momentum, weight_decay, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
     }
 
     /// Apply one update step using the gradients currently stored in the
@@ -61,8 +66,11 @@ mod tests {
     #[test]
     fn step_descends_quadratic() {
         // One weight, loss = w²/2, grad = w. SGD should shrink it.
-        let mut net = crate::model::Network::new("one")
-            .push(Linear::new("w", Tensor::full(&[1, 1], 4.0), Tensor::zeros(&[1])));
+        let mut net = crate::model::Network::new("one").push(Linear::new(
+            "w",
+            Tensor::full(&[1, 1], 4.0),
+            Tensor::zeros(&[1]),
+        ));
         let mut opt = Sgd::new(0.1, 0.0, 0.0);
         for _ in 0..50 {
             net.zero_grad();
@@ -91,8 +99,11 @@ mod tests {
 
     #[test]
     fn weight_decay_shrinks_weights_without_grads() {
-        let mut net = crate::model::Network::new("one")
-            .push(Linear::new("w", Tensor::full(&[1, 1], 1.0), Tensor::zeros(&[1])));
+        let mut net = crate::model::Network::new("one").push(Linear::new(
+            "w",
+            Tensor::full(&[1, 1], 1.0),
+            Tensor::zeros(&[1]),
+        ));
         let mut opt = Sgd::new(0.1, 0.0, 0.5);
         net.zero_grad();
         opt.step(&mut net);

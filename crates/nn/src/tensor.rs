@@ -23,7 +23,10 @@ impl Tensor {
     pub fn zeros(shape: &[usize]) -> Self {
         assert!(!shape.is_empty(), "tensor must have at least one dimension");
         let n = shape.iter().product();
-        Tensor { shape: shape.to_vec(), data: vec![0.0; n] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; n],
+        }
     }
 
     /// Tensor filled with `value`.
@@ -40,8 +43,16 @@ impl Tensor {
     /// Panics if `data.len()` does not match the product of `shape`.
     pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
         let n: usize = shape.iter().product();
-        assert_eq!(n, data.len(), "shape {shape:?} does not match buffer of {} elements", data.len());
-        Tensor { shape: shape.to_vec(), data }
+        assert_eq!(
+            n,
+            data.len(),
+            "shape {shape:?} does not match buffer of {} elements",
+            data.len()
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// Shape slice.
@@ -81,14 +92,22 @@ impl Tensor {
     /// Panics if element counts differ.
     pub fn reshape(mut self, shape: &[usize]) -> Tensor {
         let n: usize = shape.iter().product();
-        assert_eq!(n, self.data.len(), "cannot reshape {:?} -> {shape:?}", self.shape);
+        assert_eq!(
+            n,
+            self.data.len(),
+            "cannot reshape {:?} -> {shape:?}",
+            self.shape
+        );
         self.shape = shape.to_vec();
         self
     }
 
     /// Elementwise map into a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// In-place elementwise map.
@@ -103,8 +122,16 @@ impl Tensor {
     /// Panics on shape mismatch.
     pub fn add(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.shape, rhs.shape, "shape mismatch in add");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
-        Tensor { shape: self.shape.clone(), data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// In-place `self += alpha * rhs`.
@@ -164,7 +191,12 @@ impl Tensor {
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor{:?}(", self.shape)?;
-        let preview: Vec<String> = self.data.iter().take(6).map(|x| format!("{x:.4}")).collect();
+        let preview: Vec<String> = self
+            .data
+            .iter()
+            .take(6)
+            .map(|x| format!("{x:.4}"))
+            .collect();
         write!(f, "{}", preview.join(", "))?;
         if self.data.len() > 6 {
             write!(f, ", …")?;

@@ -26,7 +26,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 12, batch_size: 64, lr: 0.05, momentum: 0.9, weight_decay: 1e-4 }
+        TrainConfig {
+            epochs: 12,
+            batch_size: 64,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+        }
     }
 }
 
@@ -133,7 +139,13 @@ mod tests {
             .push(Linear::kaiming("fc1", 64, 32, &mut rng))
             .push(Relu::new())
             .push(Linear::kaiming("fc2", 32, 4, &mut rng));
-        let cfg = TrainConfig { epochs: 10, batch_size: 32, lr: 0.1, momentum: 0.9, weight_decay: 0.0 };
+        let cfg = TrainConfig {
+            epochs: 10,
+            batch_size: 32,
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        };
         let report = train(&mut net, &ds, cfg, &mut rng);
         assert!(
             report.test_accuracy > 0.8,
@@ -147,10 +159,13 @@ mod tests {
     #[test]
     fn evaluate_on_empty_split_is_zero() {
         let mut rng = seeded_rng(1);
-        let mut net = Network::new("m").push(Flatten::new()).push(Linear::kaiming(
-            "fc", 4, 2, &mut rng,
-        ));
-        let empty = Split { images: Tensor::zeros(&[1, 1, 2, 2]), labels: vec![] };
+        let mut net = Network::new("m")
+            .push(Flatten::new())
+            .push(Linear::kaiming("fc", 4, 2, &mut rng));
+        let empty = Split {
+            images: Tensor::zeros(&[1, 1, 2, 2]),
+            labels: vec![],
+        };
         // Subset of nothing: build a 0-sample split via subset.
         let empty = empty.subset(&[]);
         assert_eq!(evaluate(&mut net, &empty, 8), 0.0);

@@ -58,7 +58,13 @@ pub struct ModelConfig {
 impl ModelConfig {
     /// Default config for an architecture on a given dataset shape.
     pub fn new(arch: Architecture, classes: usize) -> Self {
-        ModelConfig { arch, in_channels: 3, image_side: 16, classes, base_width: 8 }
+        ModelConfig {
+            arch,
+            in_channels: 3,
+            image_side: 16,
+            classes,
+            base_width: 8,
+        }
     }
 
     /// Override the base width (used by fast benches).
@@ -69,17 +75,35 @@ impl ModelConfig {
 }
 
 fn conv3(name: &str, ic: usize, oc: usize, stride: usize, rng: &mut impl Rng) -> Conv2d {
-    let g = ConvGeometry { in_channels: ic, out_channels: oc, kernel: 3, stride, padding: 1 };
+    let g = ConvGeometry {
+        in_channels: ic,
+        out_channels: oc,
+        kernel: 3,
+        stride,
+        padding: 1,
+    };
     Conv2d::kaiming(name, g, rng)
 }
 
 fn conv1(name: &str, ic: usize, oc: usize, stride: usize, rng: &mut impl Rng) -> Conv2d {
-    let g = ConvGeometry { in_channels: ic, out_channels: oc, kernel: 1, stride, padding: 0 };
+    let g = ConvGeometry {
+        in_channels: ic,
+        out_channels: oc,
+        kernel: 1,
+        stride,
+        padding: 0,
+    };
     Conv2d::kaiming(name, g, rng)
 }
 
 /// ResNet basic block `ic → oc` with the given stride.
-fn basic_block(name: &str, ic: usize, oc: usize, stride: usize, rng: &mut impl Rng) -> ResidualBlock {
+fn basic_block(
+    name: &str,
+    ic: usize,
+    oc: usize,
+    stride: usize,
+    rng: &mut impl Rng,
+) -> ResidualBlock {
     let main: Vec<Box<dyn Layer>> = vec![
         Box::new(conv3(&format!("{name}.conv1"), ic, oc, stride, rng)),
         Box::new(ChannelNorm::new(format!("{name}.bn1"), oc)),
@@ -171,13 +195,9 @@ pub fn build_model(config: &ModelConfig, rng: &mut impl Rng) -> Network {
     match config.arch {
         Architecture::Mlp => mlp(config, rng),
         Architecture::Vgg11 => vgg11(config, rng),
-        Architecture::ResNet18 => {
-            resnet("resnet18", config, &[2, 2, 2, 2], &[1, 2, 4, 8], rng)
-        }
+        Architecture::ResNet18 => resnet("resnet18", config, &[2, 2, 2, 2], &[1, 2, 4, 8], rng),
         Architecture::ResNet20 => resnet("resnet20", config, &[3, 3, 3], &[1, 2, 4], rng),
-        Architecture::ResNet34 => {
-            resnet("resnet34", config, &[3, 4, 6, 3], &[1, 2, 4, 8], rng)
-        }
+        Architecture::ResNet34 => resnet("resnet34", config, &[3, 4, 6, 3], &[1, 2, 4, 8], rng),
     }
 }
 
@@ -191,7 +211,9 @@ mod tests {
         let mut rng = seeded_rng(1);
         let config = ModelConfig::new(arch, 10).with_base_width(4);
         let mut net = build_model(&config, &mut rng);
-        net.forward(&Tensor::zeros(&[2, 3, 16, 16]), false).shape().to_vec()
+        net.forward(&Tensor::zeros(&[2, 3, 16, 16]), false)
+            .shape()
+            .to_vec()
     }
 
     #[test]

@@ -8,8 +8,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::quant::{flip_delta, WEIGHT_BITS};
 use crate::qtensor::QTensor;
+use crate::quant::{flip_delta, WEIGHT_BITS};
 use dd_nn::loss::{cross_entropy, cross_entropy_grad};
 use dd_nn::model::Network;
 use dd_nn::Tensor;
@@ -66,7 +66,11 @@ impl QModel {
             }
             pos += 1;
         });
-        QModel { net, qtensors, param_positions }
+        QModel {
+            net,
+            qtensors,
+            param_positions,
+        }
     }
 
     /// The underlying float network (weights are dequantized-in-sync).
@@ -248,9 +252,8 @@ impl QModel {
     /// Iterate all bit addresses of one parameter.
     pub fn param_bits(&self, param: usize) -> impl Iterator<Item = BitAddr> + '_ {
         let len = self.qtensors[param].len();
-        (0..len).flat_map(move |index| {
-            (0..WEIGHT_BITS).map(move |bit| BitAddr { param, index, bit })
-        })
+        (0..len)
+            .flat_map(move |index| (0..WEIGHT_BITS).map(move |bit| BitAddr { param, index, bit }))
     }
 }
 
@@ -291,7 +294,11 @@ mod tests {
         let before = qm.forward(&x);
         // Flip the sign bit of several weights of the first layer.
         for index in 0..8 {
-            qm.flip_bit(BitAddr { param: 0, index, bit: 7 });
+            qm.flip_bit(BitAddr {
+                param: 0,
+                index,
+                bit: 7,
+            });
         }
         let after = qm.forward(&x);
         assert_ne!(before.as_slice(), after.as_slice());
@@ -303,7 +310,11 @@ mod tests {
         let (x, _) = batch();
         let before = qm.forward(&x);
         let snap = qm.snapshot_q();
-        let flip = qm.flip_bit(BitAddr { param: 1, index: 3, bit: 6 });
+        let flip = qm.flip_bit(BitAddr {
+            param: 1,
+            index: 3,
+            bit: 6,
+        });
         assert_eq!(qm.hamming_from(&snap), 1);
         qm.unflip(flip);
         assert_eq!(qm.hamming_from(&snap), 0);
@@ -316,7 +327,11 @@ mod tests {
         let mut qm = tiny_qmodel();
         let snap = qm.snapshot_q();
         for i in 0..5 {
-            qm.flip_bit(BitAddr { param: 0, index: i, bit: 7 });
+            qm.flip_bit(BitAddr {
+                param: 0,
+                index: i,
+                bit: 7,
+            });
         }
         assert_eq!(qm.hamming_from(&snap), 5);
         qm.restore_q(&snap);

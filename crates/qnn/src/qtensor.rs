@@ -2,9 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::quant::{
-    flip_weight_bit, hamming_distance, weight_bit, QuantParams, WEIGHT_BITS,
-};
+use crate::quant::{flip_weight_bit, hamming_distance, weight_bit, QuantParams, WEIGHT_BITS};
 use dd_nn::Tensor;
 
 /// One quantized weight tensor of a model.
@@ -20,8 +18,17 @@ impl QTensor {
     /// Quantize a float tensor.
     pub fn quantize(name: impl Into<String>, value: &Tensor) -> Self {
         let params = QuantParams::fit(value.as_slice());
-        let q = value.as_slice().iter().map(|&w| params.quantize(w)).collect();
-        QTensor { name: name.into(), shape: value.shape().to_vec(), q, params }
+        let q = value
+            .as_slice()
+            .iter()
+            .map(|&w| params.quantize(w))
+            .collect();
+        QTensor {
+            name: name.into(),
+            shape: value.shape().to_vec(),
+            q,
+            params,
+        }
     }
 
     /// Parameter name (mirrors the float parameter it was derived from).

@@ -25,7 +25,9 @@ impl QuantParams {
     /// well defined.
     pub fn fit(weights: &[f32]) -> Self {
         let max_abs = weights.iter().fold(0.0f32, |m, &w| m.max(w.abs()));
-        QuantParams { scale: if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 } }
+        QuantParams {
+            scale: if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 },
+        }
     }
 
     /// Quantize one weight.

@@ -30,7 +30,11 @@ fn main() {
     let snapshot = model.snapshot_q();
 
     // Targeted progressive bit search.
-    let cfg = AttackConfig { target_accuracy: 0.12, max_flips: 40, ..Default::default() };
+    let cfg = AttackConfig {
+        target_accuracy: 0.12,
+        max_flips: 40,
+        ..Default::default()
+    };
     let bfa = run_bfa(&mut model, &data, &cfg, &HashSet::new());
     println!("\ntargeted BFA trajectory (flips -> accuracy):");
     for (flips, acc) in bfa.trajectory() {

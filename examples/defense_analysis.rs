@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example defense_analysis`
 
-use dnn_defender_repro::prelude::*;
 use dnn_defender::{chain_schedule, overhead_table, parallel_schedule, rh_thresholds};
+use dnn_defender_repro::prelude::*;
 
 fn main() {
     let config = DramConfig::lpddr4_small();
@@ -48,10 +48,19 @@ fn main() {
     println!("\nThe paper's formulas for S_bit = 4800 secured bits at T_RH = 4k:");
     let n_s = model.rows_per_bank(4800);
     println!("  N_s (rows/bank)        = {n_s}");
-    println!("  window (T_ACT x T_RH)  = {}", model.threshold_window(4000));
-    println!("  max swaps per window   = {}", model.max_swaps_per_window(4000));
+    println!(
+        "  window (T_ACT x T_RH)  = {}",
+        model.threshold_window(4000)
+    );
+    println!(
+        "  max swaps per window   = {}",
+        model.max_swaps_per_window(4000)
+    );
     println!("  T_n                    = {}", model.t_n(4000, n_s));
-    println!("  swaps per T_ref (N)    = {}", model.swaps_per_tref(4000, n_s));
+    println!(
+        "  swaps per T_ref (N)    = {}",
+        model.swaps_per_tref(4000, n_s)
+    );
 
     println!("\nHardware overhead (Table 2, 32GB/16-bank DDR4):");
     for e in overhead_table(&DramConfig::ddr4_32gb()) {

@@ -6,14 +6,14 @@
 //! Run with: `cargo run --release --example mitigation_zoo`
 
 use dd_baselines::{
-    AttackerTracking, CounterPerRow, GrapheneDefense, HydraTracker, RowSwapDefense,
-    ShadowDefense, SwapScheme, TwiceTable,
+    AttackerTracking, CounterPerRow, GrapheneDefense, HydraTracker, RowSwapDefense, ShadowDefense,
+    SwapScheme, TwiceTable,
 };
 use dd_dram::{DramConfig, GlobalRowId, MemoryController, Nanos};
 use dd_nn::init::seeded_rng;
 
 fn fresh() -> (MemoryController, GlobalRowId, GlobalRowId) {
-    let mem = MemoryController::new(DramConfig::lpddr4_small());
+    let mem = MemoryController::try_new(DramConfig::lpddr4_small()).expect("valid config");
     (mem, GlobalRowId::new(0, 0, 10), GlobalRowId::new(0, 0, 11))
 }
 
@@ -26,7 +26,11 @@ fn main() -> Result<(), dd_dram::DramError> {
     mem.hammer(aggressor, t_rh)?;
     println!(
         "undefended        : flip {}",
-        if mem.attempt_flip(victim, &[0])?.flipped() { "LANDED" } else { "resisted" }
+        if mem.attempt_flip(victim, &[0])?.flipped() {
+            "LANDED"
+        } else {
+            "resisted"
+        }
     );
 
     // Counter-per-row.
@@ -38,7 +42,11 @@ fn main() -> Result<(), dd_dram::DramError> {
     }
     println!(
         "counter-per-row   : flip {}, {} refreshes, {} live counters",
-        if mem.attempt_flip(victim, &[0])?.flipped() { "LANDED" } else { "resisted" },
+        if mem.attempt_flip(victim, &[0])?.flipped() {
+            "LANDED"
+        } else {
+            "resisted"
+        },
         cpr.refreshes,
         cpr.live_counters()
     );
@@ -52,7 +60,11 @@ fn main() -> Result<(), dd_dram::DramError> {
     }
     println!(
         "hydra             : flip {}, {} refreshes, {} spilled row counters",
-        if mem.attempt_flip(victim, &[0])?.flipped() { "LANDED" } else { "resisted" },
+        if mem.attempt_flip(victim, &[0])?.flipped() {
+            "LANDED"
+        } else {
+            "resisted"
+        },
         hydra.refreshes,
         hydra.spilled_rows
     );
@@ -70,7 +82,11 @@ fn main() -> Result<(), dd_dram::DramError> {
     }
     println!(
         "twice             : flip {}, {} refreshes, {} pruned, {} live entries",
-        if mem.attempt_flip(victim, &[0])?.flipped() { "LANDED" } else { "resisted" },
+        if mem.attempt_flip(victim, &[0])?.flipped() {
+            "LANDED"
+        } else {
+            "resisted"
+        },
         twice.refreshes,
         twice.pruned,
         twice.live_entries()
@@ -85,13 +101,20 @@ fn main() -> Result<(), dd_dram::DramError> {
     }
     println!(
         "graphene          : flip {}, {} refreshes",
-        if mem.attempt_flip(victim, &[0])?.flipped() { "LANDED" } else { "resisted" },
+        if mem.attempt_flip(victim, &[0])?.flipped() {
+            "LANDED"
+        } else {
+            "resisted"
+        },
         graphene.refreshes
     );
 
     // RRS against both attacker types.
     let mut rng = seeded_rng(5);
-    for tracking in [AttackerTracking::FollowsAggressorData, AttackerTracking::FollowsVictimAdjacency] {
+    for tracking in [
+        AttackerTracking::FollowsAggressorData,
+        AttackerTracking::FollowsVictimAdjacency,
+    ] {
         let (mut mem, victim, _) = fresh();
         let mut rrs = RowSwapDefense::new(SwapScheme::Rrs);
         let out = rrs.run_campaign(&mut mem, victim, 0, tracking, &mut rng)?;

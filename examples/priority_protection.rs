@@ -15,9 +15,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset = Dataset::generate(spec, &mut rng);
     let config = ModelConfig::new(Architecture::ResNet20, spec.classes).with_base_width(2);
     let mut net = build_model(&config, &mut rng);
-    let tc = TrainConfig { epochs: 16, ..TrainConfig::default() };
+    let tc = TrainConfig {
+        epochs: 16,
+        ..TrainConfig::default()
+    };
     let report = train(&mut net, &dataset, tc, &mut rng);
-    println!("victim resnet20: test accuracy {:.1}%", report.test_accuracy * 100.0);
+    println!(
+        "victim resnet20: test accuracy {:.1}%",
+        report.test_accuracy * 100.0
+    );
 
     let mut model = QModel::from_network(net);
     let batch = dataset.attack_batch(96, &mut rng);
@@ -27,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // must cover the naive attacker's full budget (40 below) because the
     // naive attacker's greedy path *is* one long round; the extra rounds
     // blunt the adaptive attacker (see EXPERIMENTS.md).
-    let profile_cfg = AttackConfig { target_accuracy: 0.0, max_flips: 40, ..Default::default() };
+    let profile_cfg = AttackConfig {
+        target_accuracy: 0.0,
+        max_flips: 40,
+        ..Default::default()
+    };
     let rounds = 4;
     let map = dnn_defender::WeightMap::layout(&model, &DramConfig::lpddr4_small());
     let plan = ProtectionPlan::profile(&mut model, &data, &profile_cfg, rounds, &map);
@@ -47,7 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Attack the protected model under both threat models.
-    let attack_cfg = AttackConfig { target_accuracy: 0.12, max_flips: 40, ..Default::default() };
+    let attack_cfg = AttackConfig {
+        target_accuracy: 0.12,
+        max_flips: 40,
+        ..Default::default()
+    };
     let secured = plan.secured_set();
     for threat in [ThreatModel::SemiWhiteBox, ThreatModel::WhiteBox] {
         let snapshot = model.snapshot_q();

@@ -16,13 +16,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = ModelConfig::new(Architecture::Mlp, spec.classes).with_base_width(4);
     let mut net = build_model(&config, &mut rng);
     let report = train(&mut net, &dataset, TrainConfig::default(), &mut rng);
-    println!("trained {}: test accuracy {:.1}%", net.name(), report.test_accuracy * 100.0);
+    println!(
+        "trained {}: test accuracy {:.1}%",
+        net.name(),
+        report.test_accuracy * 100.0
+    );
 
-    // 2. Quantize to 8-bit and deploy into simulated LPDDR4.
-    let model = QModel::from_network(net);
+    // 2. Quantize to 8-bit and deploy into simulated LPDDR4 (each run
+    //    below rebuilds the same weights deterministically).
     let eval = dataset.test.take(96);
     for (enabled, label) in [(false, "UNDEFENDED"), (true, "DNN-DEFENDER")] {
-        let defense = DefenseConfig { enabled, ..DefenseConfig::default() };
+        let defense = DefenseConfig {
+            enabled,
+            ..DefenseConfig::default()
+        };
         let mut system = ProtectedSystem::deploy(
             // Re-deploy a fresh copy each time (deterministic rebuild).
             {
@@ -41,8 +48,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         //    real profiling flow).
         let last = system.model_mut().num_qparams() - 1;
         let weights = system.model_mut().qtensor(last).len();
-        let bits: Vec<BitAddr> =
-            (0..weights).map(|i| BitAddr { param: last, index: i, bit: 7 }).collect();
+        let bits: Vec<BitAddr> = (0..weights)
+            .map(|i| BitAddr {
+                param: last,
+                index: i,
+                bit: 7,
+            })
+            .collect();
         system.protect(bits.clone());
 
         // 4. The attacker hammers the rows holding those bits.
@@ -57,7 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             clean * 100.0,
             after * 100.0,
             outcomes.len(),
-            stats.swaps,
+            stats.defense_ops,
             stats.row_clones,
             system.memory().stats().busy,
         );

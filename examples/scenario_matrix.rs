@@ -1,0 +1,82 @@
+//! The scenario matrix in one screen: sweep attacker × defense × device
+//! through the `DefenseMechanism` trait and print the resulting grid —
+//! the Table 3 protocol generalized to arbitrary scenarios.
+//!
+//! Run with: `cargo run --release --example scenario_matrix`
+
+use dd_baselines::{
+    AttackerKind, GrapheneDefense, RowSwapMechanism, ScenarioMatrix, ShadowMechanism, SwapScheme,
+    VictimSpec,
+};
+use dnn_defender_repro::prelude::*;
+
+fn main() {
+    let attack = AttackConfig {
+        target_accuracy: 0.3,
+        max_flips: 60,
+        ..Default::default()
+    };
+    let matrix = ScenarioMatrix::new(VictimSpec::tiny_mlp(7))
+        .attack_config(attack)
+        .budget(20)
+        .attacker(AttackerKind::Bfa)
+        .attacker(AttackerKind::Random { flips: 20 })
+        .attacker(AttackerKind::Adaptive(ThreatModel::WhiteBox))
+        .dram_config(DramConfig::lpddr4_small())
+        .defense("Baseline", |_, _| Box::new(Undefended::named("Baseline")))
+        .defense("Graphene", |_, config| {
+            Box::new(GrapheneDefense::for_config(config))
+        })
+        .defense("RRS", |seed, _| {
+            Box::new(RowSwapMechanism::new(SwapScheme::Rrs, seed))
+        })
+        .defense("SHADOW", |seed, _| {
+            Box::new(ShadowMechanism::new(1000, seed))
+        })
+        .defense("DNN-Defender", |seed, _| {
+            Box::new(DnnDefenderDefense::with_profiling(
+                DefenseConfig::default(),
+                2,
+                seed,
+            ))
+        });
+
+    println!(
+        "running {} cells in parallel (defense x attacker x device)...\n",
+        matrix.scenarios().len()
+    );
+    let report = matrix.run().expect("matrix run");
+
+    println!(
+        "{:<14} {:<22} {:>9} {:>9} {:>9} {:>7} {:>8}",
+        "defense", "attacker", "clean", "post", "attempts", "landed", "ops"
+    );
+    for cell in &report.cells {
+        println!(
+            "{:<14} {:<22} {:>8.1}% {:>8.1}% {:>9} {:>7} {:>8}",
+            cell.scenario.defense,
+            cell.scenario.attacker,
+            cell.clean_accuracy * 100.0,
+            cell.post_attack_accuracy * 100.0,
+            cell.attempts,
+            cell.landed,
+            cell.stats.defense_ops,
+        );
+        assert!(cell.stats.invariants_hold());
+    }
+
+    println!("\nFig. 8 analytical rows from the same entry point:");
+    for row in matrix.security_analysis(&[1000, 2000, 4000, 8000]) {
+        println!(
+            "  T_RH {:>5}: DNN-Defender {:>6.0} days, SHADOW {:>6.0} days, \
+             defends {:>6} BFAs/T_ref vs attacker capacity {:>6}",
+            row.t_rh, row.dd_days, row.shadow_days, row.max_defended_bfas, row.attacker_bfas
+        );
+    }
+
+    println!(
+        "\nEvery row went through the same DefenseMechanism lifecycle \
+         (prepare -> deploy -> filter_flip -> stats); adding a defense or \
+         attacker is one builder line, not an enum edit."
+    );
+}

@@ -13,10 +13,14 @@
 //! * [`dd_qnn`] — 8-bit quantization, bit addressing, victim model zoo;
 //! * [`dd_attack`] — BFA progressive bit search, random and adaptive
 //!   attackers, vulnerable-bit profiling;
-//! * [`dnn_defender`] — the defense: mapping, four-step swap, priority
-//!   protection, protected system, analytical models;
+//! * [`dnn_defender`] — the defense layer: the
+//!   [`dnn_defender::defense::DefenseMechanism`] trait, mapping, four-step
+//!   swap, priority protection, the generic
+//!   [`dnn_defender::ProtectedSystem`], analytical models;
 //! * [`dd_baselines`] — RRS / SRS / SHADOW / Graphene and the software
-//!   defenses it is compared against.
+//!   defenses behind the same trait, plus the
+//!   [`dd_baselines::ScenarioMatrix`] attacker × defense × device sweep
+//!   harness.
 //!
 //! See `README.md` for a guided tour and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
@@ -34,12 +38,14 @@ pub mod prelude {
         attack_protected, multi_round_profile, run_bfa, run_random_attack, AttackConfig,
         AttackData, ThreatModel,
     };
+    pub use dd_baselines::{AttackerKind, CellReport, MatrixReport, ScenarioMatrix, VictimSpec};
     pub use dd_dram::{DramConfig, MemoryController, Nanos, TimingParams};
     pub use dd_nn::data::{Dataset, SyntheticSpec};
     pub use dd_nn::init::seeded_rng;
     pub use dd_nn::train::{train, TrainConfig};
     pub use dd_qnn::{build_model, Architecture, BitAddr, ModelConfig, QModel};
     pub use dnn_defender::{
-        DefenseConfig, DefenseOp, FlipAttempt, ProtectedSystem, ProtectionPlan, SecurityModel,
+        DefenseConfig, DefenseMechanism, DefenseOp, DefenseStats, DnnDefenderDefense, DynDefense,
+        FlipAttempt, ProtectedSystem, ProtectionPlan, SecurityModel, Undefended,
     };
 }

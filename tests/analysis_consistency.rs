@@ -9,7 +9,7 @@ fn simulated_swap_time_matches_analytical_t_swap() {
     // Three RowClones on the simulator must cost exactly the analytical
     // T_swap = 3 x T_AAP.
     let config = DramConfig::lpddr4_small();
-    let mut mem = dd_dram::MemoryController::new(config.clone());
+    let mut mem = dd_dram::MemoryController::try_new(config.clone()).expect("valid config");
     let before = mem.stats().busy;
     mem.swap_rows_via(
         dd_dram::BankId(0),
@@ -45,7 +45,12 @@ fn paper_anchor_time_to_break() {
 #[test]
 fn paper_anchor_attacker_capacity() {
     let m = SecurityModel::from_config(&DramConfig::lpddr4_small());
-    for (t_rh, anchor) in [(8000u64, 7_000u64), (4000, 14_000), (2000, 28_000), (1000, 55_000)] {
+    for (t_rh, anchor) in [
+        (8000u64, 7_000u64),
+        (4000, 14_000),
+        (2000, 28_000),
+        (1000, 55_000),
+    ] {
         let got = m.max_bfas_per_tref(t_rh);
         let rel = (got as f64 - anchor as f64).abs() / anchor as f64;
         assert!(rel < 0.05, "T_RH {t_rh}: {got} vs anchor {anchor}");

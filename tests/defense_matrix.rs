@@ -1,61 +1,46 @@
 //! Cross-defense comparison tests: DNN-Defender vs the baselines under
-//! the common evaluation protocol (the Table 3 shape, in miniature).
+//! the common scenario-matrix protocol (the Table 3 shape, in miniature).
 
-use dd_baselines::{evaluate_defense, LandingFilter, SwapScheme};
+use dd_baselines::{AttackerKind, RowSwapMechanism, ScenarioMatrix, SwapScheme, VictimSpec};
+use dnn_defender::defense::{DefenseConfig, DnnDefenderDefense, Undefended};
 use dnn_defender_repro::prelude::*;
 
-fn victim() -> (QModel, AttackData) {
-    let mut rng = seeded_rng(2002);
-    let mut spec = SyntheticSpec::cifar10_like();
-    spec.train_per_class = 32;
-    spec.test_per_class = 16;
-    spec.classes = 4;
-    let dataset = Dataset::generate(spec, &mut rng);
-    let config = ModelConfig::new(Architecture::Mlp, spec.classes).with_base_width(4);
-    let mut net = build_model(&config, &mut rng);
-    let tc = TrainConfig { epochs: 8, batch_size: 32, lr: 0.1, momentum: 0.9, weight_decay: 0.0 };
-    train(&mut net, &dataset, tc, &mut rng);
-    let model = QModel::from_network(net);
-    let batch = dataset.attack_batch(64, &mut rng);
-    (model, AttackData::single_batch(batch.images, batch.labels))
+fn matrix() -> ScenarioMatrix {
+    let attack = AttackConfig {
+        target_accuracy: 0.3,
+        max_flips: 100,
+        ..Default::default()
+    };
+    ScenarioMatrix::new(VictimSpec::tiny_mlp(2002))
+        .attack_config(attack)
+        .budget(25)
 }
 
 #[test]
 fn table3_ordering_holds() {
-    let (mut model, data) = victim();
-    let cfg = AttackConfig { target_accuracy: 0.3, max_flips: 100, ..Default::default() };
-    let budget = 25;
+    let report = matrix()
+        .defense("baseline", |_, _| Box::new(Undefended::named("baseline")))
+        .defense("rrs", |seed, _| {
+            Box::new(RowSwapMechanism::new(SwapScheme::Rrs, seed))
+        })
+        // Round-1 profiling runs at least as deep as the attacker's
+        // budget (the matrix passes its budget as the profiling depth):
+        // the naive attacker continues its greedy path from the
+        // (believed-)flipped state, which is exactly one long BFA round —
+        // deeper multi-round profiling covers *adaptive* attackers.
+        .defense("dnn-defender", |seed, _| {
+            Box::new(DnnDefenderDefense::with_profiling(
+                DefenseConfig::default(),
+                2,
+                seed,
+            ))
+        })
+        .run()
+        .expect("matrix");
 
-    let baseline = evaluate_defense(
-        "baseline",
-        &mut model,
-        &data,
-        &cfg,
-        LandingFilter::AlwaysLands,
-        budget,
-    );
-    let rrs = evaluate_defense(
-        "rrs",
-        &mut model,
-        &data,
-        &cfg,
-        LandingFilter::row_swap(SwapScheme::Rrs, 9),
-        budget,
-    );
-    // Round-1 profiling must run at least as deep as the attacker's
-    // budget: the naive attacker continues its greedy path from the
-    // (believed-)flipped state, which is exactly one long BFA round —
-    // deeper multi-round profiling covers *adaptive* attackers instead.
-    let profile_cfg = AttackConfig { target_accuracy: 0.0, max_flips: 30, ..Default::default() };
-    let profile = multi_round_profile(&mut model, &data, &profile_cfg, 2);
-    let dd = evaluate_defense(
-        "dnn-defender",
-        &mut model,
-        &data,
-        &cfg,
-        LandingFilter::ProtectedSet(profile.all()),
-        budget,
-    );
+    let baseline = report.cell("baseline", None).expect("baseline");
+    let rrs = report.cell("rrs", None).expect("rrs");
+    let dd = report.cell("dnn-defender", None).expect("dd");
 
     // The Table 3 ordering: baseline worst, RRS in between, DD best.
     assert!(
@@ -70,8 +55,15 @@ fn table3_ordering_holds() {
         rrs.post_attack_accuracy,
         dd.post_attack_accuracy
     );
-    // DD landed nothing within its secured budget until profiling runs out.
+    // DD landed nothing within its secured budget.
     assert!(dd.landed <= baseline.landed);
+    for cell in &report.cells {
+        assert!(
+            cell.stats.invariants_hold(),
+            "{} broke stats invariants",
+            cell.scenario.defense
+        );
+    }
 }
 
 #[test]
@@ -83,21 +75,33 @@ fn rrs_vs_white_box_fails_but_blind_succeeds() {
     let victim_row = GlobalRowId::new(0, 0, 30);
 
     // White-box victim tracking defeats RRS.
-    let mut mem = MemoryController::new(DramConfig::lpddr4_small());
+    let mut mem = MemoryController::try_new(DramConfig::lpddr4_small()).expect("mem");
     let mut rrs = RowSwapDefense::new(SwapScheme::Rrs);
     let white = rrs
-        .run_campaign(&mut mem, victim_row, 3, AttackerTracking::FollowsVictimAdjacency, &mut rng)
+        .run_campaign(
+            &mut mem,
+            victim_row,
+            3,
+            AttackerTracking::FollowsVictimAdjacency,
+            &mut rng,
+        )
         .expect("campaign");
     assert!(white.flipped, "white-box attacker should defeat RRS");
 
     // The blind attacker is (almost always) defeated.
     let mut wins = 0;
     for seed in 0..8u64 {
-        let mut mem = MemoryController::new(DramConfig::lpddr4_small());
+        let mut mem = MemoryController::try_new(DramConfig::lpddr4_small()).expect("mem");
         let mut rrs = RowSwapDefense::new(SwapScheme::Rrs);
         let mut rng = seeded_rng(seed);
         let out = rrs
-            .run_campaign(&mut mem, victim_row, 3, AttackerTracking::FollowsAggressorData, &mut rng)
+            .run_campaign(
+                &mut mem,
+                victim_row,
+                3,
+                AttackerTracking::FollowsAggressorData,
+                &mut rng,
+            )
             .expect("campaign");
         wins += u32::from(out.flipped);
     }
@@ -109,13 +113,15 @@ fn graphene_refreshes_beat_a_burst_attacker() {
     use dd_baselines::GrapheneDefense;
     use dd_dram::GlobalRowId;
 
-    let mut mem = MemoryController::new(DramConfig::lpddr4_small());
+    let mut mem = MemoryController::try_new(DramConfig::lpddr4_small()).expect("mem");
     let mut graphene = GrapheneDefense::new(32, 2400);
     let victim = GlobalRowId::new(1, 2, 50);
     let aggressor = GlobalRowId::new(1, 2, 51);
     for _ in 0..20 {
         mem.hammer(aggressor, 600).expect("hammer");
-        graphene.on_activations(&mut mem, aggressor, 600).expect("observe");
+        graphene
+            .on_activations(&mut mem, aggressor, 600)
+            .expect("observe");
     }
     assert!(!mem.attempt_flip(victim, &[7]).expect("flip").flipped());
     assert!(graphene.refreshes >= 2);
@@ -135,13 +141,22 @@ fn software_defenses_raise_flip_cost() {
         let dataset = Dataset::generate(spec, &mut rng);
         let config = ModelConfig::new(Architecture::Mlp, spec.classes).with_base_width(4);
         let mut net = build_model(&config, &mut rng);
-        let tc =
-            TrainConfig { epochs: 8, batch_size: 32, lr: 0.1, momentum: 0.9, weight_decay: 0.0 };
+        let tc = TrainConfig {
+            epochs: 8,
+            batch_size: 32,
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        };
         train(&mut net, &dataset, tc, &mut rng);
         if binary {
             binarize_weights(&mut net);
             // Brief recovery fine-tune keeps the comparison fair.
-            let ft = TrainConfig { epochs: 2, lr: 0.02, ..tc };
+            let ft = TrainConfig {
+                epochs: 2,
+                lr: 0.02,
+                ..tc
+            };
             train(&mut net, &dataset, ft, &mut rng);
             binarize_weights(&mut net);
         }
@@ -150,16 +165,46 @@ fn software_defenses_raise_flip_cost() {
         (model, AttackData::single_batch(batch.images, batch.labels))
     };
 
-    let cfg = AttackConfig { target_accuracy: 0.5, max_flips: 40, ..Default::default() };
+    let cfg = AttackConfig {
+        target_accuracy: 0.5,
+        max_flips: 40,
+        ..Default::default()
+    };
     let (mut plain, data) = build(false);
     let plain_report = dd_attack::run_bfa(&mut plain, &data, &cfg, &Default::default());
     let (mut binary, bdata) = build(true);
     let binary_report = dd_attack::run_bfa(&mut binary, &bdata, &cfg, &Default::default());
 
-    let plain_cost = if plain_report.reached_target { plain_report.bit_flips } else { 41 };
-    let binary_cost = if binary_report.reached_target { binary_report.bit_flips } else { 41 };
+    let plain_cost = if plain_report.reached_target {
+        plain_report.bit_flips
+    } else {
+        41
+    };
+    let binary_cost = if binary_report.reached_target {
+        binary_report.bit_flips
+    } else {
+        41
+    };
     assert!(
         binary_cost >= plain_cost,
         "binary model should need at least as many flips ({binary_cost} vs {plain_cost})"
     );
+}
+
+#[test]
+fn random_attacker_cells_barely_dent_the_baseline() {
+    let report = matrix()
+        .budget(30)
+        .attacker(AttackerKind::Random { flips: 30 })
+        .defense("baseline", |_, _| Box::new(Undefended::named("baseline")))
+        .run()
+        .expect("matrix");
+    let cell = &report.cells[0];
+    // Fig. 1(b): random flips are far weaker than the targeted search.
+    assert!(
+        cell.post_attack_accuracy > 0.3,
+        "random attack unexpectedly strong: {}",
+        cell.post_attack_accuracy
+    );
+    assert_eq!(cell.landed, cell.attempts, "undefended campaigns all land");
 }

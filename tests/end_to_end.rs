@@ -13,9 +13,19 @@ fn victim() -> (QModel, AttackData, Dataset) {
     let dataset = Dataset::generate(spec, &mut rng);
     let config = ModelConfig::new(Architecture::Mlp, spec.classes).with_base_width(4);
     let mut net = build_model(&config, &mut rng);
-    let tc = TrainConfig { epochs: 8, batch_size: 32, lr: 0.1, momentum: 0.9, weight_decay: 0.0 };
+    let tc = TrainConfig {
+        epochs: 8,
+        batch_size: 32,
+        lr: 0.1,
+        momentum: 0.9,
+        weight_decay: 0.0,
+    };
     let report = train(&mut net, &dataset, tc, &mut rng);
-    assert!(report.test_accuracy > 0.8, "victim failed to train: {}", report.test_accuracy);
+    assert!(
+        report.test_accuracy > 0.8,
+        "victim failed to train: {}",
+        report.test_accuracy
+    );
     let model = QModel::from_network(net);
     let batch = dataset.attack_batch(64, &mut rng);
     let data = AttackData::single_batch(batch.images, batch.labels);
@@ -26,7 +36,11 @@ fn victim() -> (QModel, AttackData, Dataset) {
 fn bfa_beats_random_on_the_same_victim() {
     let (mut model, data, _) = victim();
     let snapshot = model.snapshot_q();
-    let cfg = AttackConfig { target_accuracy: 0.4, max_flips: 50, ..Default::default() };
+    let cfg = AttackConfig {
+        target_accuracy: 0.4,
+        max_flips: 50,
+        ..Default::default()
+    };
     let bfa = run_bfa(&mut model, &data, &cfg, &HashSet::new());
     model.restore_q(&snapshot);
     let mut rng = seeded_rng(5);
@@ -50,7 +64,11 @@ fn bfa_beats_random_on_the_same_victim() {
 fn full_defense_pipeline_holds_accuracy() {
     let (mut model, data, _) = victim();
     // Profile on the model, then deploy the *same* weights and protect.
-    let profile_cfg = AttackConfig { target_accuracy: 0.3, max_flips: 12, ..Default::default() };
+    let profile_cfg = AttackConfig {
+        target_accuracy: 0.3,
+        max_flips: 12,
+        ..Default::default()
+    };
     let profile = multi_round_profile(&mut model, &data, &profile_cfg, 3);
     assert!(!profile.bits.is_empty());
 
@@ -68,29 +86,43 @@ fn full_defense_pipeline_holds_accuracy() {
     // The naive attacker replays exactly the profiled (most damaging)
     // sequence through the hardware.
     let outcomes = system.run_campaign(&profile.bits).expect("campaign");
-    assert!(outcomes.iter().all(|o| !o.landed()), "a protected flip landed");
+    assert!(
+        outcomes.iter().all(|o| !o.landed()),
+        "a protected flip landed"
+    );
     let after = system.accuracy(&data.eval_images, &data.eval_labels);
     assert_eq!(clean, after, "defended accuracy moved");
     assert_eq!(system.stats().flips_landed, 0);
-    assert_eq!(system.stats().swaps as usize, profile.bits.len());
+    assert_eq!(system.stats().defense_ops as usize, profile.bits.len());
+    assert!(system.stats().invariants_hold());
 }
 
 #[test]
 fn undefended_system_collapses_under_the_same_campaign() {
     let (mut model, data, _) = victim();
-    let profile_cfg = AttackConfig { target_accuracy: 0.3, max_flips: 12, ..Default::default() };
+    let profile_cfg = AttackConfig {
+        target_accuracy: 0.3,
+        max_flips: 12,
+        ..Default::default()
+    };
     let profile = multi_round_profile(&mut model, &data, &profile_cfg, 3);
 
     let mut system = ProtectedSystem::deploy(
         model,
         DramConfig::lpddr4_small(),
-        DefenseConfig { enabled: false, ..Default::default() },
+        DefenseConfig {
+            enabled: false,
+            ..Default::default()
+        },
         77,
     )
     .expect("deploy");
     let clean = system.accuracy(&data.eval_images, &data.eval_labels);
     let outcomes = system.run_campaign(&profile.bits).expect("campaign");
-    assert!(outcomes.iter().all(|o| o.landed()), "undefended flip resisted");
+    assert!(
+        outcomes.iter().all(|o| o.landed()),
+        "undefended flip resisted"
+    );
     let after = system.accuracy(&data.eval_images, &data.eval_labels);
     assert!(
         after < clean - 0.2,
@@ -108,23 +140,36 @@ fn defense_timing_is_negligible_versus_hammering() {
         5,
     )
     .expect("deploy");
-    let bit = BitAddr { param: 0, index: 0, bit: 7 };
+    let bit = BitAddr {
+        param: 0,
+        index: 0,
+        bit: 7,
+    };
     system.protect([bit]);
     let _ = system.attack_bit(bit).expect("attack");
     let stats = system.memory().stats();
     // One campaign hammers T_RH = 4800 activations (~86 us); the defense
     // spent at most 4 RowClones (~360 ns) — well under 1% overhead.
     let swap_time = system.memory().config().timing.t_aap * 4;
-    assert!(swap_time.0 * 100 < stats.busy.0, "swap overhead not negligible");
+    assert!(
+        swap_time.0 * 100 < stats.busy.0,
+        "swap overhead not negligible"
+    );
     let _ = data;
 }
 
 #[test]
 fn model_and_dram_stay_bit_identical_after_mixed_traffic() {
     let (mut model, data, _) = victim();
-    let profile_cfg = AttackConfig { target_accuracy: 0.3, max_flips: 8, ..Default::default() };
+    let profile_cfg = AttackConfig {
+        target_accuracy: 0.3,
+        max_flips: 8,
+        ..Default::default()
+    };
     let profile = multi_round_profile(&mut model, &data, &profile_cfg, 2);
-    let total_weights: usize = (0..model.num_qparams()).map(|p| model.qtensor(p).len()).sum();
+    let total_weights: usize = (0..model.num_qparams())
+        .map(|p| model.qtensor(p).len())
+        .sum();
 
     let mut system = ProtectedSystem::deploy(
         model,

@@ -1,0 +1,121 @@
+//! Trait-conformance suite: every `DefenseMechanism` implementation in
+//! the workspace goes through the same deploy → attack → stats protocol
+//! (`dnn_defender::conformance::check`), which asserts the shared
+//! `DefenseStats` bookkeeping invariants — most importantly
+//! `flips_resisted + flips_landed == attempts` — and DRAM/model
+//! coherence. Family-specific behavior is asserted on top.
+
+use dd_baselines::{
+    GrapheneDefense, RowSwapMechanism, ShadowMechanism, SoftwareDefense, SoftwareKind, SwapScheme,
+};
+use dd_dram::DramConfig;
+use dnn_defender::conformance::check;
+use dnn_defender::defense::{DefenseConfig, DnnDefenderDefense, Undefended};
+
+const CAMPAIGNS: usize = 6;
+
+#[test]
+fn undefended_baseline_conforms() {
+    let report = check(Undefended::new(), CAMPAIGNS, 42);
+    assert_eq!(
+        report.landed(),
+        CAMPAIGNS,
+        "undefended memory lands every campaign"
+    );
+}
+
+#[test]
+fn dnn_defender_conforms() {
+    let defense = DnnDefenderDefense::with_profiling(DefenseConfig::default(), 2, 42);
+    let report = check(defense, CAMPAIGNS, 42);
+    assert!(
+        report.has_secured_set,
+        "DNN-Defender keeps a secured-bit set"
+    );
+    assert!(
+        report.resisted() >= CAMPAIGNS / 2,
+        "the secured half of the campaign must be resisted: {report:?}"
+    );
+    assert!(report.stats.defense_ops >= 1, "no swap was ever issued");
+    assert!(report.stats.row_clones >= 3 * report.stats.defense_ops);
+}
+
+#[test]
+fn graphene_conforms() {
+    let report = check(
+        GrapheneDefense::for_config(&DramConfig::lpddr4_small()),
+        CAMPAIGNS,
+        42,
+    );
+    assert_eq!(
+        report.landed(),
+        0,
+        "Graphene's victim refresh resists every campaign"
+    );
+    assert!(report.stats.defense_ops >= 1, "no refresh was ever issued");
+}
+
+#[test]
+fn rrs_conforms() {
+    let report = check(RowSwapMechanism::new(SwapScheme::Rrs, 42), CAMPAIGNS, 42);
+    assert!(
+        report.resisted() >= CAMPAIGNS - 1,
+        "RRS should break nearly every blind campaign: {report:?}"
+    );
+    assert!(
+        report.stats.defense_ops >= 1,
+        "no aggressor swap was ever issued"
+    );
+}
+
+#[test]
+fn srs_conforms() {
+    let report = check(RowSwapMechanism::new(SwapScheme::Srs, 43), CAMPAIGNS, 43);
+    assert!(
+        report.resisted() >= CAMPAIGNS - 1,
+        "SRS failure against blind attacker: {report:?}"
+    );
+}
+
+#[test]
+fn shadow_conforms() {
+    let report = check(ShadowMechanism::new(1000, 42), CAMPAIGNS, 42);
+    assert_eq!(report.landed(), 0, "budgeted SHADOW resists every campaign");
+    assert!(report.stats.defense_ops >= 1, "no shuffle was ever issued");
+}
+
+#[test]
+fn shadow_without_budget_conforms_but_leaks() {
+    let report = check(ShadowMechanism::new(0, 42), CAMPAIGNS, 42);
+    assert!(report.landed() > 0, "budget-exhausted SHADOW must leak");
+}
+
+#[test]
+fn software_defenses_conform() {
+    for kind in [
+        SoftwareKind::Clustering,
+        SoftwareKind::BinaryWeights,
+        SoftwareKind::CapacityX2,
+    ] {
+        let report = check(
+            SoftwareDefense::with_recovery_epochs(kind, 1),
+            CAMPAIGNS,
+            42,
+        );
+        assert_eq!(
+            report.landed(),
+            CAMPAIGNS,
+            "{}: software defenses never block flips in memory",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn boxed_dyn_defense_conforms() {
+    use dnn_defender::DynDefense;
+    let boxed: DynDefense = Box::new(Undefended::named("boxed"));
+    let report = check(boxed, CAMPAIGNS, 42);
+    assert_eq!(report.name, "boxed");
+    assert_eq!(report.landed(), CAMPAIGNS);
+}

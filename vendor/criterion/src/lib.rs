@@ -1,0 +1,131 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the subset of the criterion 0.5 API the workspace benches
+//! use — [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple calibrated wall-clock
+//! loop instead of criterion's statistical machinery. Good enough to spot
+//! order-of-magnitude regressions offline; swap the real crate back in
+//! for publication-quality numbers.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Number of timed iterations per benchmark (after one warm-up pass).
+/// Overridable with `CRITERION_STUB_ITERS`.
+fn iters() -> u64 {
+    std::env::var("CRITERION_STUB_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50)
+}
+
+/// Runs closures under timing; handed to benchmark definitions.
+pub struct Bencher {
+    total: Duration,
+    runs: u64,
+}
+
+impl Bencher {
+    /// Time `f` over a calibrated number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, excluded from timing
+        let n = iters();
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        self.total = start.elapsed();
+        self.runs = n;
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    if b.runs == 0 {
+        println!("{name:<48} (no iterations)");
+        return;
+    }
+    let per = b.total.as_nanos() / u128::from(b.runs);
+    println!("{name:<48} {per:>12} ns/iter ({} runs)", b.runs);
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for API compatibility; the stub's fixed iteration count
+    /// is controlled by `CRITERION_STUB_ITERS` instead.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            runs: 0,
+        };
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group; names are joined with `/` like criterion does.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            runs: 0,
+        };
+        f(&mut b);
+        report(&format!("{}/{name}", self.name), &b);
+        self
+    }
+
+    /// End the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit the bench binary's `main`, running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate keeps the
+//! workspace's `#[derive(Serialize, Deserialize)]` annotations compiling:
+//! the traits are markers (blanket-implemented for every type) and the
+//! derive macros expand to nothing. Swapping the real `serde` back in is a
+//! one-line Cargo change; no source edits are needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
