@@ -1,5 +1,5 @@
 //! T-BFA: the *targeted* bit-flip attack [Rakin et al., TPAMI 2021] —
-//! cited as ref [17] in the paper's threat model.
+//! cited as ref \[17\] in the paper's threat model.
 //!
 //! Instead of destroying accuracy outright, T-BFA flips bits so that
 //! inputs (optionally only those of a source class) are classified as an

@@ -59,8 +59,9 @@ pub mod swap_based;
 pub use counters::{CounterPerRow, HydraTracker, TwiceTable};
 pub use graphene::{GrapheneDefense, MisraGries};
 pub use scenario::{
-    dram_label, fig8_rows, AttackerKind, CellReport, DefenseFactory, Fig8Row, MatrixReport,
-    Scenario, ScenarioMatrix, VictimSpec,
+    dram_label, fig8_rows, AttackerKind, CellProgress, CellReport, DefenseFactory, DefenseKind,
+    Fig8Row, MatrixReport, MatrixRunSummary, Scenario, ScenarioMatrix, VictimSpec,
+    CELL_PROTOCOL_VERSION,
 };
 pub use shadow::{ShadowDefense, ShadowMechanism};
 pub use software::{

@@ -23,9 +23,11 @@
 //! *real* system state (belief minus blocked flips). Bit flips commute,
 //! so the belief/real bookkeeping is exact.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -41,7 +43,7 @@ use dnn_defender::defense::{
     CampaignView, DefenseConfig, DefenseMechanism, DefenseStats, DnnDefenderDefense, DynDefense,
     Undefended,
 };
-use dnn_defender::{DefenseOp, SecurityModel};
+use dnn_defender::{DefenseOp, Json, JsonError, SecurityModel, StableHash, StableHasher};
 
 use crate::graphene::GrapheneDefense;
 use crate::shadow::ShadowMechanism;
@@ -67,8 +69,9 @@ pub enum AttackerKind {
 }
 
 impl AttackerKind {
-    /// Display name for report rows.
-    pub fn name(&self) -> String {
+    /// Canonical attacker label — the single source of truth shared by
+    /// cell seeds, report rows, artifacts, and the rendered docs.
+    pub fn label(&self) -> String {
         match self {
             AttackerKind::Bfa => "BFA".to_string(),
             AttackerKind::Tbfa(goal) => match goal.source_class {
@@ -78,6 +81,132 @@ impl AttackerKind {
             AttackerKind::Random { flips } => format!("Random({flips})"),
             AttackerKind::Adaptive(t) => format!("Adaptive({t:?})"),
         }
+    }
+}
+
+impl fmt::Display for AttackerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+impl StableHash for AttackerKind {
+    fn stable_hash(&self, hasher: &mut StableHasher) {
+        // The label is injective over the variants and their parameters,
+        // so hashing it is exactly hashing the attacker's identity.
+        hasher.write_str("AttackerKind");
+        hasher.write_str(&self.label());
+    }
+}
+
+/// Version of the cell evaluation *behavior*: the defense
+/// implementations, the constants baked into [`DefenseKind::build`]
+/// (SHADOW's shuffle budget, DNN-Defender's profiling rounds, …), and
+/// the replay protocol in `run_cell`. Cell cache keys and matrix config
+/// hashes can only see *configuration*, not code — **bump this whenever
+/// a change alters what any cell would compute for the same
+/// configuration**, so every cached `CellReport` and reusable artifact
+/// is invalidated.
+pub const CELL_PROTOCOL_VERSION: u64 = 1;
+
+/// The canonical defense roster: every mitigation the paper's Table 3
+/// compares, as a closed enum so the scenario matrix, the artifacts, and
+/// the rendered report all draw row labels (and factories) from one
+/// place instead of ad-hoc strings at each call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DefenseKind {
+    /// Undefended DRAM (the Table 3 baseline row).
+    Undefended,
+    /// Piece-wise clustering (software).
+    Clustering,
+    /// Binary (±α) weights (software).
+    BinaryWeights,
+    /// Model capacity ×2 (software).
+    CapacityX2,
+    /// Graphene counter-based victim refresh.
+    Graphene,
+    /// Randomized row swap.
+    Rrs,
+    /// Scalable row swap.
+    Srs,
+    /// SHADOW intra-subarray shuffling.
+    Shadow,
+    /// DNN-Defender with 2-round priority profiling.
+    DnnDefender,
+}
+
+impl DefenseKind {
+    /// The Table 3 roster in paper row order.
+    pub const TABLE3: [DefenseKind; 9] = [
+        DefenseKind::Undefended,
+        DefenseKind::Clustering,
+        DefenseKind::BinaryWeights,
+        DefenseKind::CapacityX2,
+        DefenseKind::Graphene,
+        DefenseKind::Rrs,
+        DefenseKind::Srs,
+        DefenseKind::Shadow,
+        DefenseKind::DnnDefender,
+    ];
+
+    /// Canonical row label. Matches the `DefenseMechanism::name` of the
+    /// built mechanism (checked by a test), so the label is one fact.
+    pub fn label(self) -> &'static str {
+        match self {
+            DefenseKind::Undefended => "Baseline (undefended)",
+            DefenseKind::Clustering => SoftwareKind::Clustering.name(),
+            DefenseKind::BinaryWeights => SoftwareKind::BinaryWeights.name(),
+            DefenseKind::CapacityX2 => SoftwareKind::CapacityX2.name(),
+            DefenseKind::Graphene => "Graphene",
+            DefenseKind::Rrs => "RRS",
+            DefenseKind::Srs => "SRS",
+            DefenseKind::Shadow => "SHADOW",
+            DefenseKind::DnnDefender => "DNN-Defender",
+        }
+    }
+
+    /// The paper's per-defense attempt budget for Table 3 (hardware
+    /// defenses need paper-scaled budgets for leak *rates* to be
+    /// statistically visible); `None` = use the matrix default.
+    pub fn paper_budget(self) -> Option<usize> {
+        match self {
+            DefenseKind::Graphene | DefenseKind::Rrs => Some(342),
+            DefenseKind::Srs => Some(378),
+            DefenseKind::Shadow => Some(985),
+            DefenseKind::DnnDefender => Some(1150),
+            _ => None,
+        }
+    }
+
+    /// Build a fresh per-cell instance (the matrix's defense factory).
+    ///
+    /// Changing any constant here (or any mechanism's implementation)
+    /// changes what cells compute without changing their cache keys —
+    /// bump [`CELL_PROTOCOL_VERSION`] alongside such edits.
+    pub fn build(self, seed: u64, config: &DramConfig) -> DynDefense {
+        match self {
+            DefenseKind::Undefended => Box::new(Undefended::new()),
+            DefenseKind::Clustering => Box::new(SoftwareDefense::new(SoftwareKind::Clustering)),
+            DefenseKind::BinaryWeights => {
+                Box::new(SoftwareDefense::new(SoftwareKind::BinaryWeights))
+            }
+            DefenseKind::CapacityX2 => Box::new(SoftwareDefense::new(SoftwareKind::CapacityX2)),
+            DefenseKind::Graphene => Box::new(GrapheneDefense::for_config(config)),
+            DefenseKind::Rrs => Box::new(RowSwapMechanism::new(SwapScheme::Rrs, seed)),
+            DefenseKind::Srs => Box::new(RowSwapMechanism::new(SwapScheme::Srs, seed)),
+            DefenseKind::Shadow => Box::new(ShadowMechanism::new(1000, seed)),
+            DefenseKind::DnnDefender => Box::new(DnnDefenderDefense::with_profiling(
+                DefenseConfig::default(),
+                2,
+                seed,
+            )),
+        }
+    }
+}
+
+impl fmt::Display for DefenseKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
     }
 }
 
@@ -178,11 +307,24 @@ impl VictimSpec {
     }
 }
 
+impl StableHash for VictimSpec {
+    fn stable_hash(&self, hasher: &mut StableHasher) {
+        hasher.write_str("VictimSpec");
+        hasher.write_str(self.arch.name());
+        hasher.write(&self.spec);
+        hasher.write_usize(self.base_width);
+        hasher.write(&self.train);
+        hasher.write(&self.fine_tune);
+        hasher.write_u64(self.seed);
+        hasher.write_usize(self.batch);
+    }
+}
+
 /// Builds a fresh defense for a cell: `(cell seed, device config)`.
 pub type DefenseFactory = Box<dyn Fn(u64, &DramConfig) -> DynDefense + Send + Sync>;
 
 /// One fully-resolved cell of the matrix.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Scenario {
     /// Defense row label.
     pub defense: String,
@@ -218,12 +360,90 @@ pub struct MatrixReport {
     pub cells: Vec<CellReport>,
 }
 
+impl Scenario {
+    /// Serialize for the artifact pipeline (`seed` travels as a hex
+    /// string: it is a full-width FNV digest, too wide for a JSON number).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("defense", Json::str(&self.defense))
+            .with("attacker", Json::str(&self.attacker))
+            .with("dram", Json::str(&self.dram))
+            .with("seed", Json::hex(self.seed))
+    }
+
+    /// Deserialize an artifact-pipeline record.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing or mistyped fields.
+    pub fn from_json(value: &Json) -> Result<Scenario, JsonError> {
+        Ok(Scenario {
+            defense: value.field_str("defense")?.to_string(),
+            attacker: value.field_str("attacker")?.to_string(),
+            dram: value.field_str("dram")?.to_string(),
+            seed: value.field_hex_u64("seed")?,
+        })
+    }
+}
+
+impl CellReport {
+    /// Serialize for the artifact pipeline and the on-disk cell cache.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("scenario", self.scenario.to_json())
+            .with("clean_accuracy", Json::num(self.clean_accuracy))
+            .with("post_attack_accuracy", Json::num(self.post_attack_accuracy))
+            .with("attempts", Json::uint(self.attempts as u64))
+            .with("landed", Json::uint(self.landed as u64))
+            .with("stats", self.stats.to_json())
+    }
+
+    /// Deserialize an artifact-pipeline / cell-cache record.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing or mistyped fields.
+    pub fn from_json(value: &Json) -> Result<CellReport, JsonError> {
+        Ok(CellReport {
+            scenario: Scenario::from_json(value.field("scenario")?)?,
+            clean_accuracy: value.field_f64("clean_accuracy")? as f32,
+            post_attack_accuracy: value.field_f64("post_attack_accuracy")? as f32,
+            attempts: value.field_u64("attempts")? as usize,
+            landed: value.field_u64("landed")? as usize,
+            stats: DefenseStats::from_json(value.field("stats")?)?,
+        })
+    }
+}
+
 impl MatrixReport {
     /// The first cell matching a defense label (and attacker label, if
     /// given).
     pub fn cell(&self, defense: &str, attacker: Option<&str>) -> Option<&CellReport> {
         self.cells.iter().find(|c| {
             c.scenario.defense == defense && attacker.is_none_or(|a| c.scenario.attacker == a)
+        })
+    }
+
+    /// Serialize for the artifact pipeline.
+    pub fn to_json(&self) -> Json {
+        Json::obj().with(
+            "cells",
+            Json::Arr(self.cells.iter().map(CellReport::to_json).collect()),
+        )
+    }
+
+    /// Deserialize an artifact-pipeline record.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing or mistyped fields.
+    pub fn from_json(value: &Json) -> Result<MatrixReport, JsonError> {
+        Ok(MatrixReport {
+            cells: value
+                .field_arr("cells")?
+                .iter()
+                .map(CellReport::from_json)
+                .collect::<Result<_, _>>()?,
         })
     }
 }
@@ -244,6 +464,33 @@ pub struct Fig8Row {
     pub attacker_bfas: u64,
 }
 
+impl Fig8Row {
+    /// Serialize for the artifact pipeline.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("t_rh", Json::uint(self.t_rh))
+            .with("dd_days", Json::num(self.dd_days))
+            .with("shadow_days", Json::num(self.shadow_days))
+            .with("max_defended_bfas", Json::uint(self.max_defended_bfas))
+            .with("attacker_bfas", Json::uint(self.attacker_bfas))
+    }
+
+    /// Deserialize an artifact-pipeline record.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing or mistyped fields.
+    pub fn from_json(value: &Json) -> Result<Fig8Row, JsonError> {
+        Ok(Fig8Row {
+            t_rh: value.field_u64("t_rh")?,
+            dd_days: value.field_f64("dd_days")?,
+            shadow_days: value.field_f64("shadow_days")?,
+            max_defended_bfas: value.field_u64("max_defended_bfas")?,
+            attacker_bfas: value.field_u64("attacker_bfas")?,
+        })
+    }
+}
+
 /// The Fig. 8 analytical rows for a device across thresholds.
 pub fn fig8_rows(config: &DramConfig, t_rhs: &[u64]) -> Vec<Fig8Row> {
     let m = SecurityModel::from_config(config);
@@ -257,6 +504,41 @@ pub fn fig8_rows(config: &DramConfig, t_rhs: &[u64]) -> Vec<Fig8Row> {
             attacker_bfas: m.max_bfas_per_tref(t_rh),
         })
         .collect()
+}
+
+/// One finished cell, as seen by a live progress callback.
+#[derive(Debug, Clone)]
+pub struct CellProgress {
+    /// Cells finished so far (including this one).
+    pub done: usize,
+    /// Total cells in the matrix.
+    pub total: usize,
+    /// The cell that finished.
+    pub scenario: Scenario,
+    /// Whether it was served from the cache.
+    pub cache_hit: bool,
+    /// Wall time of the cell's execution (0 for cache hits).
+    pub millis: u64,
+}
+
+/// Tally of one [`ScenarioMatrix::run_with_cache`] invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixRunSummary {
+    /// Cells in the matrix.
+    pub cells: usize,
+    /// Cells served from the cache.
+    pub cache_hits: usize,
+}
+
+impl MatrixRunSummary {
+    /// Fraction of cells served from the cache (1.0 for an empty matrix).
+    pub fn hit_rate(&self) -> f64 {
+        if self.cells == 0 {
+            1.0
+        } else {
+            self.cache_hits as f64 / self.cells as f64
+        }
+    }
 }
 
 /// Builder for attacker × defense × device sweeps.
@@ -349,39 +631,27 @@ impl ScenarioMatrix {
         self
     }
 
-    /// Add the Table 3 defense roster: the undefended baseline, the three
-    /// software defenses, and the four hardware families (Graphene,
-    /// RRS/SRS, SHADOW) plus DNN-Defender with 2-round priority profiling.
+    /// Add one canonical defense with its canonical label (and no budget
+    /// override).
+    pub fn defense_kind(self, kind: DefenseKind) -> Self {
+        self.defense(kind.label(), move |seed, config| kind.build(seed, config))
+    }
+
+    /// Add one canonical defense with an attempt-budget override.
+    pub fn defense_kind_budgeted(self, kind: DefenseKind, budget: usize) -> Self {
+        self.defense_budgeted(kind.label(), budget, move |seed, config| {
+            kind.build(seed, config)
+        })
+    }
+
+    /// Add the Table 3 defense roster ([`DefenseKind::TABLE3`]): the
+    /// undefended baseline, the three software defenses, and the four
+    /// hardware families (Graphene, RRS/SRS, SHADOW) plus DNN-Defender
+    /// with 2-round priority profiling.
     pub fn with_table3_defenses(self) -> Self {
-        self.defense("Baseline (undefended)", |_, _| Box::new(Undefended::new()))
-            .defense(SoftwareKind::Clustering.name(), |_, _| {
-                Box::new(SoftwareDefense::new(SoftwareKind::Clustering))
-            })
-            .defense(SoftwareKind::BinaryWeights.name(), |_, _| {
-                Box::new(SoftwareDefense::new(SoftwareKind::BinaryWeights))
-            })
-            .defense(SoftwareKind::CapacityX2.name(), |_, _| {
-                Box::new(SoftwareDefense::new(SoftwareKind::CapacityX2))
-            })
-            .defense("Graphene", |_, config| {
-                Box::new(GrapheneDefense::for_config(config))
-            })
-            .defense("RRS", |seed, _| {
-                Box::new(RowSwapMechanism::new(SwapScheme::Rrs, seed))
-            })
-            .defense("SRS", |seed, _| {
-                Box::new(RowSwapMechanism::new(SwapScheme::Srs, seed))
-            })
-            .defense("SHADOW", |seed, _| {
-                Box::new(ShadowMechanism::new(1000, seed))
-            })
-            .defense("DNN-Defender", |seed, _| {
-                Box::new(DnnDefenderDefense::with_profiling(
-                    DefenseConfig::default(),
-                    2,
-                    seed,
-                ))
-            })
+        DefenseKind::TABLE3
+            .into_iter()
+            .fold(self, |matrix, kind| matrix.defense_kind(kind))
     }
 
     fn effective_attackers(&self) -> Vec<AttackerKind> {
@@ -404,7 +674,7 @@ impl ScenarioMatrix {
         let mut h: u64 = self.seed ^ 0xcbf2_9ce4_8422_2325;
         for b in defense
             .bytes()
-            .chain(attacker.name().bytes())
+            .chain(attacker.label().bytes())
             .chain(dram_label(dram).bytes())
         {
             h ^= u64::from(b);
@@ -421,7 +691,7 @@ impl ScenarioMatrix {
                 for dram in self.effective_dram() {
                     out.push(Scenario {
                         defense: name.clone(),
-                        attacker: attacker.name(),
+                        attacker: attacker.label(),
                         dram: dram_label(&dram),
                         seed: self.cell_seed(name, &attacker, &dram),
                     });
@@ -437,6 +707,85 @@ impl ScenarioMatrix {
         fig8_rows(&dram[0], t_rhs)
     }
 
+    /// Content hash of everything that determines this matrix's results:
+    /// victim recipe, attack config, budgets, seeds, defense roster, and
+    /// device list. Stable across processes and builds (see
+    /// [`dnn_defender::stablehash`]); the artifact pipeline stamps it
+    /// into `artifacts/*.json`.
+    pub fn config_hash(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_str("ScenarioMatrix/v1");
+        h.write_u64(CELL_PROTOCOL_VERSION);
+        h.write(&self.victim);
+        h.write(&self.attack);
+        h.write_usize(self.budget);
+        h.write_u64(self.seed);
+        h.write_usize(self.defenses.len());
+        for (name, _, budget_override) in &self.defenses {
+            h.write_str(name);
+            h.write(budget_override);
+        }
+        h.write(&self.effective_attackers());
+        h.write(&self.effective_dram());
+        h.finish()
+    }
+
+    /// Content-hash cache key of one cell: the victim recipe, the attack
+    /// config, the cell's effective budget, the defense label, the
+    /// attacker, the full device config, the per-cell seed, and
+    /// [`CELL_PROTOCOL_VERSION`].
+    ///
+    /// The key covers the cell's *configuration*, not its code: the
+    /// defense participates through its label only (factories are opaque
+    /// closures). Reuse is therefore sound exactly when equal labels
+    /// imply equal behavior — true for [`DefenseKind`]-built rosters at
+    /// a fixed [`CELL_PROTOCOL_VERSION`], but callers who pass custom
+    /// factories under a reused label (or change a mechanism's
+    /// implementation without bumping the version) will get stale hits.
+    fn cell_cache_key(
+        &self,
+        defense_idx: usize,
+        attacker: &AttackerKind,
+        dram: &DramConfig,
+    ) -> u64 {
+        let (name, _, budget_override) = &self.defenses[defense_idx];
+        let mut h = StableHasher::new();
+        h.write_str("ScenarioCell/v1");
+        h.write_u64(CELL_PROTOCOL_VERSION);
+        h.write(&self.victim);
+        h.write(&self.attack);
+        h.write_usize(budget_override.unwrap_or(self.budget));
+        h.write_str(name);
+        h.write(attacker);
+        h.write(dram);
+        h.write_u64(self.cell_seed(name, attacker, dram));
+        h.finish()
+    }
+
+    /// The cells `run` will execute with their cache keys, aligned with
+    /// [`ScenarioMatrix::scenarios`].
+    pub fn cell_keys(&self) -> Vec<(Scenario, u64)> {
+        let attackers = self.effective_attackers();
+        let drams = self.effective_dram();
+        let mut out = Vec::new();
+        for (d, (name, _, _)) in self.defenses.iter().enumerate() {
+            for attacker in &attackers {
+                for dram in &drams {
+                    out.push((
+                        Scenario {
+                            defense: name.clone(),
+                            attacker: attacker.label(),
+                            dram: dram_label(dram),
+                            seed: self.cell_seed(name, attacker, dram),
+                        },
+                        self.cell_cache_key(d, attacker, dram),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
     /// Run every cell of the cross product in parallel and collect the
     /// report (cells stay in deterministic defense-major order regardless
     /// of scheduling).
@@ -449,6 +798,30 @@ impl ScenarioMatrix {
     ///
     /// Panics when no defenses were added.
     pub fn run(&self) -> Result<MatrixReport, DramError> {
+        self.run_with_cache(&HashMap::new(), None)
+            .map(|(report, _)| report)
+    }
+
+    /// [`ScenarioMatrix::run`], reusing previously computed cells.
+    ///
+    /// Cells whose [cache key](ScenarioMatrix::cell_keys) appears in
+    /// `cache` are taken from it verbatim (and counted in the summary);
+    /// only the misses execute, in parallel. `progress` (if given) is
+    /// called once per finished cell — hits first, then misses as they
+    /// complete, from worker threads — with a monotone `done` counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DramError`] any cell produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no defenses were added.
+    pub fn run_with_cache(
+        &self,
+        cache: &HashMap<u64, CellReport>,
+        progress: Option<&(dyn Fn(&CellProgress) + Sync)>,
+    ) -> Result<(MatrixReport, MatrixRunSummary), DramError> {
         assert!(!self.defenses.is_empty(), "scenario matrix has no defenses");
         let attackers = self.effective_attackers();
         let drams = self.effective_dram();
@@ -459,35 +832,75 @@ impl ScenarioMatrix {
                 (0..attackers.len()).flat_map(move |a| (0..drams.len()).map(move |m| (d, a, m)))
             })
             .collect();
-
-        let workers = self
-            .threads
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            })
-            .min(cells.len())
-            .max(1);
+        let total = cells.len();
 
         let slots: Vec<Mutex<Option<Result<CellReport, DramError>>>> =
             cells.iter().map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
 
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(d, a, m)) = cells.get(i) else {
-                        break;
-                    };
-                    let result = self.run_cell(d, &attackers[a], &drams[m]);
-                    *slots[i].lock().expect("cell slot") = Some(result);
-                });
+        let mut pending: Vec<usize> = Vec::new();
+        let mut cache_hits = 0usize;
+        for (i, &(d, a, m)) in cells.iter().enumerate() {
+            let key = self.cell_cache_key(d, &attackers[a], &drams[m]);
+            match cache.get(&key) {
+                Some(hit) => {
+                    cache_hits += 1;
+                    *slots[i].lock().expect("cell slot") = Some(Ok(hit.clone()));
+                    let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if let Some(observe) = progress {
+                        observe(&CellProgress {
+                            done: n,
+                            total,
+                            scenario: hit.scenario.clone(),
+                            cache_hit: true,
+                            millis: 0,
+                        });
+                    }
+                }
+                None => pending.push(i),
             }
-        });
+        }
 
-        let mut out = Vec::with_capacity(cells.len());
+        if !pending.is_empty() {
+            let workers = self
+                .threads
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                })
+                .min(pending.len())
+                .max(1);
+            let next = AtomicUsize::new(0);
+            let pending = &pending;
+
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let p = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&i) = pending.get(p) else {
+                            break;
+                        };
+                        let (d, a, m) = cells[i];
+                        let started = Instant::now();
+                        let result = self.run_cell(d, &attackers[a], &drams[m]);
+                        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        if let (Some(observe), Ok(cell)) = (progress, &result) {
+                            observe(&CellProgress {
+                                done: n,
+                                total,
+                                scenario: cell.scenario.clone(),
+                                cache_hit: false,
+                                millis: started.elapsed().as_millis() as u64,
+                            });
+                        }
+                        *slots[i].lock().expect("cell slot") = Some(result);
+                    });
+                }
+            });
+        }
+
+        let mut out = Vec::with_capacity(total);
         for slot in slots {
             out.push(
                 slot.into_inner()
@@ -495,7 +908,13 @@ impl ScenarioMatrix {
                     .expect("cell executed")?,
             );
         }
-        Ok(MatrixReport { cells: out })
+        Ok((
+            MatrixReport { cells: out },
+            MatrixRunSummary {
+                cells: total,
+                cache_hits,
+            },
+        ))
     }
 
     /// Execute one cell.
@@ -630,7 +1049,7 @@ impl ScenarioMatrix {
         Ok(CellReport {
             scenario: Scenario {
                 defense: name.clone(),
-                attacker: attacker.name(),
+                attacker: attacker.label(),
                 dram: dram_label(dram),
                 seed,
             },
@@ -809,6 +1228,110 @@ mod tests {
         assert_eq!(
             a.cells[0].post_attack_accuracy,
             b.cells[0].post_attack_accuracy
+        );
+    }
+
+    #[test]
+    fn defense_kind_labels_match_mechanism_names() {
+        let config = DramConfig::lpddr4_small();
+        for kind in DefenseKind::TABLE3 {
+            let mechanism = kind.build(7, &config);
+            assert_eq!(
+                mechanism.name(),
+                kind.label(),
+                "label drifted from the mechanism's own name"
+            );
+            assert_eq!(format!("{kind}"), kind.label());
+        }
+    }
+
+    #[test]
+    fn cell_report_json_round_trips() {
+        let report = quick_matrix()
+            .budget(4)
+            .defense_kind(DefenseKind::Undefended)
+            .run()
+            .expect("matrix");
+        let json = report.to_json();
+        let text = json.render_pretty();
+        let back = MatrixReport::from_json(&Json::parse(&text).expect("parse")).expect("decode");
+        assert_eq!(back.cells.len(), report.cells.len());
+        let (a, b) = (&report.cells[0], &back.cells[0]);
+        assert_eq!(a.scenario, b.scenario);
+        assert_eq!(a.clean_accuracy, b.clean_accuracy);
+        assert_eq!(a.post_attack_accuracy, b.post_attack_accuracy);
+        assert_eq!(a.attempts, b.attempts);
+        assert_eq!(a.landed, b.landed);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn cache_keys_are_stable_and_config_sensitive() {
+        let build = |budget: usize| {
+            quick_matrix()
+                .budget(budget)
+                .attacker(AttackerKind::Bfa)
+                .defense_kind(DefenseKind::Undefended)
+                .defense_kind(DefenseKind::Rrs)
+        };
+        let a = build(8);
+        let b = build(8);
+        assert_eq!(a.config_hash(), b.config_hash());
+        assert_eq!(a.cell_keys(), b.cell_keys());
+        let c = build(9);
+        assert_ne!(a.config_hash(), c.config_hash());
+        for ((_, ka), (_, kc)) in a.cell_keys().iter().zip(c.cell_keys()) {
+            assert_ne!(*ka, kc, "budget change must invalidate every cell key");
+        }
+        // Per-defense budget overrides only touch that defense's cells.
+        let d = build(8).defense_kind_budgeted(DefenseKind::Shadow, 10);
+        let keys_a = a.cell_keys();
+        let keys_d = d.cell_keys();
+        assert_eq!(&keys_d[..keys_a.len()], &keys_a[..]);
+    }
+
+    #[test]
+    fn run_with_cache_reuses_cells_and_reports_progress() {
+        let matrix = quick_matrix()
+            .budget(6)
+            .defense_kind(DefenseKind::Undefended)
+            .defense_kind(DefenseKind::Rrs);
+        let (report, summary) = matrix
+            .run_with_cache(&HashMap::new(), None)
+            .expect("cold run");
+        assert_eq!(summary.cells, 2);
+        assert_eq!(summary.cache_hits, 0);
+
+        let cache: HashMap<u64, CellReport> = matrix
+            .cell_keys()
+            .into_iter()
+            .map(|(_, key)| key)
+            .zip(report.cells.iter().cloned())
+            .collect();
+        let events = Mutex::new(Vec::new());
+        let observe = |p: &CellProgress| {
+            events.lock().unwrap().push((p.done, p.cache_hit));
+        };
+        let (warm, summary) = matrix
+            .run_with_cache(&cache, Some(&observe))
+            .expect("warm run");
+        assert_eq!(summary.cache_hits, 2);
+        assert!((summary.hit_rate() - 1.0).abs() < f64::EPSILON);
+        assert_eq!(events.lock().unwrap().as_slice(), &[(1, true), (2, true)]);
+        for (a, b) in report.cells.iter().zip(&warm.cells) {
+            assert_eq!(a.scenario, b.scenario);
+            assert_eq!(a.post_attack_accuracy, b.post_attack_accuracy);
+        }
+
+        // A partial cache recomputes only the misses.
+        let (_, key) = &matrix.cell_keys()[0];
+        let partial: HashMap<u64, CellReport> = HashMap::from([(*key, report.cells[0].clone())]);
+        let (mixed, summary) = matrix.run_with_cache(&partial, None).expect("mixed run");
+        assert_eq!(summary.cache_hits, 1);
+        assert_eq!(mixed.cells.len(), 2);
+        assert_eq!(
+            mixed.cells[1].post_attack_accuracy,
+            report.cells[1].post_attack_accuracy
         );
     }
 

@@ -1,40 +1,8 @@
 //! Figure 1(a): RowHammer thresholds across DRAM generations.
 //!
-//! Regenerates the threshold survey the paper motivates with: the hammer
-//! count needed to induce bit flips has dropped ~4.5× from DDR3 (new) to
-//! LPDDR4 (new).
-
-use dd_bench::print_table;
-use dnn_defender::rh_thresholds;
+//! Thin wrapper over `dd_bench::experiments` — prefer `repro fig1a`,
+//! which also writes the artifact and updates the docs.
 
 fn main() {
-    let points = rh_thresholds();
-    let baseline = points
-        .iter()
-        .find(|p| p.generation == "LPDDR4 (new)")
-        .expect("survey contains LPDDR4 (new)")
-        .threshold;
-    let rows: Vec<Vec<String>> = points
-        .iter()
-        .map(|p| {
-            vec![
-                p.generation.to_string(),
-                format!("{}", p.threshold),
-                format!("{:.1}x", p.threshold as f64 / baseline as f64),
-            ]
-        })
-        .collect();
-    print_table(
-        "Fig 1(a): RowHammer threshold (T_RH) by DRAM generation",
-        &["Generation", "T_RH (hammer count)", "vs LPDDR4 (new)"],
-        &rows,
-    );
-    let ddr3_new = points
-        .iter()
-        .find(|p| p.generation == "DDR3 (new)")
-        .unwrap();
-    println!(
-        "\nAttackers need ~{:.1}x fewer hammers on LPDDR4 (new) than DDR3 (new).",
-        ddr3_new.threshold as f64 / baseline as f64
-    );
+    dd_bench::experiments::run_standalone(dd_bench::experiments::ExperimentId::Fig1a);
 }

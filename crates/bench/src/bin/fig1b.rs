@@ -1,127 +1,9 @@
 //! Figure 1(b): targeted BFA vs random bit flips vs DNN-Defender on an
 //! 8-bit ResNet-34 (ImageNet stand-in).
 //!
-//! The paper's headline motivation: a targeted BFA collapses accuracy in
-//! <25 flips while >100 random flips barely move it, and the defended
-//! system holds its clean accuracy.
-
-use std::collections::HashSet;
-
-use dd_attack::{attack_protected, run_bfa, run_random_attack, AttackConfig, ThreatModel};
-use dd_bench::{pct, prepare_victim, print_table, quick_mode, DatasetKind};
-use dd_nn::init::seeded_rng;
-use dd_qnn::Architecture;
+//! Thin wrapper over `dd_bench::experiments` — prefer `repro fig1b`,
+//! which also writes the artifact and updates the docs.
 
 fn main() {
-    let width = if quick_mode() { 2 } else { 4 };
-    println!(
-        "Training ResNet-34 (base width {width}) on {}...",
-        DatasetKind::ImageNet.name()
-    );
-    let mut victim = prepare_victim(
-        Architecture::ResNet34,
-        DatasetKind::ImageNet,
-        width,
-        20240604,
-    );
-    println!(
-        "Victim ready: {} quantizable layers, {} weight bits, clean accuracy {}",
-        victim.model.num_qparams(),
-        victim.model.total_bits(),
-        pct(victim.clean_accuracy)
-    );
-    let chance = DatasetKind::ImageNet.chance();
-    let snapshot = victim.model.snapshot_q();
-
-    // Targeted BFA.
-    let max_flips = if quick_mode() { 10 } else { 25 };
-    let config = AttackConfig {
-        target_accuracy: chance * 1.1,
-        max_flips,
-        ..Default::default()
-    };
-    let bfa = run_bfa(&mut victim.model, &victim.data, &config, &HashSet::new());
-    victim.model.restore_q(&snapshot);
-
-    // Random attack: 4x the budget.
-    let mut rng = seeded_rng(7);
-    let random_flips = if quick_mode() { 40 } else { 120 };
-    let random = run_random_attack(
-        &mut victim.model,
-        &victim.data.eval_images,
-        &victim.data.eval_labels,
-        random_flips,
-        random_flips / 8,
-        &mut rng,
-    );
-    victim.model.restore_q(&snapshot);
-
-    // Defended: profile the vulnerable bits, protect them, re-attack.
-    // Round-1 profiling runs to the attacker's full budget (the naive
-    // attacker continues its greedy path from the believed-flipped state,
-    // i.e. one long BFA round); later rounds add adaptive-attack cover.
-    let rounds = if quick_mode() { 2 } else { 4 };
-    let profile_cfg = AttackConfig {
-        target_accuracy: 0.0,
-        ..config
-    };
-    let profile =
-        dd_attack::multi_round_profile(&mut victim.model, &victim.data, &profile_cfg, rounds);
-    let protected = profile.all();
-    let defended = attack_protected(
-        &mut victim.model,
-        &victim.data,
-        &config,
-        &protected,
-        ThreatModel::SemiWhiteBox,
-    );
-    victim.model.restore_q(&snapshot);
-
-    let mut rows = Vec::new();
-    for (flips, acc) in bfa.trajectory() {
-        rows.push(vec!["BFA (targeted)".into(), flips.to_string(), pct(acc)]);
-    }
-    for (flips, acc) in &random.trajectory {
-        rows.push(vec!["Random attack".into(), flips.to_string(), pct(*acc)]);
-    }
-    for (flips, acc) in &defended.trajectory {
-        rows.push(vec!["DNN-Defender".into(), flips.to_string(), pct(*acc)]);
-    }
-    print_table(
-        "Fig 1(b): accuracy vs accumulated bit flips (ResNet-34, ImageNet stand-in)",
-        &["Curve", "Bit flips", "Accuracy"],
-        &rows,
-    );
-
-    print_table(
-        "Summary",
-        &["Curve", "Flips spent", "Final accuracy"],
-        &[
-            vec![
-                "BFA (targeted)".into(),
-                bfa.bit_flips.to_string(),
-                pct(bfa.final_accuracy),
-            ],
-            vec![
-                "Random attack".into(),
-                random_flips.to_string(),
-                pct(random.final_accuracy),
-            ],
-            vec![
-                "DNN-Defender (secured bits)".into(),
-                format!("{} attempted", defended.attempted_flips),
-                pct(defended.final_accuracy),
-            ],
-        ],
-    );
-    println!(
-        "\nShape check: BFA needs {} flips to approach chance ({}), random keeps {} \
-         after {} flips, defended system holds {} (clean {}).",
-        bfa.bit_flips,
-        pct(chance),
-        pct(random.final_accuracy),
-        random_flips,
-        pct(defended.final_accuracy),
-        pct(victim.clean_accuracy)
-    );
+    dd_bench::experiments::run_standalone(dd_bench::experiments::ExperimentId::Fig1b);
 }

@@ -1,45 +1,9 @@
 //! Figure 8(a): time-to-break (days) and maximum defended BFAs for
 //! DNN-Defender vs SHADOW across RowHammer thresholds.
-
-use dd_bench::print_table;
-use dd_dram::DramConfig;
-use dnn_defender::{DefenseOp, SecurityModel};
+//!
+//! Thin wrapper over `dd_bench::experiments` — prefer `repro fig8a`,
+//! which also writes the artifact and updates the docs.
 
 fn main() {
-    let model = SecurityModel::from_config(&DramConfig::lpddr4_small());
-    let thresholds = [1000u64, 2000, 4000, 8000];
-    let rows: Vec<Vec<String>> = thresholds
-        .iter()
-        .map(|&t_rh| {
-            let dd = model.time_to_break_days(t_rh, DefenseOp::DnnDefenderSwap);
-            let shadow = model.time_to_break_days(t_rh, DefenseOp::ShadowShuffle);
-            vec![
-                format!("{}k", t_rh / 1000),
-                format!("{dd:.0}"),
-                format!("{shadow:.0}"),
-                format!("{:+.0}", dd - shadow),
-                format!("{}", model.max_defended_bfas(t_rh)),
-                format!("{}", model.max_bfas_per_tref(t_rh)),
-            ]
-        })
-        .collect();
-    print_table(
-        "Fig 8(a): time-to-break and BFA capacities vs T_RH",
-        &[
-            "T_RH",
-            "DNN-Defender (days)",
-            "SHADOW (days)",
-            "DD advantage",
-            "Max defended BFAs",
-            "Attacker BFAs / T_ref",
-        ],
-        &rows,
-    );
-    let dd4k = model.time_to_break_days(4000, DefenseOp::DnnDefenderSwap);
-    let sh4k = model.time_to_break_days(4000, DefenseOp::ShadowShuffle);
-    println!(
-        "\nAt T_RH = 4k: DNN-Defender {dd4k:.0} days vs SHADOW {sh4k:.0} days \
-         (paper: ~1180 vs ~894; DD protects {:.0} more days).",
-        dd4k - sh4k
-    );
+    dd_bench::experiments::run_standalone(dd_bench::experiments::ExperimentId::Fig8a);
 }

@@ -1,65 +1,9 @@
 //! Figure 8(b): defense latency per refresh interval vs number of BFAs,
 //! DNN-Defender vs SHADOW at T_RH ∈ {1k, 2k, 4k, 8k}.
 //!
-//! The x-axis anchor points 7K/14K/28K/55K are the maximum allowable
-//! BFAs per `T_ref` at thresholds 8k/4k/2k/1k respectively.
-
-use dd_bench::print_table;
-use dd_dram::DramConfig;
-use dnn_defender::{DefenseOp, SecurityModel};
+//! Thin wrapper over `dd_bench::experiments` — prefer `repro fig8b`,
+//! which also writes the artifact and updates the docs.
 
 fn main() {
-    let model = SecurityModel::from_config(&DramConfig::lpddr4_small());
-    let bfa_points = [7_000u64, 14_000, 28_000, 55_000];
-
-    let mut rows = Vec::new();
-    for &n in &bfa_points {
-        let dd = model.latency_per_tref(n, DefenseOp::DnnDefenderSwap);
-        let shadow = model.latency_per_tref(n, DefenseOp::ShadowShuffle);
-        rows.push(vec![
-            format!("{}K", n / 1000),
-            format!("{:.2}", dd.as_millis_f64()),
-            format!("{:.2}", shadow.as_millis_f64()),
-            format!(
-                "{:.1}%",
-                100.0 * (1.0 - dd.as_millis_f64() / shadow.as_millis_f64())
-            ),
-        ]);
-    }
-    print_table(
-        "Fig 8(b): defense latency per T_ref (ms) vs number of BFAs",
-        &[
-            "# BFAs",
-            "DNN-Defender (ms)",
-            "SHADOW (ms)",
-            "DD latency saving",
-        ],
-        &rows,
-    );
-
-    // Per-threshold view: which anchor point each threshold permits.
-    let mut rows = Vec::new();
-    for (t_rh, n) in [
-        (8000u64, 7_000u64),
-        (4000, 14_000),
-        (2000, 28_000),
-        (1000, 55_000),
-    ] {
-        let capacity = model.max_bfas_per_tref(t_rh);
-        rows.push(vec![
-            format!("{}k", t_rh / 1000),
-            format!("{capacity}"),
-            format!("{n}"),
-        ]);
-    }
-    print_table(
-        "Anchor points: attacker BFA capacity per T_ref by threshold",
-        &["T_RH", "Model capacity", "Paper anchor"],
-        &rows,
-    );
-    println!(
-        "\nLatency increase decelerates and saturates toward T_ref = {} ms; \
-         DNN-Defender stays below SHADOW at every point.",
-        model.timing.t_ref.as_millis_f64()
-    );
+    dd_bench::experiments::run_standalone(dd_bench::experiments::ExperimentId::Fig8b);
 }

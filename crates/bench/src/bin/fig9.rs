@@ -2,118 +2,9 @@
 //! (a) VGG-11 / CIFAR-10, (b) ResNet-18 / ImageNet, (c) ResNet-34 /
 //! ImageNet.
 //!
-//! The defense profiles vulnerable bits for enough rounds to cover the
-//! largest SB budget; each curve protects a priority prefix of that list
-//! and lets the defense-aware attacker flip `SB + k` additional bits
-//! (k ∈ {0, 20, 40, 60, 80, 100}). The paper's SB values are scaled to
-//! each mini model's bit count (same fractions, see EXPERIMENTS.md).
-
-use dd_attack::{attack_protected, AttackConfig, ThreatModel};
-use dd_bench::{pct, prepare_victim, print_table, quick_mode, DatasetKind, Victim};
-use dd_qnn::Architecture;
-
-/// Paper SB budgets as fractions of the model's total bits.
-fn sb_fractions(arch: Architecture) -> Vec<f64> {
-    // Paper absolute SBs / paper model bits (see EXPERIMENTS.md):
-    // VGG-11: 2k..24k of ~74M bits; ResNet-18: 16k..311k of ~93M;
-    // ResNet-34: 8k..151k of ~174M.
-    match arch {
-        Architecture::Vgg11 => vec![2.7e-5, 5.4e-5, 1.08e-4, 1.9e-4, 3.2e-4],
-        Architecture::ResNet18 => vec![1.7e-4, 4.6e-4, 1.0e-3, 1.7e-3, 3.3e-3],
-        Architecture::ResNet34 => vec![4.6e-5, 1.6e-4, 3.2e-4, 5.7e-4, 8.7e-4],
-        _ => vec![1e-4, 2e-4, 4e-4, 8e-4, 1.6e-3],
-    }
-}
-
-fn run_model(arch: Architecture, dataset: DatasetKind, seed: u64) {
-    let width = if quick_mode() { 2 } else { 4 };
-    println!("\nTraining {} on {}...", arch.name(), dataset.name());
-    let mut victim: Victim = prepare_victim(arch, dataset, width, seed);
-    println!(
-        "clean accuracy {}, total bits {}",
-        pct(victim.clean_accuracy),
-        victim.model.total_bits()
-    );
-    let total_bits = victim.model.total_bits() as f64;
-    // Scale SB budgets but keep them small multiples of what profiling
-    // can discover (each profiling round finds ~max_flips bits).
-    let mut budgets: Vec<usize> = sb_fractions(arch)
-        .iter()
-        .map(|f| ((f * total_bits).round() as usize).max(4))
-        .collect();
-    budgets.dedup();
-
-    let per_round = if quick_mode() { 8 } else { 20 };
-    let profile_cfg = AttackConfig {
-        target_accuracy: dataset.chance() * 1.2,
-        max_flips: per_round,
-        ..Default::default()
-    };
-    let max_budget = *budgets.last().expect("budgets non-empty");
-    let rounds = max_budget.div_ceil(per_round) + 1;
-    println!("profiling {rounds} rounds x {per_round} flips to cover SB = {max_budget}...");
-    let profile =
-        dd_attack::multi_round_profile(&mut victim.model, &victim.data, &profile_cfg, rounds);
-    println!("profiled {} vulnerable bits", profile.bits.len());
-
-    let extra = if quick_mode() { 20 } else { 100 };
-    let attack_cfg = AttackConfig {
-        target_accuracy: 0.0, // run the full budget; we want the curve
-        max_flips: extra,
-        record_every: extra.div_ceil(5),
-        ..Default::default()
-    };
-
-    let snapshot = victim.model.snapshot_q();
-    let mut rows = Vec::new();
-    for &sb in &budgets {
-        let sb_eff = sb.min(profile.bits.len());
-        let protected = profile.prefix(sb_eff);
-        let report = attack_protected(
-            &mut victim.model,
-            &victim.data,
-            &attack_cfg,
-            &protected,
-            ThreatModel::WhiteBox,
-        );
-        victim.model.restore_q(&snapshot);
-        let mut cells = vec![format!("SB = {sb_eff}")];
-        // Accuracy at SB+0, +20, ..., +100 attempted extra flips.
-        let mut traj = report.trajectory.clone();
-        traj.push((report.attempted_flips, report.final_accuracy));
-        for k in (0..=extra).step_by(attack_cfg.record_every.max(1)) {
-            let acc = traj
-                .iter()
-                .rfind(|(f, _)| *f <= k)
-                .map(|(_, a)| *a)
-                .unwrap_or(report.clean_accuracy);
-            cells.push(pct(acc));
-        }
-        rows.push(cells);
-    }
-    let mut headers: Vec<String> = vec!["Secured bits".into()];
-    for k in (0..=extra).step_by(attack_cfg.record_every.max(1)) {
-        headers.push(format!("SB+{k}"));
-    }
-    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    print_table(
-        &format!(
-            "Fig 9: {} / {} — accuracy vs SB + extra flips",
-            arch.name(),
-            dataset.name()
-        ),
-        &header_refs,
-        &rows,
-    );
-}
+//! Thin wrapper over `dd_bench::experiments` — prefer `repro fig9`,
+//! which also writes the artifact and updates the docs.
 
 fn main() {
-    run_model(Architecture::Vgg11, DatasetKind::Cifar10, 91);
-    run_model(Architecture::ResNet18, DatasetKind::ImageNet, 92);
-    run_model(Architecture::ResNet34, DatasetKind::ImageNet, 93);
-    println!(
-        "\nShape check: larger SB forces the adaptive attacker to spend more extra \
-         flips for the same damage; the largest SB keeps accuracy near clean \
-         (attack degraded to random level)."
-    );
+    dd_bench::experiments::run_standalone(dd_bench::experiments::ExperimentId::Fig9);
 }

@@ -1,37 +1,10 @@
 //! Power comparison (§5.1, final paragraph): defense energy/power of
 //! DNN-Defender vs SHADOW / RRS / SRS at each threshold's maximum attack
 //! rate.
-
-use dd_bench::print_table;
-use dd_dram::DramConfig;
-use dnn_defender::{power_table, saving_versus};
+//!
+//! Thin wrapper over `dd_bench::experiments` — prefer `repro power`,
+//! which also writes the artifact and updates the docs.
 
 fn main() {
-    let config = DramConfig::lpddr4_small();
-    for t_rh in [1000u64, 2000, 4000, 8000] {
-        let rows: Vec<Vec<String>> = power_table(&config, t_rh)
-            .iter()
-            .map(|p| {
-                vec![
-                    p.name.clone(),
-                    format!("{:.1}", p.defense_energy_pj / 1e3),
-                    format!("{:.4}", p.defense_power_mw),
-                ]
-            })
-            .collect();
-        print_table(
-            &format!(
-                "Defense energy per T_ref at T_RH = {}k (max attack rate)",
-                t_rh / 1000
-            ),
-            &["Scheme", "Energy (nJ)", "Power (mW)"],
-            &rows,
-        );
-    }
-    println!(
-        "\nAt T_RH = 1k: DNN-Defender saves {:.1}% vs SHADOW (paper: ~1.6%) and is {:.1}x \
-         cheaper than SRS (paper: 3.4x).",
-        100.0 * saving_versus(&config, 1000, "SHADOW"),
-        1.0 / (1.0 - saving_versus(&config, 1000, "SRS")),
-    );
+    dd_bench::experiments::run_standalone(dd_bench::experiments::ExperimentId::Power);
 }

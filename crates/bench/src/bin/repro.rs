@@ -1,0 +1,443 @@
+//! `repro` — the one-command artifact pipeline.
+//!
+//! Runs every figure/table of the paper's evaluation, writes versioned
+//! machine-readable artifacts (`artifacts/<experiment>.json` + `.csv`),
+//! caches scenario-matrix cells by content hash so unchanged work is
+//! never redone, and regenerates the marked sections of EXPERIMENTS.md
+//! from the artifacts so the documented numbers cannot drift from what
+//! the code produced.
+//!
+//! ```text
+//! repro all                    # every experiment (reuses fresh artifacts)
+//! repro table3 fig8a           # a subset
+//! repro all --smoke            # smoke-sized (DD_QUICK=1) scaling
+//! repro all --jobs 4           # cap matrix worker threads
+//! repro all --force            # ignore caches, recompute everything
+//! repro report                 # re-render EXPERIMENTS.md from artifacts
+//! repro report --check         # exit non-zero if EXPERIMENTS.md would change
+//! ```
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use dd_baselines::CellReport;
+use dd_bench::experiments::{print_artifact, ExperimentId, RunContext};
+use dd_bench::report::{render_duration, splice_section, Artifact};
+use dnn_defender::Json;
+
+struct Options {
+    smoke: bool,
+    jobs: Option<usize>,
+    force: bool,
+    check: bool,
+    quiet: bool,
+    artifacts_dir: PathBuf,
+    commands: Vec<String>,
+}
+
+fn usage(code: u8) -> ExitCode {
+    eprintln!(
+        "usage: repro [OPTIONS] <COMMAND>...\n\
+         \n\
+         commands:\n\
+         \x20 all            run every experiment\n\
+         \x20 report         regenerate the marked sections of EXPERIMENTS.md from artifacts\n\
+         \x20 fig1a | fig1b | table2 | table3 | fig8a | fig8b | fig9 | power\n\
+         \n\
+         options:\n\
+         \x20 --smoke              smoke-sized experiments (sets DD_QUICK=1)\n\
+         \x20 --jobs <N>           cap scenario-matrix worker threads\n\
+         \x20 --force              ignore artifact and cell caches, recompute\n\
+         \x20 --check              with `report`: fail instead of writing on drift\n\
+         \x20 --quiet              suppress table output (summary lines only)\n\
+         \x20 --artifacts-dir <D>  artifact directory (default: artifacts)"
+    );
+    ExitCode::from(code)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut opts = Options {
+        smoke: false,
+        jobs: None,
+        force: false,
+        check: false,
+        quiet: false,
+        artifacts_dir: PathBuf::from("artifacts"),
+        commands: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--force" => opts.force = true,
+            "--check" => opts.check = true,
+            "--quiet" => opts.quiet = true,
+            "--jobs" => {
+                let value = args.next().and_then(|v| v.parse::<usize>().ok());
+                match value {
+                    Some(n) if n > 0 => opts.jobs = Some(n),
+                    _ => {
+                        eprintln!("repro: --jobs needs a positive integer");
+                        return Err(usage(1));
+                    }
+                }
+            }
+            "--artifacts-dir" => match args.next() {
+                Some(dir) => opts.artifacts_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("repro: --artifacts-dir needs a path");
+                    return Err(usage(1));
+                }
+            },
+            "--help" | "-h" => return Err(usage(0)),
+            cmd if !cmd.starts_with('-') => opts.commands.push(cmd.to_string()),
+            unknown => {
+                eprintln!("repro: unknown option `{unknown}`");
+                return Err(usage(1));
+            }
+        }
+    }
+    if opts.commands.is_empty() {
+        return Err(usage(1));
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(code) => return code,
+    };
+    if opts.smoke {
+        // The experiment implementations scale off DD_QUICK (the same
+        // switch the legacy binaries used); set it before any threads.
+        std::env::set_var("DD_QUICK", "1");
+    }
+
+    let mut experiments = Vec::new();
+    let mut want_report = false;
+    for command in &opts.commands {
+        match command.as_str() {
+            "all" => experiments.extend(ExperimentId::ALL),
+            "report" => want_report = true,
+            name => match ExperimentId::parse(name) {
+                Some(id) => experiments.push(id),
+                None => {
+                    eprintln!("repro: unknown command `{name}`");
+                    return usage(1);
+                }
+            },
+        }
+    }
+    // Order-preserving dedup (`Vec::dedup` only merges adjacent repeats,
+    // which `repro table3 all` would defeat).
+    let mut seen = std::collections::HashSet::new();
+    experiments.retain(|id| seen.insert(id.name()));
+
+    if !experiments.is_empty() {
+        if let Err(code) = run_experiments(&opts, &experiments) {
+            return code;
+        }
+    }
+    if want_report {
+        return run_report(&opts);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Tally of reusable work: scenario cells for matrix experiments, one
+/// unit for everything else, so "cache hits" means "fraction of the
+/// expensive work skipped".
+#[derive(Default)]
+struct CacheTally {
+    units: usize,
+    hits: usize,
+}
+
+fn run_experiments(opts: &Options, experiments: &[ExperimentId]) -> Result<(), ExitCode> {
+    if let Err(e) = std::fs::create_dir_all(&opts.artifacts_dir) {
+        eprintln!("repro: cannot create {}: {e}", opts.artifacts_dir.display());
+        return Err(ExitCode::FAILURE);
+    }
+    let cache_path = opts.artifacts_dir.join("cache").join("cells.json");
+    let loaded = load_cell_cache(&cache_path);
+    // `--force` hides the loaded entries from lookup so everything
+    // recomputes, but they are merged back before saving — a forced
+    // partial run must not discard cells it didn't recompute.
+    let mut cells = if opts.force {
+        HashMap::new()
+    } else {
+        loaded.clone()
+    };
+    let quick = dd_bench::quick_mode();
+    let mut tally = CacheTally::default();
+
+    for &id in experiments {
+        let hash = id.config_hash(quick);
+        let json_path = opts.artifacts_dir.join(format!("{}.json", id.name()));
+        if !opts.force {
+            if let Some(existing) = load_artifact(&json_path) {
+                // The config hash is the whole reuse decision: it already
+                // encodes quick/full mode for the experiments whose
+                // numbers depend on it (the analytical ones are
+                // mode-independent by construction).
+                if existing.config_hash == hash {
+                    let units = existing.cache.cells.max(1);
+                    tally.units += units;
+                    tally.hits += units;
+                    println!(
+                        "[{}] artifact up to date (config {:#018x}, {}) — reused",
+                        id.name(),
+                        hash,
+                        render_duration(existing.wall_millis),
+                    );
+                    continue;
+                }
+            }
+        }
+
+        let mut ctx = RunContext {
+            quick,
+            jobs: opts.jobs,
+            cells: &mut cells,
+            verbose: !opts.quiet,
+        };
+        let artifact = match id.run(&mut ctx) {
+            Ok(artifact) => artifact,
+            Err(e) => {
+                eprintln!("repro: {} failed: {e:?}", id.name());
+                return Err(ExitCode::FAILURE);
+            }
+        };
+        tally.units += artifact.cache.cells.max(1);
+        tally.hits += artifact.cache.cache_hits;
+        if let Err(e) = write_artifact(&opts.artifacts_dir, &artifact) {
+            eprintln!("repro: cannot write artifact: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+        if !opts.quiet {
+            print_artifact(&artifact);
+        }
+        println!(
+            "[{}] done in {} (config {:#018x}; cache {}/{} cells) -> {}",
+            id.name(),
+            render_duration(artifact.wall_millis),
+            artifact.config_hash,
+            artifact.cache.cache_hits,
+            artifact.cache.cells,
+            json_path.display(),
+        );
+    }
+
+    // Re-merge entries a `--force` run hid from lookup (fresh results
+    // win), keeping the cache append-only for partial runs.
+    if opts.force {
+        for (key, cell) in loaded {
+            cells.entry(key).or_insert(cell);
+        }
+    }
+    // When every experiment ran, the union of their declared cell keys —
+    // over BOTH quick and full scaling, so a `--smoke` pass never evicts
+    // the expensive full-mode cells — is the complete live set; prune the
+    // cache to it so stale entries from earlier configurations don't
+    // accumulate forever. (Partial runs can't tell which unrequested
+    // experiments own which keys, so they leave the cache append-only.)
+    if ExperimentId::ALL.iter().all(|id| experiments.contains(id)) {
+        let live: std::collections::HashSet<u64> = experiments
+            .iter()
+            .flat_map(|id| {
+                let mut keys = id.declared_cell_keys(true);
+                keys.extend(id.declared_cell_keys(false));
+                keys
+            })
+            .collect();
+        cells.retain(|key, _| live.contains(key));
+    }
+    if let Err(e) = save_cell_cache(&cache_path, &cells) {
+        eprintln!("repro: cannot write cell cache: {e}");
+        return Err(ExitCode::FAILURE);
+    }
+    let pct = if tally.units == 0 {
+        100.0
+    } else {
+        100.0 * tally.hits as f64 / tally.units as f64
+    };
+    println!(
+        "cache: {}/{} units reused ({pct:.0}%) — rerun with unchanged config to approach 100%",
+        tally.hits, tally.units
+    );
+    Ok(())
+}
+
+fn run_report(opts: &Options) -> ExitCode {
+    let docs_path = match locate_experiments_md() {
+        Some(path) => path,
+        None => {
+            eprintln!("repro: cannot locate EXPERIMENTS.md (run from the repo root)");
+            return ExitCode::FAILURE;
+        }
+    };
+    // When the docs were found via the manifest fallback (running from
+    // outside the repo root) and the artifacts dir was left at its
+    // CWD-relative default, follow the docs: the artifacts live next to
+    // EXPERIMENTS.md, not under the current directory.
+    let mut artifacts_dir = opts.artifacts_dir.clone();
+    if artifacts_dir == Path::new("artifacts") && !artifacts_dir.is_dir() {
+        if let Some(root) = docs_path.parent() {
+            artifacts_dir = root.join("artifacts");
+        }
+    }
+    let original = match std::fs::read_to_string(&docs_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("repro: cannot read {}: {e}", docs_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut doc = original.clone();
+    let mut spliced = 0usize;
+    for id in ExperimentId::ALL {
+        let json_path = artifacts_dir.join(format!("{}.json", id.name()));
+        let Some(artifact) = load_artifact(&json_path) else {
+            if opts.check {
+                // A section that cannot be re-rendered cannot be verified
+                // against its artifact — the drift gate must not pass it.
+                eprintln!(
+                    "repro: cannot verify `{}`: {} missing or unreadable — \
+                     run `repro {}` (or `repro all`) and commit artifacts/",
+                    id.name(),
+                    json_path.display(),
+                    id.name(),
+                );
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "[report] no artifact for `{}` ({} missing or unreadable) — section left as-is",
+                id.name(),
+                json_path.display()
+            );
+            continue;
+        };
+        match splice_section(&doc, id.name(), &artifact.render_markdown()) {
+            Ok(updated) => {
+                doc = updated;
+                spliced += 1;
+            }
+            Err(e) => {
+                eprintln!("repro: {} in {}", e, docs_path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if spliced == 0 {
+        // "Up to date" with nothing verified would be a lie — this is a
+        // misconfiguration (wrong directory, no artifacts yet), not a
+        // clean result.
+        eprintln!(
+            "repro: no artifacts found under {} — nothing to render; run `repro all` first \
+             (or pass --artifacts-dir)",
+            artifacts_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    if doc == original {
+        println!(
+            "EXPERIMENTS.md is up to date ({spliced} generated sections match their artifacts)"
+        );
+        return ExitCode::SUCCESS;
+    }
+    if opts.check {
+        eprintln!(
+            "repro: EXPERIMENTS.md is out of date with artifacts/ — run `repro report` \
+             and commit the result"
+        );
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&docs_path, &doc) {
+        eprintln!("repro: cannot write {}: {e}", docs_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "EXPERIMENTS.md regenerated ({spliced} sections) from {}",
+        artifacts_dir.display()
+    );
+    ExitCode::SUCCESS
+}
+
+/// EXPERIMENTS.md in the current directory (normal case: run from the
+/// repo root), else next to the workspace the binary was built from.
+fn locate_experiments_md() -> Option<PathBuf> {
+    let local = PathBuf::from("EXPERIMENTS.md");
+    if local.exists() {
+        return Some(local);
+    }
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("EXPERIMENTS.md");
+    manifest.exists().then_some(manifest)
+}
+
+fn load_artifact(path: &Path) -> Option<Artifact> {
+    let text = std::fs::read_to_string(path).ok()?;
+    match Artifact::parse(&text) {
+        Ok(artifact) => Some(artifact),
+        Err(e) => {
+            eprintln!("repro: ignoring {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+fn write_artifact(dir: &Path, artifact: &Artifact) -> std::io::Result<()> {
+    let stem = dir.join(&artifact.experiment);
+    std::fs::write(
+        stem.with_extension("json"),
+        artifact.to_json().render_pretty(),
+    )?;
+    std::fs::write(stem.with_extension("csv"), artifact.to_csv())
+}
+
+/// The on-disk scenario-cell cache: `{"version":1,"cells":{"0x<key>":
+/// <CellReport>}}`, keys sorted for deterministic bytes.
+fn load_cell_cache(path: &Path) -> HashMap<u64, CellReport> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return HashMap::new();
+    };
+    let Ok(json) = Json::parse(&text) else {
+        eprintln!("repro: ignoring malformed cell cache {}", path.display());
+        return HashMap::new();
+    };
+    if json.get("version").and_then(Json::as_u64) != Some(1) {
+        return HashMap::new();
+    }
+    let Some(Json::Obj(fields)) = json.get("cells") else {
+        return HashMap::new();
+    };
+    let mut cells = HashMap::new();
+    for (key, value) in fields {
+        let parsed_key = key
+            .strip_prefix("0x")
+            .and_then(|k| u64::from_str_radix(k, 16).ok());
+        if let (Some(key), Ok(cell)) = (parsed_key, CellReport::from_json(value)) {
+            cells.insert(key, cell);
+        }
+    }
+    cells
+}
+
+fn save_cell_cache(path: &Path, cells: &HashMap<u64, CellReport>) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut keys: Vec<u64> = cells.keys().copied().collect();
+    keys.sort_unstable();
+    let fields: Vec<(String, Json)> = keys
+        .into_iter()
+        .map(|key| (format!("{key:#018x}"), cells[&key].to_json()))
+        .collect();
+    let json = Json::obj()
+        .with("version", Json::uint(1))
+        .with("cells", Json::Obj(fields));
+    std::fs::write(path, json.render_pretty())
+}

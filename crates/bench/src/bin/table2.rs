@@ -1,42 +1,9 @@
 //! Table 2: hardware overhead of RowHammer mitigation frameworks on a
 //! 32 GB / 16-bank DDR4 device.
-
-use dd_bench::print_table;
-use dd_dram::DramConfig;
-use dnn_defender::overhead_table;
+//!
+//! Thin wrapper over `dd_bench::experiments` — prefer `repro table2`,
+//! which also writes the artifact and updates the docs.
 
 fn main() {
-    let config = DramConfig::ddr4_32gb();
-    let table = overhead_table(&config);
-    let rows: Vec<Vec<String>> = table
-        .iter()
-        .map(|e| {
-            let involved: Vec<&str> = e.involved.iter().map(|k| k.label()).collect();
-            let capacity: Vec<String> = e.capacity.iter().map(|c| c.render()).collect();
-            vec![
-                e.framework.to_string(),
-                involved.join("-"),
-                capacity.join(" + "),
-                e.area.to_string(),
-                format!("{:.2}", e.total_reported_mb()),
-            ]
-        })
-        .collect();
-    print_table(
-        "Table 2: RowHammer mitigation hardware overhead (32GB, 16-bank DDR4)",
-        &[
-            "Framework",
-            "Involved memory",
-            "Capacity overhead",
-            "Area overhead",
-            "Total MB",
-        ],
-        &rows,
-    );
-    println!(
-        "\nComputed from geometry: counter-per-row = {} MB, counter tree = {} MB.",
-        dnn_defender::overhead::counter_per_row_bytes(&config) / (1 << 20) as u64,
-        dnn_defender::overhead::counter_tree_bytes(&config) / (1 << 20) as u64,
-    );
-    println!("DNN-Defender: DRAM only, zero capacity overhead, 0.02% area.");
+    dd_bench::experiments::run_standalone(dd_bench::experiments::ExperimentId::Table2);
 }

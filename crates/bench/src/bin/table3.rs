@@ -1,150 +1,11 @@
-//! Table 3: defense comparison on ResNet-20 / CIFAR-10 (stand-in) —
-//! clean accuracy, post-attack accuracy, and flip budget for the
-//! baseline, software defenses, and hardware defenses, all driven
-//! through one `ScenarioMatrix` entry point. The Fig. 8 analytical rows
-//! ride along from the same matrix.
-
-use dd_attack::AttackConfig;
-use dd_baselines::{
-    GrapheneDefense, RowSwapMechanism, ScenarioMatrix, ShadowMechanism, SoftwareDefense,
-    SoftwareKind, SwapScheme, VictimSpec,
-};
-use dd_bench::{pct, print_table, quick_mode, DatasetKind};
-use dd_qnn::Architecture;
-use dnn_defender::defense::{DefenseConfig, DnnDefenderDefense, Undefended};
-
-/// Budget for undefended/software rows (attack stops early on collapse).
-fn soft_budget() -> usize {
-    if quick_mode() {
-        12
-    } else {
-        60
-    }
-}
-
-/// Budget for hardware-defense rows (scaled from the paper's attempt
-/// counts; the leak *rate* is what matters, so these stay large).
-fn hw_budget(paper: usize) -> usize {
-    if quick_mode() {
-        12
-    } else {
-        paper.min(350)
-    }
-}
+//! Table 3: defense comparison on ResNet-20 / CIFAR-10 (stand-in),
+//! driven through one `ScenarioMatrix` entry point, with the Fig. 8
+//! analytical rows riding along.
+//!
+//! Thin wrapper over `dd_bench::experiments` — prefer `repro table3`,
+//! which also caches matrix cells, writes the artifact, and updates the
+//! docs.
 
 fn main() {
-    let width = if quick_mode() { 2 } else { 4 };
-    let epochs = if quick_mode() { 5 } else { 14 };
-    println!(
-        "Table 3 matrix: ResNet-20 (base width {width}) on {}, budgets {}/{}+ \
-         (every cell retrains the victim deterministically; cells run in parallel)...",
-        DatasetKind::Cifar10.name(),
-        soft_budget(),
-        hw_budget(342),
-    );
-
-    let attack = AttackConfig {
-        target_accuracy: DatasetKind::Cifar10.chance() * 1.1,
-        max_flips: 400,
-        ..Default::default()
-    };
-    let matrix = ScenarioMatrix::new(VictimSpec::paper(
-        Architecture::ResNet20,
-        width,
-        epochs,
-        333,
-    ))
-    .defense("Baseline (undefended)", |_, _| Box::new(Undefended::new()))
-    .defense(SoftwareKind::Clustering.name(), |_, _| {
-        Box::new(SoftwareDefense::new(SoftwareKind::Clustering))
-    })
-    .defense(SoftwareKind::BinaryWeights.name(), |_, _| {
-        Box::new(SoftwareDefense::new(SoftwareKind::BinaryWeights))
-    })
-    .defense(SoftwareKind::CapacityX2.name(), |_, _| {
-        Box::new(SoftwareDefense::new(SoftwareKind::CapacityX2))
-    })
-    .defense_budgeted("Graphene", hw_budget(342), |_, config| {
-        Box::new(GrapheneDefense::for_config(config))
-    })
-    .defense_budgeted("RRS", hw_budget(342), |seed, _| {
-        Box::new(RowSwapMechanism::new(SwapScheme::Rrs, seed))
-    })
-    .defense_budgeted("SRS", hw_budget(378), |seed, _| {
-        Box::new(RowSwapMechanism::new(SwapScheme::Srs, seed))
-    })
-    .defense_budgeted("SHADOW", hw_budget(985), |seed, _| {
-        Box::new(ShadowMechanism::new(1000, seed))
-    })
-    .defense_budgeted("DNN-Defender", hw_budget(1150), |seed, _| {
-        Box::new(DnnDefenderDefense::with_profiling(
-            DefenseConfig::default(),
-            2,
-            seed,
-        ))
-    })
-    .attack_config(attack)
-    .budget(soft_budget())
-    .seed(333);
-
-    let report = matrix.run().expect("matrix run");
-
-    let table: Vec<Vec<String>> = report
-        .cells
-        .iter()
-        .map(|c| {
-            vec![
-                c.scenario.defense.clone(),
-                pct(c.clean_accuracy),
-                pct(c.post_attack_accuracy),
-                c.attempts.to_string(),
-                c.landed.to_string(),
-                c.stats.defense_ops.to_string(),
-            ]
-        })
-        .collect();
-    print_table(
-        "Table 3: BFA defense comparison (ResNet-20, CIFAR-10 stand-in)",
-        &[
-            "Defense",
-            "Clean acc",
-            "Post-attack acc",
-            "Flip attempts",
-            "Landed",
-            "Defense ops",
-        ],
-        &table,
-    );
-
-    let fig8: Vec<Vec<String>> = matrix
-        .security_analysis(&[1000, 2000, 4000, 8000])
-        .iter()
-        .map(|r| {
-            vec![
-                r.t_rh.to_string(),
-                format!("{:.0}", r.dd_days),
-                format!("{:.0}", r.shadow_days),
-                r.max_defended_bfas.to_string(),
-                r.attacker_bfas.to_string(),
-            ]
-        })
-        .collect();
-    print_table(
-        "Fig. 8 (analytical): time-to-break and capacity per T_RH",
-        &[
-            "T_RH",
-            "DD days",
-            "SHADOW days",
-            "Max defended BFAs",
-            "Attacker BFAs",
-        ],
-        &fig8,
-    );
-
-    println!(
-        "\nShape check (paper): baseline collapses to chance in tens of flips; \
-         software defenses raise the required flips / bound the damage; \
-         RRS/SRS leak a few campaigns; Graphene and SHADOW leak almost none; \
-         DNN-Defender holds clean accuracy with zero landed flips."
-    );
+    dd_bench::experiments::run_standalone(dd_bench::experiments::ExperimentId::Table3);
 }

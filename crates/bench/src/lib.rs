@@ -1,18 +1,27 @@
 //! # dd-bench — the experiment harness
 //!
-//! Shared plumbing for the figure/table binaries (`fig1a`, `fig1b`,
-//! `table2`, `fig8a`, `fig8b`, `fig9`, `table3`) and the Criterion
-//! benches. Each binary regenerates one table or figure of the paper's
-//! evaluation; see EXPERIMENTS.md for the paper-vs-measured record.
+//! Home of the `repro` artifact pipeline: [`experiments`] implements
+//! every figure/table of the paper's evaluation once, [`report`] defines
+//! the versioned artifact schema and the EXPERIMENTS.md renderer, and
+//! the `repro` binary ties them together with content-hash caching (see
+//! `docs/artifacts.md`). The per-figure binaries (`fig1a`, `fig1b`,
+//! `table2`, `fig8a`, `fig8b`, `fig9`, `table3`, `power`) are thin
+//! wrappers over [`experiments::run_standalone`]; the Criterion benches
+//! live under `benches/`. See EXPERIMENTS.md for the paper-vs-measured
+//! record.
 //!
-//! Set `DD_QUICK=1` to shrink every experiment (fewer training epochs,
-//! smaller attack budgets) for smoke runs.
+//! Set `DD_QUICK=1` (or pass `--smoke` to `repro`) to shrink every
+//! experiment (fewer training epochs, smaller attack budgets) for smoke
+//! runs.
 
 use dd_attack::AttackData;
 use dd_nn::data::{Dataset, SyntheticSpec};
 use dd_nn::init::seeded_rng;
 use dd_nn::train::{train, TrainConfig};
 use dd_qnn::{build_model, Architecture, ModelConfig, QModel};
+
+pub mod experiments;
+pub mod report;
 
 /// Whether quick (smoke-test) mode is active.
 pub fn quick_mode() -> bool {
@@ -71,11 +80,15 @@ pub struct Victim {
 ///
 /// `base_width` controls the channel scaling (see DESIGN.md); the
 /// experiment binaries use 4 to keep full paper sweeps tractable on CPU.
+/// `quick` selects the smoke-sized schedule — pass the same flag that
+/// keyed the experiment's config hash (a [`quick_mode`] mismatch here
+/// would mis-label cached artifacts).
 pub fn prepare_victim(
     arch: Architecture,
     dataset_kind: DatasetKind,
     base_width: usize,
     seed: u64,
+    quick: bool,
 ) -> Victim {
     let mut rng = seeded_rng(seed);
     let spec = dataset_kind.spec();
@@ -90,7 +103,7 @@ pub fn prepare_victim(
     // Two-phase schedule (main + lr/5 fine-tune). Deep residual victims
     // are occasionally seed-sensitive at this scale, so keep the best of
     // up to three attempts.
-    let epochs = if quick_mode() { 5 } else { 14 };
+    let epochs = if quick { 5 } else { 14 };
     let tc = TrainConfig {
         epochs,
         batch_size: 64,
@@ -99,7 +112,7 @@ pub fn prepare_victim(
         weight_decay: 1e-4,
     };
     let ft = TrainConfig {
-        epochs: if quick_mode() { 2 } else { 6 },
+        epochs: if quick { 2 } else { 6 },
         lr: tc.lr / 5.0,
         ..tc
     };
@@ -121,7 +134,7 @@ pub fn prepare_victim(
     let (net, _) = best.expect("at least one training attempt");
     let mut model = QModel::from_network(net);
 
-    let batch_size = if quick_mode() { 32 } else { 64 };
+    let batch_size = if quick { 32 } else { 64 };
     let search = dataset.attack_batch(batch_size, &mut rng);
     let eval = dataset.attack_batch(128.min(dataset.test.len()), &mut rng);
     let data = AttackData {
@@ -198,9 +211,7 @@ mod tests {
 
     #[test]
     fn quick_victim_trains_above_chance() {
-        std::env::set_var("DD_QUICK", "1");
-        let v = prepare_victim(Architecture::Mlp, DatasetKind::Cifar10, 4, 11);
+        let v = prepare_victim(Architecture::Mlp, DatasetKind::Cifar10, 4, 11, true);
         assert!(v.clean_accuracy > 2.0 * DatasetKind::Cifar10.chance());
-        std::env::remove_var("DD_QUICK");
     }
 }

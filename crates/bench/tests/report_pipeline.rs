@@ -1,0 +1,127 @@
+//! Integration tests for the `repro` artifact pipeline: the markdown
+//! renderer (golden file), the artifact JSON schema (round trip), and
+//! the content-addressed cache keys (stability across runs).
+
+use std::collections::HashMap;
+
+use dd_baselines::{CellReport, MatrixRunSummary};
+use dd_bench::experiments::{table3_matrix, ExperimentId, RunContext};
+use dd_bench::report::{splice_section, Artifact, TableArtifact, ARTIFACT_SCHEMA_VERSION};
+use dnn_defender::Json;
+
+/// The fixed artifact behind the golden render — every formatting
+/// feature in one place: multiple tables, pipe escaping, notes, and the
+/// full metadata footer.
+fn golden_artifact() -> Artifact {
+    Artifact {
+        schema_version: ARTIFACT_SCHEMA_VERSION,
+        experiment: "table3".into(),
+        title: "Table 3: BFA defense comparison (scenario matrix)".into(),
+        config_hash: 0x06c2_0821_dbac_2fe6,
+        seed: 333,
+        quick: true,
+        wall_millis: 50_100,
+        cache: MatrixRunSummary {
+            cells: 9,
+            cache_hits: 4,
+        },
+        tables: vec![
+            TableArtifact::new(
+                "Table 3: BFA defense comparison (ResNet-20, CIFAR-10 stand-in)",
+                &["Defense", "Clean acc", "Post-attack acc"],
+                vec![
+                    vec![
+                        "Baseline (undefended)".into(),
+                        "91.41%".into(),
+                        "10.16%".into(),
+                    ],
+                    vec!["DNN-Defender".into(), "91.41%".into(), "91.41%".into()],
+                ],
+            ),
+            TableArtifact::new(
+                "Fig. 8 (analytical): time-to-break and capacity per T_RH",
+                &["T_RH", "DD days", "SHADOW | RRS days"],
+                vec![vec!["4000".into(), "1180".into(), "895 | 620".into()]],
+            ),
+        ],
+        notes: vec![
+            "Shape check: the baseline collapses; DNN-Defender holds clean accuracy.".into(),
+        ],
+        raw: None,
+    }
+}
+
+#[test]
+fn markdown_render_matches_golden_file() {
+    let expected = include_str!("golden/table3_section.md");
+    assert_eq!(
+        golden_artifact().render_markdown(),
+        expected,
+        "renderer output drifted from tests/golden/table3_section.md — \
+         if the change is intentional, update the golden file"
+    );
+}
+
+#[test]
+fn artifact_json_round_trips_with_raw_payload() {
+    let mut artifact = golden_artifact();
+    artifact.raw = Some(
+        Json::obj()
+            .with("matrix", Json::obj().with("cells", Json::Arr(vec![])))
+            .with("anchor", Json::num(4.425)),
+    );
+    let text = artifact.to_json().render_pretty();
+    let back = Artifact::parse(&text).expect("parse back");
+    assert_eq!(back, artifact);
+    // Rendering the decoded artifact is byte-identical: the docs cannot
+    // drift between a write and a later `repro report`.
+    assert_eq!(back.render_markdown(), artifact.render_markdown());
+    assert_eq!(back.to_json().render_pretty(), text);
+}
+
+#[test]
+fn experiment_config_hashes_and_cell_keys_are_stable_across_runs() {
+    for id in ExperimentId::ALL {
+        assert_eq!(id.config_hash(false), id.config_hash(false));
+        assert_eq!(id.config_hash(true), id.config_hash(true));
+    }
+    // The table3 matrix, rebuilt from scratch, reproduces both the
+    // matrix-level hash and every per-cell cache key.
+    let (a, b) = (table3_matrix(true), table3_matrix(true));
+    assert_eq!(a.config_hash(), b.config_hash());
+    assert_eq!(a.cell_keys(), b.cell_keys());
+    // Quick/full scaling keys differently, cell by cell.
+    let full = table3_matrix(false);
+    assert_ne!(a.config_hash(), full.config_hash());
+    for ((sa, ka), (sf, kf)) in a.cell_keys().iter().zip(full.cell_keys()) {
+        assert_eq!(sa.defense, sf.defense);
+        assert_ne!(*ka, kf);
+    }
+}
+
+#[test]
+fn analytical_artifact_feeds_the_docs_splice() {
+    let mut cells: HashMap<u64, CellReport> = HashMap::new();
+    let mut ctx = RunContext {
+        quick: false,
+        jobs: Some(1),
+        cells: &mut cells,
+        verbose: false,
+    };
+    let artifact = ExperimentId::Fig8a.run(&mut ctx).expect("fig8a");
+    let body = artifact.render_markdown();
+    assert!(
+        body.contains("| 4k | 1180 | 895 |"),
+        "anchor row missing:\n{body}"
+    );
+
+    let doc = "# EXPERIMENTS\n\n<!-- repro:begin fig8a -->\nstale\n<!-- repro:end fig8a -->\n";
+    let spliced = splice_section(doc, "fig8a", &body).expect("splice");
+    assert!(spliced.contains("| 4k | 1180 | 895 |"));
+    assert!(!spliced.contains("stale"));
+    // Idempotent: a second report pass is byte-identical.
+    assert_eq!(
+        splice_section(&spliced, "fig8a", &body).expect("resplice"),
+        spliced
+    );
+}

@@ -153,7 +153,7 @@ impl SecurityModel {
     }
 }
 
-/// One row of the Fig. 1(a) RowHammer-threshold survey [23].
+/// One row of the Fig. 1(a) RowHammer-threshold survey \[23\].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RhThresholdPoint {
     /// DRAM generation label.

@@ -98,6 +98,46 @@ impl DefenseStats {
         self.flips_resisted + self.flips_landed == self.attempts
             && self.defense_misses <= self.flips_landed
     }
+
+    /// Serialize for the artifact pipeline (the vendored `serde` is a
+    /// no-op stub, so artifacts go through [`crate::json::Json`]).
+    pub fn to_json(&self) -> crate::json::Json {
+        crate::json::Json::obj()
+            .with("attempts", crate::json::Json::uint(self.attempts))
+            .with(
+                "flips_resisted",
+                crate::json::Json::uint(self.flips_resisted),
+            )
+            .with("flips_landed", crate::json::Json::uint(self.flips_landed))
+            .with(
+                "defense_misses",
+                crate::json::Json::uint(self.defense_misses),
+            )
+            .with("defense_ops", crate::json::Json::uint(self.defense_ops))
+            .with("row_clones", crate::json::Json::uint(self.row_clones))
+            .with(
+                "non_target_refreshes",
+                crate::json::Json::uint(self.non_target_refreshes),
+            )
+    }
+
+    /// Deserialize an artifact-pipeline record.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::json::JsonError`] on missing or non-integer
+    /// fields.
+    pub fn from_json(value: &crate::json::Json) -> Result<DefenseStats, crate::json::JsonError> {
+        Ok(DefenseStats {
+            attempts: value.field_u64("attempts")?,
+            flips_resisted: value.field_u64("flips_resisted")?,
+            flips_landed: value.field_u64("flips_landed")?,
+            defense_misses: value.field_u64("defense_misses")?,
+            defense_ops: value.field_u64("defense_ops")?,
+            row_clones: value.field_u64("row_clones")?,
+            non_target_refreshes: value.field_u64("non_target_refreshes")?,
+        })
+    }
 }
 
 /// One attacker campaign as the defense sees it: the simulated device the
@@ -679,7 +719,7 @@ mod tests {
 
     #[test]
     fn dyn_defense_delegates() {
-        let mut boxed: DynDefense = Box::new(Undefended::new());
+        let mut boxed: DynDefense = Box::<Undefended>::default();
         assert_eq!(boxed.name(), "Baseline (undefended)");
         let mut mem = MemoryController::try_new(DramConfig::lpddr4_small()).unwrap();
         let victim = GlobalRowId::new(0, 0, 10);

@@ -60,14 +60,18 @@
 //! # }
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod analysis;
 pub mod conformance;
 pub mod defense;
+pub mod json;
 pub mod mapping;
 pub mod overhead;
 pub mod power;
 pub mod priority;
 pub mod schedule;
+pub mod stablehash;
 pub mod swap;
 pub mod system;
 
@@ -76,10 +80,12 @@ pub use defense::{
     CampaignView, DefenseConfig, DefenseMechanism, DefenseStats, DnnDefenderDefense, DynDefense,
     FlipAttempt, Undefended,
 };
+pub use json::{Json, JsonError};
 pub use mapping::{BitLocation, RowSlot, WeightMap};
 pub use overhead::{overhead_table, CapacityCost, MemKind, OverheadEntry};
 pub use power::{power_table, saving_versus, PowerProfile};
 pub use priority::ProtectionPlan;
 pub use schedule::{chain_schedule, parallel_schedule, SwapSchedule};
+pub use stablehash::{stable_digest, StableHash, StableHasher};
 pub use swap::{SwapEngine, SwapOutcome};
 pub use system::ProtectedSystem;

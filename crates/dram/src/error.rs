@@ -13,24 +13,49 @@ use crate::geometry::{BankId, RowInSubarray, SubarrayId};
 #[non_exhaustive]
 pub enum DramError {
     /// A bank index was out of range for the configured device.
-    BankOutOfRange { bank: BankId, banks: usize },
+    BankOutOfRange {
+        /// The offending bank.
+        bank: BankId,
+        /// Banks the device has.
+        banks: usize,
+    },
     /// A subarray index was out of range for the configured bank.
     SubarrayOutOfRange {
+        /// The offending subarray.
         subarray: SubarrayId,
+        /// Subarrays each bank has.
         subarrays: usize,
     },
     /// A row index was out of range for the configured subarray.
-    RowOutOfRange { row: RowInSubarray, rows: usize },
+    RowOutOfRange {
+        /// The offending row.
+        row: RowInSubarray,
+        /// Rows each subarray has.
+        rows: usize,
+    },
     /// The written buffer did not match the configured row size.
-    RowSizeMismatch { expected: usize, got: usize },
+    RowSizeMismatch {
+        /// The configured row size in bytes.
+        expected: usize,
+        /// The buffer size that was passed.
+        got: usize,
+    },
     /// RowClone requires source and destination in the same subarray.
     CrossSubarrayClone,
     /// A bit offset exceeded the number of bits in a row.
-    BitOutOfRange { bit: usize, bits: usize },
+    BitOutOfRange {
+        /// The offending bit offset.
+        bit: usize,
+        /// Bits each row holds.
+        bits: usize,
+    },
     /// The configuration was internally inconsistent (e.g. zero rows).
     InvalidConfig(String),
     /// A reserved row was addressed through the normal data path.
-    ReservedRowAccess { row: RowInSubarray },
+    ReservedRowAccess {
+        /// The reserved row that was addressed.
+        row: RowInSubarray,
+    },
 }
 
 impl fmt::Display for DramError {

@@ -40,6 +40,8 @@
 //! # }
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod addressing;
 pub mod bank;
 pub mod command;

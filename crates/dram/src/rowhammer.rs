@@ -91,7 +91,10 @@ impl HammerTracker {
 pub enum FlipOutcome {
     /// The victim's disturbance reached `T_RH`; the listed bit offsets were
     /// flipped in the row payload.
-    Flipped { bits: Vec<usize> },
+    Flipped {
+        /// The flipped bit offsets within the row payload.
+        bits: Vec<usize>,
+    },
     /// The victim was refreshed recently enough that the disturbance is
     /// still below threshold — the defense (or plain auto-refresh) won.
     Resisted {

@@ -102,7 +102,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Length specifications accepted by [`vec`]: a fixed `usize` or a
+    /// Length specifications accepted by [`vec()`]: a fixed `usize` or a
     /// `Range<usize>`.
     pub trait VecLen {
         /// Pick a concrete length.
