@@ -16,6 +16,8 @@
 //! *which* bits the attacker wants, the memory stack answers *whether*
 //! the flips land.
 
+#![deny(missing_docs)]
+
 pub mod adaptive;
 pub mod bfa;
 pub mod profile;

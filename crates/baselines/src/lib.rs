@@ -49,6 +49,8 @@
 //! }
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod counters;
 pub mod graphene;
 pub mod scenario;
@@ -57,10 +59,11 @@ pub mod software;
 pub mod swap_based;
 
 pub use counters::{CounterPerRow, HydraTracker, TwiceTable};
+pub use dd_workload::BackgroundLoad;
 pub use graphene::{GrapheneDefense, MisraGries};
 pub use scenario::{
-    dram_label, fig8_rows, AttackerKind, CellProgress, CellReport, DefenseFactory, DefenseKind,
-    Fig8Row, MatrixReport, MatrixRunSummary, Scenario, ScenarioMatrix, VictimSpec,
+    dram_label, fig8_rows, AttackerKind, BenignReport, CellProgress, CellReport, DefenseFactory,
+    DefenseKind, Fig8Row, MatrixReport, MatrixRunSummary, Scenario, ScenarioMatrix, VictimSpec,
     CELL_PROTOCOL_VERSION,
 };
 pub use shadow::{ShadowDefense, ShadowMechanism};

@@ -34,11 +34,12 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use dd_attack::{run_bfa, run_tbfa, AttackConfig, AttackData, TbfaGoal, ThreatModel};
-use dd_dram::{DramConfig, DramError, GlobalRowId, MemoryController, Nanos};
+use dd_dram::{DramConfig, DramError, GlobalRowId, MemoryController, Nanos, TraceMode};
 use dd_nn::data::{Dataset, SyntheticSpec};
 use dd_nn::train::{train, TrainConfig};
 use dd_nn::Network;
 use dd_qnn::{build_model, Architecture, BitAddr, BitFlip, ModelConfig, QModel};
+use dd_workload::{all_data_rows, BackgroundLoad, BenignTraffic, WORKLOAD_PROTOCOL_VERSION};
 use dnn_defender::defense::{
     CampaignView, DefenseConfig, DefenseMechanism, DefenseStats, DnnDefenderDefense, DynDefense,
     Undefended,
@@ -107,7 +108,10 @@ impl StableHash for AttackerKind {
 /// a change alters what any cell would compute for the same
 /// configuration**, so every cached `CellReport` and reusable artifact
 /// is invalidated.
-pub const CELL_PROTOCOL_VERSION: u64 = 1;
+///
+/// v2: the background-workload axis (benign traffic interleaved into the
+/// campaign replay, `Scenario.workload`, `CellReport.benign`).
+pub const CELL_PROTOCOL_VERSION: u64 = 2;
 
 /// The canonical defense roster: every mitigation the paper's Table 3
 /// compares, as a closed enum so the scenario matrix, the artifacts, and
@@ -332,8 +336,60 @@ pub struct Scenario {
     pub attacker: String,
     /// Device label.
     pub dram: String,
+    /// Background-workload label ([`BackgroundLoad::label`]).
+    pub workload: String,
     /// The cell's deterministic RNG seed.
     pub seed: u64,
+}
+
+/// What the benign traffic sharing a cell's device experienced and
+/// provoked (present only for cells with a background load).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenignReport {
+    /// Benign ops executed across the cell's windows.
+    pub ops: u64,
+    /// Modeled benign activations (ops × the load's batch factor).
+    pub activations: u64,
+    /// Defensive operations fired during the benign-only warmup windows
+    /// — false positives by construction.
+    pub false_defense_ops: u64,
+    /// Defensive operations fired from the online tap during attacked
+    /// windows (cannot be attributed benign/attack by the mechanism).
+    pub online_defense_ops: u64,
+    /// Distinct benign rows whose disturbance reached `T_RH / 2`
+    /// (excluding the rows under direct attack).
+    pub disturbed_rows: u64,
+    /// Peak disturbance observed on any non-attacked benign row.
+    pub peak_disturbance: u64,
+}
+
+impl BenignReport {
+    /// Serialize for the artifact pipeline.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("ops", Json::uint(self.ops))
+            .with("activations", Json::uint(self.activations))
+            .with("false_defense_ops", Json::uint(self.false_defense_ops))
+            .with("online_defense_ops", Json::uint(self.online_defense_ops))
+            .with("disturbed_rows", Json::uint(self.disturbed_rows))
+            .with("peak_disturbance", Json::uint(self.peak_disturbance))
+    }
+
+    /// Deserialize an artifact-pipeline record.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing or mistyped fields.
+    pub fn from_json(value: &Json) -> Result<BenignReport, JsonError> {
+        Ok(BenignReport {
+            ops: value.field_u64("ops")?,
+            activations: value.field_u64("activations")?,
+            false_defense_ops: value.field_u64("false_defense_ops")?,
+            online_defense_ops: value.field_u64("online_defense_ops")?,
+            disturbed_rows: value.field_u64("disturbed_rows")?,
+            peak_disturbance: value.field_u64("peak_disturbance")?,
+        })
+    }
 }
 
 /// One evaluated cell: the Table 3 row plus the defense's bookkeeping.
@@ -351,6 +407,8 @@ pub struct CellReport {
     pub landed: usize,
     /// The defense's own bookkeeping.
     pub stats: DefenseStats,
+    /// Benign-traffic measurements (cells with a background load only).
+    pub benign: Option<BenignReport>,
 }
 
 /// Every cell of one matrix run.
@@ -368,6 +426,7 @@ impl Scenario {
             .with("defense", Json::str(&self.defense))
             .with("attacker", Json::str(&self.attacker))
             .with("dram", Json::str(&self.dram))
+            .with("workload", Json::str(&self.workload))
             .with("seed", Json::hex(self.seed))
     }
 
@@ -381,6 +440,7 @@ impl Scenario {
             defense: value.field_str("defense")?.to_string(),
             attacker: value.field_str("attacker")?.to_string(),
             dram: value.field_str("dram")?.to_string(),
+            workload: value.field_str("workload")?.to_string(),
             seed: value.field_hex_u64("seed")?,
         })
     }
@@ -389,13 +449,17 @@ impl Scenario {
 impl CellReport {
     /// Serialize for the artifact pipeline and the on-disk cell cache.
     pub fn to_json(&self) -> Json {
-        Json::obj()
+        let mut json = Json::obj()
             .with("scenario", self.scenario.to_json())
             .with("clean_accuracy", Json::num(self.clean_accuracy))
             .with("post_attack_accuracy", Json::num(self.post_attack_accuracy))
             .with("attempts", Json::uint(self.attempts as u64))
             .with("landed", Json::uint(self.landed as u64))
-            .with("stats", self.stats.to_json())
+            .with("stats", self.stats.to_json());
+        if let Some(benign) = &self.benign {
+            json = json.with("benign", benign.to_json());
+        }
+        json
     }
 
     /// Deserialize an artifact-pipeline / cell-cache record.
@@ -411,6 +475,10 @@ impl CellReport {
             attempts: value.field_u64("attempts")? as usize,
             landed: value.field_u64("landed")? as usize,
             stats: DefenseStats::from_json(value.field("stats")?)?,
+            benign: value
+                .get("benign")
+                .map(BenignReport::from_json)
+                .transpose()?,
         })
     }
 }
@@ -541,12 +609,13 @@ impl MatrixRunSummary {
     }
 }
 
-/// Builder for attacker × defense × device sweeps.
+/// Builder for attacker × defense × device × background-load sweeps.
 pub struct ScenarioMatrix {
     victim: VictimSpec,
     attackers: Vec<AttackerKind>,
     defenses: Vec<(String, DefenseFactory, Option<usize>)>,
     dram_configs: Vec<DramConfig>,
+    loads: Vec<BackgroundLoad>,
     attack: AttackConfig,
     budget: usize,
     seed: u64,
@@ -555,13 +624,15 @@ pub struct ScenarioMatrix {
 
 impl ScenarioMatrix {
     /// Matrix over the given victim with defaults: one BFA attacker, the
-    /// LPDDR4-small device, the default attack config, budget 25.
+    /// LPDDR4-small device, no background load, the default attack
+    /// config, budget 25.
     pub fn new(victim: VictimSpec) -> Self {
         ScenarioMatrix {
             victim,
             attackers: Vec::new(),
             defenses: Vec::new(),
             dram_configs: Vec::new(),
+            loads: Vec::new(),
             attack: AttackConfig::default(),
             budget: 25,
             seed: 0x5ca1_ab1e,
@@ -573,6 +644,21 @@ impl ScenarioMatrix {
     pub fn attacker(mut self, attacker: AttackerKind) -> Self {
         self.attackers.push(attacker);
         self
+    }
+
+    /// Add a background-workload axis entry: the cell replays its attack
+    /// campaigns while this much benign traffic shares the device (see
+    /// `dd-workload`). Defaults to [`BackgroundLoad::None`] only.
+    pub fn background(mut self, load: BackgroundLoad) -> Self {
+        self.loads.push(load);
+        self
+    }
+
+    /// Add every [`BackgroundLoad`] level as axis entries.
+    pub fn with_all_backgrounds(self) -> Self {
+        BackgroundLoad::ALL
+            .into_iter()
+            .fold(self, |matrix, load| matrix.background(load))
     }
 
     /// Add a defense axis entry.
@@ -670,17 +756,48 @@ impl ScenarioMatrix {
         }
     }
 
-    fn cell_seed(&self, defense: &str, attacker: &AttackerKind, dram: &DramConfig) -> u64 {
+    fn effective_loads(&self) -> Vec<BackgroundLoad> {
+        if self.loads.is_empty() {
+            vec![BackgroundLoad::None]
+        } else {
+            self.loads.clone()
+        }
+    }
+
+    fn cell_seed(
+        &self,
+        defense: &str,
+        attacker: &AttackerKind,
+        dram: &DramConfig,
+        load: BackgroundLoad,
+    ) -> u64 {
         let mut h: u64 = self.seed ^ 0xcbf2_9ce4_8422_2325;
         for b in defense
             .bytes()
             .chain(attacker.label().bytes())
             .chain(dram_label(dram).bytes())
+            .chain(load.label().bytes())
         {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x1000_0000_01b3);
         }
         h
+    }
+
+    fn scenario_for(
+        &self,
+        defense: &str,
+        attacker: &AttackerKind,
+        dram: &DramConfig,
+        load: BackgroundLoad,
+    ) -> Scenario {
+        Scenario {
+            defense: defense.to_string(),
+            attacker: attacker.label(),
+            dram: dram_label(dram),
+            workload: load.label().to_string(),
+            seed: self.cell_seed(defense, attacker, dram, load),
+        }
     }
 
     /// The cells `run` will execute, in deterministic order.
@@ -689,12 +806,9 @@ impl ScenarioMatrix {
         for (name, _, _) in &self.defenses {
             for attacker in self.effective_attackers() {
                 for dram in self.effective_dram() {
-                    out.push(Scenario {
-                        defense: name.clone(),
-                        attacker: attacker.label(),
-                        dram: dram_label(&dram),
-                        seed: self.cell_seed(name, &attacker, &dram),
-                    });
+                    for load in self.effective_loads() {
+                        out.push(self.scenario_for(name, &attacker, &dram, load));
+                    }
                 }
             }
         }
@@ -716,6 +830,7 @@ impl ScenarioMatrix {
         let mut h = StableHasher::new();
         h.write_str("ScenarioMatrix/v1");
         h.write_u64(CELL_PROTOCOL_VERSION);
+        h.write_u64(WORKLOAD_PROTOCOL_VERSION);
         h.write(&self.victim);
         h.write(&self.attack);
         h.write_usize(self.budget);
@@ -727,6 +842,7 @@ impl ScenarioMatrix {
         }
         h.write(&self.effective_attackers());
         h.write(&self.effective_dram());
+        h.write(&self.effective_loads());
         h.finish()
     }
 
@@ -747,18 +863,21 @@ impl ScenarioMatrix {
         defense_idx: usize,
         attacker: &AttackerKind,
         dram: &DramConfig,
+        load: BackgroundLoad,
     ) -> u64 {
         let (name, _, budget_override) = &self.defenses[defense_idx];
         let mut h = StableHasher::new();
         h.write_str("ScenarioCell/v1");
         h.write_u64(CELL_PROTOCOL_VERSION);
+        h.write_u64(WORKLOAD_PROTOCOL_VERSION);
         h.write(&self.victim);
         h.write(&self.attack);
         h.write_usize(budget_override.unwrap_or(self.budget));
         h.write_str(name);
         h.write(attacker);
         h.write(dram);
-        h.write_u64(self.cell_seed(name, attacker, dram));
+        h.write(&load);
+        h.write_u64(self.cell_seed(name, attacker, dram, load));
         h.finish()
     }
 
@@ -767,19 +886,17 @@ impl ScenarioMatrix {
     pub fn cell_keys(&self) -> Vec<(Scenario, u64)> {
         let attackers = self.effective_attackers();
         let drams = self.effective_dram();
+        let loads = self.effective_loads();
         let mut out = Vec::new();
         for (d, (name, _, _)) in self.defenses.iter().enumerate() {
             for attacker in &attackers {
                 for dram in &drams {
-                    out.push((
-                        Scenario {
-                            defense: name.clone(),
-                            attacker: attacker.label(),
-                            dram: dram_label(dram),
-                            seed: self.cell_seed(name, attacker, dram),
-                        },
-                        self.cell_cache_key(d, attacker, dram),
-                    ));
+                    for &load in &loads {
+                        out.push((
+                            self.scenario_for(name, attacker, dram, load),
+                            self.cell_cache_key(d, attacker, dram, load),
+                        ));
+                    }
                 }
             }
         }
@@ -825,11 +942,15 @@ impl ScenarioMatrix {
         assert!(!self.defenses.is_empty(), "scenario matrix has no defenses");
         let attackers = self.effective_attackers();
         let drams = self.effective_dram();
-        let cells: Vec<(usize, usize, usize)> = (0..self.defenses.len())
+        let loads = self.effective_loads();
+        let cells: Vec<(usize, usize, usize, usize)> = (0..self.defenses.len())
             .flat_map(|d| {
                 let attackers = &attackers;
                 let drams = &drams;
-                (0..attackers.len()).flat_map(move |a| (0..drams.len()).map(move |m| (d, a, m)))
+                let loads = &loads;
+                (0..attackers.len()).flat_map(move |a| {
+                    (0..drams.len()).flat_map(move |m| (0..loads.len()).map(move |l| (d, a, m, l)))
+                })
             })
             .collect();
         let total = cells.len();
@@ -840,8 +961,8 @@ impl ScenarioMatrix {
 
         let mut pending: Vec<usize> = Vec::new();
         let mut cache_hits = 0usize;
-        for (i, &(d, a, m)) in cells.iter().enumerate() {
-            let key = self.cell_cache_key(d, &attackers[a], &drams[m]);
+        for (i, &(d, a, m, l)) in cells.iter().enumerate() {
+            let key = self.cell_cache_key(d, &attackers[a], &drams[m], loads[l]);
             match cache.get(&key) {
                 Some(hit) => {
                     cache_hits += 1;
@@ -881,9 +1002,9 @@ impl ScenarioMatrix {
                         let Some(&i) = pending.get(p) else {
                             break;
                         };
-                        let (d, a, m) = cells[i];
+                        let (d, a, m, l) = cells[i];
                         let started = Instant::now();
-                        let result = self.run_cell(d, &attackers[a], &drams[m]);
+                        let result = self.run_cell(d, &attackers[a], &drams[m], loads[l]);
                         let n = done.fetch_add(1, Ordering::Relaxed) + 1;
                         if let (Some(observe), Ok(cell)) = (progress, &result) {
                             observe(&CellProgress {
@@ -923,10 +1044,11 @@ impl ScenarioMatrix {
         defense_idx: usize,
         attacker: &AttackerKind,
         dram: &DramConfig,
+        load: BackgroundLoad,
     ) -> Result<CellReport, DramError> {
         let (name, factory, budget_override) = &self.defenses[defense_idx];
         let budget = budget_override.unwrap_or(self.budget);
-        let seed = self.cell_seed(name, attacker, dram);
+        let seed = self.cell_seed(name, attacker, dram, load);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut defense = factory(seed, dram);
 
@@ -1009,6 +1131,49 @@ impl ScenarioMatrix {
         // Bit flips commute (XOR), so blocked flips are tracked as
         // addresses and reverted by toggling.
         let mut mem = MemoryController::try_new(dram.clone())?;
+        // Bulk replay: counters-only tracing (see `TraceMode`).
+        mem.set_trace_mode(TraceMode::CountersOnly);
+        let t_rh = dram.rowhammer_threshold;
+
+        // The cell's background traffic: zipfian serving over a 64-row
+        // "hot" working set spread across the device, scans over the
+        // rest (on the scratch device there is no deployed weight image,
+        // so the working set is a geometric stand-in for one).
+        let mut traffic = {
+            let cold = all_data_rows(dram);
+            let hot: Vec<GlobalRowId> = cold
+                .iter()
+                .copied()
+                .step_by((cold.len() / 64).max(1))
+                .take(64)
+                .collect();
+            BenignTraffic::for_load(load, seed ^ 0x00be_9114, dram, &hot, &cold)
+        };
+        let mut benign_report = traffic.as_ref().map(|_| BenignReport::default());
+        let mut disturbed: HashSet<GlobalRowId> = HashSet::new();
+
+        // Benign-only warmup windows: any defensive operation fired here
+        // is a false positive (nothing is under attack yet). The window
+        // protocol (rollover notification, budget, boundary-minus-1
+        // sampling point) is the workload driver's.
+        if let (Some(t), Some(b)) = (traffic.as_mut(), benign_report.as_mut()) {
+            let before = defense.stats().defense_ops;
+            for _ in 0..2 {
+                let span = t.drive_benign_window(&mut mem, &mut *defense, None)?;
+                b.ops += span.ops;
+                b.activations += span.activations;
+                for &row in t.universe() {
+                    let d = mem.disturbance(row);
+                    b.peak_disturbance = b.peak_disturbance.max(d);
+                    if d >= t_rh / 2 {
+                        disturbed.insert(row);
+                    }
+                }
+                mem.advance(Nanos(1));
+            }
+            b.false_defense_ops = defense.stats().defense_ops - before;
+        }
+
         let mut blocked: Vec<BitAddr> = Vec::new();
         let mut attempts = 0usize;
         let mut landed = 0usize;
@@ -1020,23 +1185,72 @@ impl ScenarioMatrix {
                 model.flip_bit(flip.addr);
                 continue;
             }
-            mem.advance(Nanos::from_millis(65));
-            defense.on_hammer_window(mem.epoch());
             let victim = pseudo_victim(flip.addr, dram);
-            let view = CampaignView {
-                mem: &mut mem,
-                map: None,
-                victim,
-                bit_in_row: pseudo_bit_in_row(flip.addr, dram),
-                addr: flip.addr,
+            let bit_in_row = pseudo_bit_in_row(flip.addr, dram);
+            let addr = flip.addr;
+
+            let outcome = match (traffic.as_mut(), benign_report.as_mut()) {
+                (Some(t), Some(b)) => {
+                    // The shared attacked-window protocol: half the
+                    // benign budget, the campaign racing mid-window,
+                    // the rest of the budget up to 1 ns before the
+                    // boundary.
+                    let (span, online_ops, outcome) = t.drive_attacked_window(
+                        &mut mem,
+                        &mut *defense,
+                        None,
+                        |mem, defense, _| {
+                            defense.filter_flip(CampaignView {
+                                mem,
+                                map: None,
+                                victim,
+                                bit_in_row,
+                                addr,
+                            })
+                        },
+                    )?;
+                    b.ops += span.ops;
+                    b.activations += span.activations;
+                    b.online_defense_ops += online_ops;
+                    outcome
+                }
+                _ => {
+                    mem.advance(Nanos::from_millis(65));
+                    defense.on_hammer_window(mem.epoch());
+                    defense.filter_flip(CampaignView {
+                        mem: &mut mem,
+                        map: None,
+                        victim,
+                        bit_in_row,
+                        addr,
+                    })?
+                }
             };
-            let outcome = defense.filter_flip(view)?;
             attempts += 1;
             if outcome.landed() {
                 landed += 1;
             } else {
                 blocked.push(flip.addr);
             }
+
+            // Sample disturbance before the window rolls over (the
+            // rollover zeroes it), then cross the boundary.
+            if let (Some(t), Some(b)) = (traffic.as_mut(), benign_report.as_mut()) {
+                if attempts.is_multiple_of(10) || attempts == flips.len() {
+                    for &row in t.universe() {
+                        if row == victim {
+                            continue;
+                        }
+                        let d = mem.disturbance(row);
+                        b.peak_disturbance = b.peak_disturbance.max(d);
+                        if d >= t_rh / 2 {
+                            disturbed.insert(row);
+                        }
+                    }
+                }
+                mem.advance(Nanos(1));
+            }
+
             if attempts.is_multiple_of(10) {
                 let acc = real_accuracy(&mut model, &data, &blocked);
                 if acc <= self.attack.target_accuracy {
@@ -1047,17 +1261,16 @@ impl ScenarioMatrix {
 
         let post = real_accuracy(&mut model, &data, &blocked);
         Ok(CellReport {
-            scenario: Scenario {
-                defense: name.clone(),
-                attacker: attacker.label(),
-                dram: dram_label(dram),
-                seed,
-            },
+            scenario: self.scenario_for(name, attacker, dram, load),
             clean_accuracy: clean,
             post_attack_accuracy: post,
             attempts,
             landed,
             stats: defense.stats(),
+            benign: benign_report.map(|mut b| {
+                b.disturbed_rows = disturbed.len() as u64;
+                b
+            }),
         })
     }
 }
@@ -1333,6 +1546,71 @@ mod tests {
             mixed.cells[1].post_attack_accuracy,
             report.cells[1].post_attack_accuracy
         );
+    }
+
+    #[test]
+    fn background_load_axis_crosses_and_reports_benign_traffic() {
+        let report = quick_matrix()
+            .budget(10)
+            .background(BackgroundLoad::None)
+            .background(BackgroundLoad::Light)
+            .defense("Baseline", |_, _| Box::new(Undefended::named("Baseline")))
+            .run()
+            .expect("matrix");
+        assert_eq!(report.cells.len(), 2);
+        let none = &report.cells[0];
+        let light = &report.cells[1];
+        assert_eq!(none.scenario.workload, "none");
+        assert_eq!(light.scenario.workload, "light");
+        assert_ne!(none.scenario.seed, light.scenario.seed);
+        assert!(
+            none.benign.is_none(),
+            "no-load cell must have no benign report"
+        );
+        let benign = light.benign.expect("loaded cell reports benign traffic");
+        // 2 warmup windows + one window per attempt, at the light rate.
+        let expected = (2 + light.attempts as u64) * BackgroundLoad::Light.ops_per_window();
+        assert_eq!(benign.ops, expected);
+        assert_eq!(
+            benign.activations,
+            benign.ops * BackgroundLoad::Light.batch()
+        );
+        assert_eq!(
+            benign.false_defense_ops, 0,
+            "undefended cannot false-positive"
+        );
+        // The attack's campaigns land with or without background traffic.
+        assert_eq!(light.landed, light.attempts);
+    }
+
+    #[test]
+    fn background_load_cells_are_deterministic_and_keyed_separately() {
+        let build = || {
+            quick_matrix()
+                .budget(6)
+                .background(BackgroundLoad::MultiTenant)
+                .defense_kind(DefenseKind::DnnDefender)
+                .run()
+                .expect("matrix")
+        };
+        let (a, b) = (build(), build());
+        let (ca, cb) = (&a.cells[0], &b.cells[0]);
+        assert_eq!(ca.benign, cb.benign, "benign traffic must be deterministic");
+        assert_eq!(ca.post_attack_accuracy, cb.post_attack_accuracy);
+        assert!(ca.stats.invariants_hold());
+
+        // Load levels key cells apart: same matrix, different load ⇒
+        // different cache keys for every cell.
+        let keys = |load: BackgroundLoad| {
+            quick_matrix()
+                .budget(6)
+                .background(load)
+                .defense_kind(DefenseKind::DnnDefender)
+                .cell_keys()
+        };
+        let none = keys(BackgroundLoad::None);
+        let heavy = keys(BackgroundLoad::Heavy);
+        assert_ne!(none[0].1, heavy[0].1, "load must be part of the cell key");
     }
 
     #[test]

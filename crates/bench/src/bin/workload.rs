@@ -1,0 +1,10 @@
+//! Workload: defense overhead and false-positive rates under benign
+//! multi-tenant traffic, driven through the `dd-workload` engine.
+//!
+//! Thin wrapper over `dd_bench::experiments` — prefer `repro workload`,
+//! which also caches matrix cells, writes the artifact (and the
+//! `BENCH_workload.json` perf baseline), and updates the docs.
+
+fn main() {
+    dd_bench::experiments::run_standalone(dd_bench::experiments::ExperimentId::Workload);
+}

@@ -206,6 +206,29 @@ pub trait DefenseMechanism: Send {
     /// Propagates [`DramError`] from the device operations.
     fn filter_flip(&mut self, view: CampaignView<'_>) -> Result<FlipAttempt, DramError>;
 
+    /// Observe `n` activations of `row` from the *ambient* command stream
+    /// (benign workload traffic, as opposed to a replayed attacker
+    /// campaign). Online mechanisms — counter tables, victim-watching
+    /// swap engines — react here exactly as their in-DRAM/controller tap
+    /// would, charging any defensive operations they issue to their
+    /// [`DefenseStats`]; the workload driver attributes operations fired
+    /// during benign-only traffic as *false positives*. `map` is the
+    /// deployed weight map when one exists (relocating defenses must keep
+    /// it coherent). Default: no online component, observe nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DramError`] from defensive device operations.
+    fn observe_activation(
+        &mut self,
+        _mem: &mut MemoryController,
+        _map: Option<&mut WeightMap>,
+        _row: GlobalRowId,
+        _n: u64,
+    ) -> Result<(), DramError> {
+        Ok(())
+    }
+
     /// Refresh-window rollover notification (per-window budgets reset
     /// here or lazily off `mem.epoch()`).
     fn on_hammer_window(&mut self, _epoch: u64) {}
@@ -247,6 +270,15 @@ impl DefenseMechanism for DynDefense {
     }
     fn filter_flip(&mut self, view: CampaignView<'_>) -> Result<FlipAttempt, DramError> {
         (**self).filter_flip(view)
+    }
+    fn observe_activation(
+        &mut self,
+        mem: &mut MemoryController,
+        map: Option<&mut WeightMap>,
+        row: GlobalRowId,
+        n: u64,
+    ) -> Result<(), DramError> {
+        (**self).observe_activation(mem, map, row, n)
     }
     fn on_hammer_window(&mut self, epoch: u64) {
         (**self).on_hammer_window(epoch);
@@ -613,6 +645,80 @@ impl DefenseMechanism for DnnDefenderDefense {
         Ok(attempt)
     }
 
+    /// The victim-watching online component: when ambient traffic has
+    /// pushed a *protected* row's disturbance past the swap watermark
+    /// (`T_RH / 2`, the same point the campaign race swaps at), relocate
+    /// it. A swap triggered by benign-only traffic is a false positive —
+    /// the row was never under attack — and the workload driver reports
+    /// it as such, but the mechanism cannot tell and must pay the swap.
+    fn observe_activation(
+        &mut self,
+        mem: &mut MemoryController,
+        mut map: Option<&mut WeightMap>,
+        row: GlobalRowId,
+        _n: u64,
+    ) -> Result<(), DramError> {
+        if !self.config.enabled {
+            return Ok(());
+        }
+        if self.rows_stale {
+            if let Some(map) = map.as_deref() {
+                self.protected_rows = map.target_rows(self.secured.iter()).into_iter().collect();
+                self.rows_stale = false;
+            }
+        }
+        if self.protected_rows.is_empty() {
+            return Ok(());
+        }
+        let watermark = (mem.config().rowhammer_threshold / 2).max(1);
+        let watched: Vec<GlobalRowId> = mem
+            .rowhammer_model()
+            .victims_of(row)
+            .into_iter()
+            .filter(|v| self.protected_rows.contains(v))
+            .collect();
+        for victim in watched {
+            if mem.disturbance(victim) < watermark || !self.window_budget_available(mem) {
+                continue;
+            }
+            let reserved = RowInSubarray(mem.config().first_reserved_row());
+            let non_target = self.non_target_row(mem, row, victim);
+            let random = self.pick_random_row(mem, victim, non_target);
+            match map.as_deref_mut() {
+                Some(map) => {
+                    let outcome = self
+                        .engine
+                        .four_step_swap(mem, map, victim, random, reserved, non_target)?;
+                    self.stats.row_clones += u64::from(outcome.row_clones);
+                    self.protected_rows =
+                        map.target_rows(self.secured.iter()).into_iter().collect();
+                }
+                None => {
+                    mem.swap_rows_via(victim.bank, victim.subarray, victim.row, random, reserved)?;
+                    self.stats.row_clones += 3;
+                    if let Some(nt) = non_target {
+                        // Step 4's opportunistic refresh, same as the
+                        // map-less campaign path in `filter_flip`.
+                        mem.row_clone(victim.bank, victim.subarray, nt, reserved)?;
+                        self.stats.row_clones += 1;
+                    }
+                    self.protected_rows.remove(&victim);
+                    self.protected_rows.insert(GlobalRowId {
+                        bank: victim.bank,
+                        subarray: victim.subarray,
+                        row: random,
+                    });
+                }
+            }
+            self.swaps_this_window += 1;
+            self.stats.defense_ops += 1;
+            if non_target.is_some() {
+                self.stats.non_target_refreshes += 1;
+            }
+        }
+        Ok(())
+    }
+
     fn stats(&self) -> DefenseStats {
         self.stats
     }
@@ -715,6 +821,56 @@ mod tests {
         };
         assert_eq!(def.filter_flip(view).unwrap(), FlipAttempt::DefenseMissed);
         assert_eq!(def.stats().defense_misses, 1);
+    }
+
+    #[test]
+    fn observe_activation_swaps_hot_protected_row() {
+        use dd_nn::init::seeded_rng;
+        use dd_nn::layers::{Flatten, Linear};
+        use dd_nn::model::Network;
+
+        let mut mem = MemoryController::try_new(DramConfig::lpddr4_small()).unwrap();
+        let mut rng = seeded_rng(3);
+        let net = Network::new("m")
+            .push(Flatten::new())
+            .push(Linear::kaiming("fc", 64, 16, &mut rng));
+        let model = QModel::from_network(net);
+        let mut map = WeightMap::layout(&model, mem.config());
+        let mut def = DnnDefenderDefense::new(DefenseConfig::default(), 9);
+        let addr = BitAddr {
+            param: 0,
+            index: 0,
+            bit: 0,
+        };
+        def.secure_bits(&[addr], Some(&map));
+        let victim = map.locate(addr).row;
+        let hot = preferred_aggressor(victim, mem.config().rows_per_subarray);
+
+        // Ambient traffic heats the protected row's neighbour to the swap
+        // watermark; the online watcher relocates the protected row.
+        mem.hammer(hot, 2400).unwrap();
+        def.observe_activation(&mut mem, Some(&mut map), hot, 2400)
+            .unwrap();
+        assert_eq!(def.stats().defense_ops, 1, "watcher did not swap");
+        assert_ne!(map.locate(addr).row, victim, "victim not relocated");
+
+        // With the heat gone (the swap recharged the row), a further
+        // observation fires nothing.
+        def.observe_activation(&mut mem, Some(&mut map), hot, 1)
+            .unwrap();
+        assert_eq!(def.stats().defense_ops, 1);
+        assert!(def.stats().invariants_hold());
+    }
+
+    #[test]
+    fn observe_activation_ignores_unprotected_traffic() {
+        let mut mem = MemoryController::try_new(DramConfig::lpddr4_small()).unwrap();
+        let mut def = DnnDefenderDefense::new(DefenseConfig::default(), 9);
+        // No secured rows: arbitrary hot benign traffic triggers nothing.
+        mem.hammer(GlobalRowId::new(0, 0, 30), 5000).unwrap();
+        def.observe_activation(&mut mem, None, GlobalRowId::new(0, 0, 30), 5000)
+            .unwrap();
+        assert_eq!(def.stats().defense_ops, 0);
     }
 
     #[test]

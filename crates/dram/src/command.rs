@@ -41,16 +41,37 @@ pub struct DramCommand {
     pub at: Nanos,
 }
 
+/// How much work the controller spends on command tracing.
+///
+/// Tracing exists for tests and experiment forensics; replaying millions
+/// of workload commands must not pay for it. The controller checks the
+/// mode *before* building a [`DramCommand`], so [`TraceMode::Disabled`]
+/// and [`TraceMode::CountersOnly`] skip the struct construction entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceMode {
+    /// Retain the most recent commands in the ring (the default).
+    Full,
+    /// Keep only per-kind issue counters — no commands are retained.
+    CountersOnly,
+    /// Record nothing, count nothing. The cheapest mode; used by the
+    /// scenario matrix and the workload driver for bulk replay runs.
+    Disabled,
+}
+
 /// A bounded ring of recently issued commands.
 ///
 /// Keeps the last `capacity` commands; older entries are dropped. The
-/// total issued count keeps counting regardless.
+/// total issued count keeps counting regardless (unless the trace is
+/// [`TraceMode::Disabled`]).
 #[derive(Debug, Clone)]
 pub struct CommandTrace {
     buf: Vec<DramCommand>,
     capacity: usize,
     head: usize,
     issued: u64,
+    mode: TraceMode,
+    /// Issue counts per [`CommandKind`], indexed by discriminant order.
+    kind_counts: [u64; 6],
 }
 
 impl CommandTrace {
@@ -61,12 +82,60 @@ impl CommandTrace {
             capacity,
             head: 0,
             issued: 0,
+            mode: TraceMode::Full,
+            kind_counts: [0; 6],
         }
+    }
+
+    /// Create a counters-only or disabled trace (no ring allocation).
+    pub fn with_mode(mode: TraceMode) -> Self {
+        let mut trace = CommandTrace::new(match mode {
+            TraceMode::Full => 4096,
+            TraceMode::CountersOnly | TraceMode::Disabled => 0,
+        });
+        trace.mode = mode;
+        trace
+    }
+
+    /// The current trace mode.
+    pub fn mode(&self) -> TraceMode {
+        self.mode
+    }
+
+    /// Switch the trace mode. Entering a cheaper mode drops the retained
+    /// ring; counters always survive the switch.
+    pub fn set_mode(&mut self, mode: TraceMode) {
+        if mode != TraceMode::Full {
+            self.buf = Vec::new();
+            self.head = 0;
+        }
+        self.mode = mode;
+    }
+
+    /// Whether [`CommandTrace::record`] currently does any work — the
+    /// controller's cheap pre-check before building a command struct.
+    pub fn is_recording(&self) -> bool {
+        self.mode != TraceMode::Disabled
+    }
+
+    /// Count one issued command of `kind` without retaining it (the
+    /// [`TraceMode::CountersOnly`] fast path).
+    pub fn count(&mut self, kind: CommandKind) {
+        self.issued += 1;
+        self.kind_counts[kind as usize] += 1;
     }
 
     /// Record a command.
     pub fn record(&mut self, cmd: DramCommand) {
-        self.issued += 1;
+        match self.mode {
+            TraceMode::Disabled => return,
+            TraceMode::CountersOnly => {
+                self.count(cmd.kind);
+                return;
+            }
+            TraceMode::Full => {}
+        }
+        self.count(cmd.kind);
         if self.capacity == 0 {
             return;
         }
@@ -102,6 +171,12 @@ impl CommandTrace {
     /// Count retained commands of a given kind.
     pub fn count_kind(&self, kind: CommandKind) -> usize {
         self.iter().filter(|c| c.kind == kind).count()
+    }
+
+    /// Total commands of `kind` issued over the lifetime of the trace
+    /// (maintained in every mode except [`TraceMode::Disabled`]).
+    pub fn issued_of(&self, kind: CommandKind) -> u64 {
+        self.kind_counts[kind as usize]
     }
 }
 
@@ -142,6 +217,42 @@ mod tests {
         tr.record(cmd(CommandKind::Pre, 1));
         assert_eq!(tr.issued(), 1);
         assert!(tr.is_empty());
+    }
+
+    #[test]
+    fn counters_only_counts_without_retaining() {
+        let mut tr = CommandTrace::with_mode(TraceMode::CountersOnly);
+        for i in 0..5 {
+            tr.record(cmd(CommandKind::Act, i));
+        }
+        tr.record(cmd(CommandKind::Rd, 5));
+        assert_eq!(tr.issued(), 6);
+        assert_eq!(tr.issued_of(CommandKind::Act), 5);
+        assert_eq!(tr.issued_of(CommandKind::Rd), 1);
+        assert!(tr.is_empty());
+        assert!(tr.is_recording());
+    }
+
+    #[test]
+    fn disabled_mode_records_nothing() {
+        let mut tr = CommandTrace::with_mode(TraceMode::Disabled);
+        tr.record(cmd(CommandKind::Act, 0));
+        assert_eq!(tr.issued(), 0);
+        assert!(tr.is_empty());
+        assert!(!tr.is_recording());
+    }
+
+    #[test]
+    fn mode_switch_drops_ring_keeps_counters() {
+        let mut tr = CommandTrace::new(8);
+        tr.record(cmd(CommandKind::Act, 0));
+        tr.record(cmd(CommandKind::Wr, 1));
+        assert_eq!(tr.len(), 2);
+        tr.set_mode(TraceMode::CountersOnly);
+        assert!(tr.is_empty());
+        tr.record(cmd(CommandKind::Act, 2));
+        assert_eq!(tr.issued(), 3);
+        assert_eq!(tr.issued_of(CommandKind::Act), 2);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! and consistent per-row disturbance state.
 
 use crate::bank::Bank;
-use crate::command::{CommandKind, CommandTrace, DramCommand};
+use crate::command::{CommandKind, CommandTrace, DramCommand, TraceMode};
 use crate::error::DramError;
 use crate::geometry::{BankId, DramConfig, GlobalRowId, RowInSubarray, SubarrayId};
 use crate::rowhammer::{FlipOutcome, HammerTracker, RowHammerModel};
@@ -107,6 +107,19 @@ impl MemoryController {
         &self.trace
     }
 
+    /// Set the tracing effort (see [`TraceMode`]). Matrix and workload
+    /// runs use [`TraceMode::CountersOnly`] so replaying millions of
+    /// commands does not pay per-command ring maintenance; tests that
+    /// inspect issued commands keep the default [`TraceMode::Full`].
+    pub fn set_trace_mode(&mut self, mode: TraceMode) {
+        self.trace.set_mode(mode);
+    }
+
+    /// The tracing effort currently in force.
+    pub fn trace_mode(&self) -> TraceMode {
+        self.trace.mode()
+    }
+
     /// Current refresh-window epoch.
     pub fn epoch(&self) -> u64 {
         HammerTracker::epoch(self.now, self.config.timing.t_ref)
@@ -132,13 +145,21 @@ impl MemoryController {
     }
 
     fn record(&mut self, kind: CommandKind, target: GlobalRowId, aux: Option<GlobalRowId>) {
-        let at = self.now;
-        self.trace.record(DramCommand {
-            kind,
-            target,
-            aux,
-            at,
-        });
+        // Cheap pre-check: in counters-only/disabled mode, never build
+        // the command struct at all (the per-command hot path).
+        match self.trace.mode() {
+            TraceMode::Disabled => {}
+            TraceMode::CountersOnly => self.trace.count(kind),
+            TraceMode::Full => {
+                let at = self.now;
+                self.trace.record(DramCommand {
+                    kind,
+                    target,
+                    aux,
+                    at,
+                });
+            }
+        }
     }
 
     /// Apply the RowHammer side effects of activating `row`: the row itself
@@ -589,6 +610,23 @@ mod tests {
         assert!(m.attempt_flip(gid(10), &[0]).unwrap().flipped());
         // A second flip needs a fresh hammering campaign.
         assert!(!m.attempt_flip(gid(10), &[1]).unwrap().flipped());
+    }
+
+    #[test]
+    fn counters_only_controller_tracks_issue_counts() {
+        let mut m = mem();
+        m.set_trace_mode(TraceMode::CountersOnly);
+        m.write_row(BankId(0), SubarrayId(0), RowInSubarray(3), &[0u8; 64])
+            .unwrap();
+        m.read_row(BankId(0), SubarrayId(0), RowInSubarray(3))
+            .unwrap();
+        assert!(m.trace().is_empty(), "counters-only mode retained commands");
+        assert_eq!(m.trace().issued_of(CommandKind::Wr), 1);
+        assert_eq!(m.trace().issued_of(CommandKind::Rd), 1);
+        assert_eq!(m.trace().issued_of(CommandKind::Act), 2);
+        // Simulation results are identical regardless of trace mode.
+        assert_eq!(m.stats().reads, 1);
+        assert_eq!(m.stats().writes, 1);
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod timing;
 
 pub use addressing::{AddressMapping, DecodedAddr, PhysAddr};
 pub use bank::Bank;
-pub use command::{CommandKind, CommandTrace, DramCommand};
+pub use command::{CommandKind, CommandTrace, DramCommand, TraceMode};
 pub use controller::MemoryController;
 pub use error::DramError;
 pub use geometry::{BankId, DramConfig, GlobalRowId, RowInSubarray, SubarrayId};

@@ -1,0 +1,726 @@
+//! The event-driven workload driver.
+//!
+//! [`BenignTraffic`] merges one or more generator streams on the
+//! simulated clock (a min-heap of per-stream next-fire times, rates
+//! proportional to stream weights) and executes each op through the
+//! [`MemoryController`], giving the installed
+//! [`DefenseMechanism`] its command-stream tap
+//! ([`DefenseMechanism::observe_activation`]) after every op.
+//! [`run_workload`] layers the attack on top: a benign-only measurement
+//! phase (any defensive operation fired there is a *false positive* —
+//! nothing was under attack) followed by attacked windows in which one
+//! [`DefenseMechanism::filter_flip`] campaign races the defense mid-window
+//! while benign traffic keeps flowing around it.
+//!
+//! Intensity scaling: generators emit a *thinned sample* of the nominal
+//! stream — each sampled op stands for `batch` real accesses of its row
+//! (one data-moving command plus `batch − 1` extra activations), so
+//! disturbance accumulation and counter pressure match the nominal rate
+//! without simulating every command. See `docs/workloads.md`.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use dd_dram::{DramConfig, DramError, GlobalRowId, MemoryController, Nanos};
+use dd_qnn::BitAddr;
+use dnn_defender::defense::{CampaignView, DefenseMechanism, DefenseStats};
+use dnn_defender::WeightMap;
+
+use crate::generator::{BackgroundLoad, OpKind, WorkloadGenerator, WorkloadOp};
+
+/// Traffic issued by one [`BenignTraffic::drive_span`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanTraffic {
+    /// Benign ops executed (each one data-moving command).
+    pub ops: u64,
+    /// Modeled row activations including the batch factor.
+    pub activations: u64,
+    /// Payload bytes moved by reads and writes.
+    pub bytes: u64,
+}
+
+impl SpanTraffic {
+    fn absorb(&mut self, other: SpanTraffic) {
+        self.ops += other.ops;
+        self.activations += other.activations;
+        self.bytes += other.bytes;
+    }
+}
+
+/// A merged set of benign workload streams bound to a device geometry.
+pub struct BenignTraffic {
+    streams: Vec<(Box<dyn WorkloadGenerator>, u32)>,
+    label: String,
+    ops_per_window: u64,
+    batch: u64,
+    universe: Vec<GlobalRowId>,
+    scratch_row: Vec<u8>,
+    recorded: Option<Vec<WorkloadOp>>,
+}
+
+impl BenignTraffic {
+    /// Assemble traffic from explicit `(stream, weight)` pairs.
+    ///
+    /// `universe` is the set of rows the traffic may touch — the
+    /// disturbance-measurement scan runs over it. `batch` is the
+    /// activations-per-op intensity factor (min 1).
+    pub fn new(
+        streams: Vec<(Box<dyn WorkloadGenerator>, u32)>,
+        label: impl Into<String>,
+        ops_per_window: u64,
+        batch: u64,
+        universe: Vec<GlobalRowId>,
+        config: &DramConfig,
+    ) -> Self {
+        BenignTraffic {
+            streams,
+            label: label.into(),
+            ops_per_window,
+            batch: batch.max(1),
+            universe,
+            scratch_row: vec![0u8; config.row_bytes],
+            recorded: None,
+        }
+    }
+
+    /// Assemble the canonical traffic for a [`BackgroundLoad`] level.
+    /// Returns `None` for [`BackgroundLoad::None`]. `hot` is the serving
+    /// working set (weight rows); `cold` rows absorb scans and writes.
+    pub fn for_load(
+        load: BackgroundLoad,
+        seed: u64,
+        config: &DramConfig,
+        hot: &[GlobalRowId],
+        cold: &[GlobalRowId],
+    ) -> Option<Self> {
+        let streams = load.build_streams(seed, config, hot, cold);
+        if streams.is_empty() {
+            return None;
+        }
+        let mut universe: Vec<GlobalRowId> = Vec::with_capacity(hot.len() + cold.len());
+        let mut seen = HashSet::new();
+        for &row in hot.iter().chain(cold) {
+            if seen.insert(row) {
+                universe.push(row);
+            }
+        }
+        Some(BenignTraffic::new(
+            streams,
+            load.label(),
+            load.ops_per_window(),
+            load.batch(),
+            universe,
+            config,
+        ))
+    }
+
+    /// Replay a recorded op stream at the given rate and intensity.
+    pub fn from_trace(
+        ops: Vec<WorkloadOp>,
+        ops_per_window: u64,
+        batch: u64,
+        config: &DramConfig,
+    ) -> Self {
+        let mut universe = Vec::new();
+        let mut seen = HashSet::new();
+        for op in &ops {
+            if seen.insert(op.row) {
+                universe.push(op.row);
+            }
+        }
+        BenignTraffic::new(
+            vec![(
+                Box::new(crate::trace::TraceReplay::new(ops)) as Box<dyn WorkloadGenerator>,
+                1,
+            )],
+            "trace-replay",
+            ops_per_window,
+            batch,
+            universe,
+            config,
+        )
+    }
+
+    /// Start (or stop) capturing every executed op for later
+    /// [`crate::trace::encode`].
+    pub fn set_recording(&mut self, on: bool) {
+        self.recorded = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Take the ops captured since recording started and *stop*
+    /// recording (call [`BenignTraffic::set_recording`] again for
+    /// another capture). Returns an empty vector when recording was
+    /// never on.
+    pub fn take_recorded(&mut self) -> Vec<WorkloadOp> {
+        self.recorded.take().unwrap_or_default()
+    }
+
+    /// The mix label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Benign ops per refresh window at this intensity.
+    pub fn ops_per_window(&self) -> u64 {
+        self.ops_per_window
+    }
+
+    /// Activations each sampled op stands for.
+    pub fn batch(&self) -> u64 {
+        self.batch
+    }
+
+    /// The rows this traffic may touch (the disturbance-scan universe).
+    pub fn universe(&self) -> &[GlobalRowId] {
+        &self.universe
+    }
+
+    /// Execute `ops` benign operations merged across the streams,
+    /// event-driven over `[mem.now(), span_end)`, observing `defense`
+    /// after every op. Idle gaps advance the simulated clock; on return
+    /// the clock sits at `span_end`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DramError`] from device or defense operations.
+    pub fn drive_span(
+        &mut self,
+        mem: &mut MemoryController,
+        defense: &mut dyn DefenseMechanism,
+        mut map: Option<&mut WeightMap>,
+        span_end: Nanos,
+        ops: u64,
+    ) -> Result<SpanTraffic, DramError> {
+        let mut traffic = SpanTraffic::default();
+        let start = mem.now();
+        if self.streams.is_empty() || ops == 0 || span_end <= start {
+            if span_end > mem.now() {
+                mem.advance(span_end - mem.now());
+            }
+            return Ok(traffic);
+        }
+        let span = span_end - start;
+        let total_weight: u64 = self.streams.iter().map(|(_, w)| u64::from(*w)).sum();
+
+        // Per-stream periods from weight shares; the heap merges the
+        // streams into one time-ordered command sequence.
+        let mut heap: BinaryHeap<Reverse<(u128, usize)>> = BinaryHeap::new();
+        for (i, (_, weight)) in self.streams.iter().enumerate() {
+            let stream_ops = (ops * u64::from(*weight)) / total_weight;
+            if stream_ops == 0 {
+                continue;
+            }
+            let period = (span.0 / u128::from(stream_ops)).max(1);
+            heap.push(Reverse((start.0 + period / 2 + i as u128, i)));
+        }
+        if heap.is_empty() {
+            heap.push(Reverse((start.0 + 1, 0)));
+        }
+
+        for _ in 0..ops {
+            let Reverse((at, idx)) = heap.pop().expect("non-empty event heap");
+            if at > mem.now().0 && at < span_end.0 {
+                mem.advance(Nanos(at) - mem.now());
+            }
+            let op = self.streams[idx].0.next_op();
+            self.execute(mem, defense, map.as_deref_mut(), op, &mut traffic)?;
+            let weight = u64::from(self.streams[idx].1);
+            let stream_ops = ((ops * weight) / total_weight).max(1);
+            let period = (span.0 / u128::from(stream_ops)).max(1);
+            heap.push(Reverse((at + period, idx)));
+        }
+        if span_end > mem.now() {
+            mem.advance(span_end - mem.now());
+        }
+        Ok(traffic)
+    }
+
+    /// [`BenignTraffic::drive_span`] over the remainder of the current
+    /// refresh window, at the mix's full per-window op budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DramError`] from device or defense operations.
+    pub fn drive_window(
+        &mut self,
+        mem: &mut MemoryController,
+        defense: &mut dyn DefenseMechanism,
+        map: Option<&mut WeightMap>,
+    ) -> Result<SpanTraffic, DramError> {
+        let end = next_window_boundary(mem);
+        let ops = self.ops_per_window;
+        self.drive_span(mem, defense, map, end, ops)
+    }
+
+    /// One *benign-only* measurement window: window-rollover
+    /// notification, then the full per-window op budget, stopping 1 ns
+    /// short of the epoch boundary so the caller can sample disturbance
+    /// inside the window it accumulated in (the rollover zeroes it).
+    /// The caller samples, then `mem.advance(Nanos(1))` to cross over.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DramError`] from device or defense operations.
+    pub fn drive_benign_window(
+        &mut self,
+        mem: &mut MemoryController,
+        defense: &mut dyn DefenseMechanism,
+        map: Option<&mut WeightMap>,
+    ) -> Result<SpanTraffic, DramError> {
+        defense.on_hammer_window(mem.epoch());
+        let sample_at = Nanos(next_window_boundary(mem).0 - 1);
+        let ops = self.ops_per_window;
+        self.drive_span(mem, defense, map, sample_at, ops)
+    }
+
+    /// One *attacked* window of the shared measurement protocol: half
+    /// the benign budget, then the caller's `campaign` (a
+    /// [`DefenseMechanism::filter_flip`] replay) racing mid-window, then
+    /// the remaining budget up to 1 ns before the epoch boundary.
+    /// Returns the window's benign traffic, the defensive operations
+    /// fired from the online tap during the benign segments (the
+    /// campaign's own operations are excluded), and the campaign's
+    /// outcome. As with [`BenignTraffic::drive_benign_window`], the
+    /// caller samples disturbance and then advances the final 1 ns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DramError`] from device, defense, or campaign
+    /// operations.
+    pub fn drive_attacked_window<T>(
+        &mut self,
+        mem: &mut MemoryController,
+        defense: &mut dyn DefenseMechanism,
+        mut map: Option<&mut WeightMap>,
+        campaign: impl FnOnce(
+            &mut MemoryController,
+            &mut dyn DefenseMechanism,
+            Option<&mut WeightMap>,
+        ) -> Result<T, DramError>,
+    ) -> Result<(SpanTraffic, u64, T), DramError> {
+        defense.on_hammer_window(mem.epoch());
+        let window_end = next_window_boundary(mem);
+        let half = Nanos(mem.now().0 + (window_end.0 - mem.now().0) / 2);
+        let ops = self.ops_per_window;
+        let mut traffic = SpanTraffic::default();
+        let mut online_ops = 0u64;
+
+        let before = defense.stats().defense_ops;
+        traffic.absorb(self.drive_span(mem, defense, map.as_deref_mut(), half, ops / 2)?);
+        online_ops += defense.stats().defense_ops - before;
+
+        let outcome = campaign(mem, defense, map.as_deref_mut())?;
+
+        let before = defense.stats().defense_ops;
+        traffic.absorb(self.drive_span(
+            mem,
+            defense,
+            map,
+            Nanos(window_end.0 - 1),
+            ops - ops / 2,
+        )?);
+        online_ops += defense.stats().defense_ops - before;
+        Ok((traffic, online_ops, outcome))
+    }
+
+    fn execute(
+        &mut self,
+        mem: &mut MemoryController,
+        defense: &mut dyn DefenseMechanism,
+        map: Option<&mut WeightMap>,
+        op: WorkloadOp,
+        traffic: &mut SpanTraffic,
+    ) -> Result<(), DramError> {
+        let row = op.row;
+        match op.kind {
+            OpKind::Read => {
+                mem.read_row(row.bank, row.subarray, row.row)?;
+            }
+            OpKind::Write => {
+                // Deterministic tenant payload; writes are confined to
+                // non-weight rows by the generator recipes.
+                self.scratch_row.fill(row.row.0 as u8 ^ 0xA5);
+                mem.write_row(row.bank, row.subarray, row.row, &self.scratch_row)?;
+            }
+        }
+        if self.batch > 1 {
+            // The remaining activations this sampled op stands for.
+            mem.hammer(row, self.batch - 1)?;
+        }
+        traffic.ops += 1;
+        traffic.activations += self.batch;
+        traffic.bytes += self.scratch_row.len() as u64;
+        defense.observe_activation(mem, map, row, self.batch)?;
+        if let Some(recorded) = &mut self.recorded {
+            recorded.push(op);
+        }
+        Ok(())
+    }
+}
+
+/// The next refresh-window (epoch) boundary after `mem.now()`.
+pub fn next_window_boundary(mem: &MemoryController) -> Nanos {
+    let t_ref = mem.config().timing.t_ref;
+    Nanos(((mem.now().0 / t_ref.0) + 1) * t_ref.0)
+}
+
+/// Shape of one [`run_workload`] invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct DriverConfig {
+    /// Benign-only measurement windows (false-positive phase).
+    pub benign_windows: u64,
+    /// Windows carrying one attack campaign each, under load.
+    pub attack_windows: u64,
+    /// Capture the executed benign ops for trace export.
+    pub record: bool,
+}
+
+/// What one [`run_workload`] run measured.
+#[derive(Debug, Clone)]
+pub struct DriverReport {
+    /// The benign mix label.
+    pub load: String,
+    /// Benign ops executed across both phases.
+    pub benign_ops: u64,
+    /// Modeled benign activations (ops × batch).
+    pub benign_activations: u64,
+    /// Benign payload bytes moved.
+    pub benign_bytes: u64,
+    /// Total DRAM commands the device saw (benign + attack + defense).
+    pub commands: u64,
+    /// Simulated time elapsed.
+    pub sim_nanos: u128,
+    /// Simulated busy (non-idle) device time.
+    pub busy_nanos: u128,
+    /// Defensive operations fired during benign-only traffic — false
+    /// positives by construction.
+    pub false_defense_ops: u64,
+    /// Defensive operations fired from the online tap while under attack
+    /// (benign segments of attacked windows; genuine or false, the
+    /// mechanism cannot tell).
+    pub online_defense_ops: u64,
+    /// Attack campaigns replayed.
+    pub attempts: u64,
+    /// Campaigns that corrupted memory.
+    pub landed: u64,
+    /// Distinct benign-universe rows whose disturbance ever reached half
+    /// the RowHammer threshold (excluding rows under direct attack).
+    pub disturbed_rows: u64,
+    /// Peak disturbance observed on any non-attacked benign row.
+    pub peak_benign_disturbance: u64,
+    /// The defense's own bookkeeping at the end of the run.
+    pub stats: DefenseStats,
+    /// The captured benign op stream, when recording was requested.
+    pub trace: Option<Vec<WorkloadOp>>,
+}
+
+fn total_commands(mem: &MemoryController) -> u64 {
+    let s = mem.stats();
+    s.acts + s.pres + s.reads + s.writes + s.refreshes + s.row_clones
+}
+
+/// Run benign-only measurement windows followed by attacked windows, all
+/// through one device and one defense, and report throughput,
+/// benign-row disturbance, and false/online defensive operations.
+///
+/// `attack_bits` are the model bits the attacker campaigns against, one
+/// per attacked window (cycled); they require a deployed `map` to locate
+/// victims. With no map or no bits, the attack phase only rolls windows.
+///
+/// # Errors
+///
+/// Propagates [`DramError`] from device or defense operations.
+pub fn run_workload(
+    mem: &mut MemoryController,
+    defense: &mut dyn DefenseMechanism,
+    mut map: Option<&mut WeightMap>,
+    traffic: &mut BenignTraffic,
+    attack_bits: &[BitAddr],
+    cfg: &DriverConfig,
+) -> Result<DriverReport, DramError> {
+    let t_rh = mem.config().rowhammer_threshold;
+    let started = mem.now();
+    let busy_start = mem.stats().busy;
+    let commands_start = total_commands(mem);
+    if cfg.record {
+        traffic.set_recording(true);
+    }
+
+    let mut benign = SpanTraffic::default();
+    let mut disturbed: HashSet<GlobalRowId> = HashSet::new();
+    let mut attacked: HashSet<GlobalRowId> = HashSet::new();
+    let mut peak = 0u64;
+    let sample = |mem: &MemoryController,
+                  traffic: &BenignTraffic,
+                  attacked: &HashSet<GlobalRowId>,
+                  disturbed: &mut HashSet<GlobalRowId>,
+                  peak: &mut u64| {
+        for &row in traffic.universe() {
+            if attacked.contains(&row) {
+                continue;
+            }
+            let d = mem.disturbance(row);
+            *peak = (*peak).max(d);
+            if d >= t_rh / 2 {
+                disturbed.insert(row);
+            }
+        }
+    };
+
+    // Phase 1: benign-only. Every defensive op fired here is a false
+    // positive — there is no attack to defend against.
+    let ops_before = defense.stats().defense_ops;
+    for _ in 0..cfg.benign_windows {
+        benign.absorb(traffic.drive_benign_window(mem, defense, map.as_deref_mut())?);
+        sample(mem, traffic, &attacked, &mut disturbed, &mut peak);
+        mem.advance(Nanos(1));
+    }
+    let false_defense_ops = defense.stats().defense_ops - ops_before;
+
+    // Phase 2: attacked windows — one campaign racing mid-window while
+    // benign traffic keeps flowing around it.
+    let mut online_defense_ops = 0u64;
+    let mut attempts = 0u64;
+    let mut landed = 0u64;
+    for w in 0..cfg.attack_windows {
+        let attacked_ref = &mut attacked;
+        let (window_traffic, online_ops, _) = traffic.drive_attacked_window(
+            mem,
+            defense,
+            map.as_deref_mut(),
+            |mem, defense, mut map| {
+                let Some(m) = map.as_deref() else {
+                    return Ok(());
+                };
+                if attack_bits.is_empty() {
+                    return Ok(());
+                }
+                let addr = attack_bits[(w as usize) % attack_bits.len()];
+                let loc = m.locate(addr);
+                attacked_ref.insert(loc.row);
+                let view = CampaignView {
+                    mem,
+                    map: map.as_deref_mut(),
+                    victim: loc.row,
+                    bit_in_row: loc.bit_in_row,
+                    addr,
+                };
+                let outcome = defense.filter_flip(view)?;
+                attempts += 1;
+                if outcome.landed() {
+                    landed += 1;
+                }
+                if let Some(m) = map.as_deref() {
+                    // The campaign may have relocated the victim; the row
+                    // now holding the bit is the attacked one going
+                    // forward.
+                    attacked_ref.insert(m.locate(addr).row);
+                }
+                Ok(())
+            },
+        )?;
+        benign.absorb(window_traffic);
+        online_defense_ops += online_ops;
+        sample(mem, traffic, &attacked, &mut disturbed, &mut peak);
+        mem.advance(Nanos(1));
+    }
+
+    Ok(DriverReport {
+        load: traffic.label().to_string(),
+        benign_ops: benign.ops,
+        benign_activations: benign.activations,
+        benign_bytes: benign.bytes,
+        commands: total_commands(mem) - commands_start,
+        sim_nanos: (mem.now() - started).0,
+        busy_nanos: (mem.stats().busy - busy_start).0,
+        false_defense_ops,
+        online_defense_ops,
+        attempts,
+        landed,
+        disturbed_rows: disturbed.len() as u64,
+        peak_benign_disturbance: peak,
+        stats: defense.stats(),
+        trace: if cfg.record {
+            Some(traffic.take_recorded())
+        } else {
+            None
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::all_data_rows;
+    use dd_dram::TraceMode;
+    use dnn_defender::Undefended;
+
+    fn device() -> MemoryController {
+        let mut mem = MemoryController::try_new(DramConfig::lpddr4_small()).expect("valid config");
+        mem.set_trace_mode(TraceMode::CountersOnly);
+        mem
+    }
+
+    fn light_traffic(config: &DramConfig) -> BenignTraffic {
+        let cold = all_data_rows(config);
+        let hot: Vec<GlobalRowId> = cold.iter().copied().take(64).collect();
+        BenignTraffic::for_load(BackgroundLoad::Light, 11, config, &hot, &cold)
+            .expect("light builds traffic")
+    }
+
+    #[test]
+    fn benign_only_run_is_deterministic() {
+        let run = || {
+            let mut mem = device();
+            let mut defense = Undefended::new();
+            let mut traffic = light_traffic(&DramConfig::lpddr4_small());
+            let cfg = DriverConfig {
+                benign_windows: 3,
+                attack_windows: 0,
+                record: false,
+            };
+            run_workload(&mut mem, &mut defense, None, &mut traffic, &[], &cfg).expect("driver run")
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.benign_ops, 3 * BackgroundLoad::Light.ops_per_window());
+        assert_eq!(a.benign_ops, b.benign_ops);
+        assert_eq!(a.commands, b.commands);
+        assert_eq!(a.sim_nanos, b.sim_nanos);
+        assert_eq!(a.disturbed_rows, b.disturbed_rows);
+        assert_eq!(a.peak_benign_disturbance, b.peak_benign_disturbance);
+        assert_eq!(a.false_defense_ops, 0, "undefended fired a defense op");
+        assert_eq!(a.attempts, 0);
+    }
+
+    #[test]
+    fn driver_lands_on_window_boundaries_and_moves_data() {
+        let mut mem = device();
+        let mut defense = Undefended::new();
+        let mut traffic = light_traffic(&DramConfig::lpddr4_small());
+        let cfg = DriverConfig {
+            benign_windows: 2,
+            attack_windows: 0,
+            record: false,
+        };
+        let report =
+            run_workload(&mut mem, &mut defense, None, &mut traffic, &[], &cfg).expect("run");
+        let t_ref = mem.config().timing.t_ref;
+        assert_eq!(mem.now().0 % t_ref.0, 0, "clock must sit on a boundary");
+        assert_eq!(report.sim_nanos, t_ref.0 * 2);
+        assert_eq!(report.benign_bytes, report.benign_ops * 64);
+        assert!(report.busy_nanos > 0 && report.busy_nanos < report.sim_nanos);
+        assert_eq!(
+            report.benign_activations,
+            report.benign_ops * BackgroundLoad::Light.batch()
+        );
+    }
+
+    #[test]
+    fn heavy_load_disturbs_more_than_light() {
+        let run = |load: BackgroundLoad| {
+            let config = DramConfig::lpddr4_small();
+            let mut mem = device();
+            let mut defense = Undefended::new();
+            let cold = all_data_rows(&config);
+            let hot: Vec<GlobalRowId> = cold.iter().copied().take(64).collect();
+            let mut traffic =
+                BenignTraffic::for_load(load, 11, &config, &hot, &cold).expect("traffic");
+            let cfg = DriverConfig {
+                benign_windows: 3,
+                attack_windows: 0,
+                record: false,
+            };
+            run_workload(&mut mem, &mut defense, None, &mut traffic, &[], &cfg).expect("run")
+        };
+        let light = run(BackgroundLoad::Light);
+        let heavy = run(BackgroundLoad::Heavy);
+        assert!(
+            heavy.peak_benign_disturbance > light.peak_benign_disturbance,
+            "heavy ({}) must out-disturb light ({})",
+            heavy.peak_benign_disturbance,
+            light.peak_benign_disturbance
+        );
+        assert!(heavy.benign_ops > light.benign_ops);
+    }
+
+    #[test]
+    fn take_recorded_stops_recording() {
+        let config = DramConfig::lpddr4_small();
+        let mut traffic = light_traffic(&config);
+        let cfg = DriverConfig {
+            benign_windows: 1,
+            attack_windows: 0,
+            record: true,
+        };
+        let mut mem = device();
+        let mut defense = Undefended::new();
+        let first = run_workload(&mut mem, &mut defense, None, &mut traffic, &[], &cfg)
+            .expect("recorded run");
+        assert!(!first.trace.as_deref().expect("trace").is_empty());
+
+        // A subsequent non-recording run must not keep capturing (or
+        // pollute a later capture with its ops).
+        let unrecorded = run_workload(
+            &mut mem,
+            &mut defense,
+            None,
+            &mut traffic,
+            &[],
+            &DriverConfig {
+                record: false,
+                ..cfg
+            },
+        )
+        .expect("unrecorded run");
+        assert!(unrecorded.trace.is_none());
+        assert!(
+            traffic.take_recorded().is_empty(),
+            "recording stayed on after take_recorded"
+        );
+    }
+
+    #[test]
+    fn recorded_trace_replays_byte_identically() {
+        let config = DramConfig::lpddr4_small();
+        let cfg = DriverConfig {
+            benign_windows: 2,
+            attack_windows: 0,
+            record: true,
+        };
+        let mut mem = device();
+        let mut defense = Undefended::new();
+        let mut traffic = light_traffic(&config);
+        let original =
+            run_workload(&mut mem, &mut defense, None, &mut traffic, &[], &cfg).expect("record");
+        let ops = original.trace.clone().expect("trace captured");
+        assert_eq!(ops.len() as u64, original.benign_ops);
+
+        // Round-trip through the binary format, then drive a fresh device
+        // with the replay: identical command stream, identical outcome.
+        let bytes = crate::trace::encode(&ops);
+        let decoded = crate::trace::decode(&bytes).expect("decode");
+        assert_eq!(decoded, ops);
+        let mut replay =
+            BenignTraffic::from_trace(decoded, traffic.ops_per_window(), traffic.batch(), &config);
+        let mut mem2 = device();
+        let mut defense2 = Undefended::new();
+        let replayed = run_workload(
+            &mut mem2,
+            &mut defense2,
+            None,
+            &mut replay,
+            &[],
+            &DriverConfig {
+                record: false,
+                ..cfg
+            },
+        )
+        .expect("replay");
+        assert_eq!(replayed.benign_ops, original.benign_ops);
+        assert_eq!(replayed.benign_bytes, original.benign_bytes);
+        assert_eq!(replayed.commands, original.commands);
+        assert_eq!(mem2.stats().reads, mem.stats().reads);
+        assert_eq!(mem2.stats().writes, mem.stats().writes);
+        assert_eq!(mem2.stats().acts, mem.stats().acts);
+    }
+}

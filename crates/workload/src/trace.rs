@@ -1,0 +1,280 @@
+//! The compact binary workload-trace format (record + replay).
+//!
+//! Any driver run can capture the exact benign op stream it executed and
+//! replay it later byte-identically — across processes, machines, and
+//! (as long as the version header matches) releases. The format is
+//! deliberately trivial so other tools can parse it:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"DDWT"
+//! 4       2     version (little-endian u16, currently 1)
+//! 6       2     flags (reserved, 0)
+//! 8       8     record count (little-endian u64)
+//! 16      9*n   records
+//! ```
+//!
+//! Each record is 9 bytes: `kind` (u8: 0 = read, 1 = write), `bank`
+//! (LE u16), `subarray` (LE u16), `row` (LE u32). Decoding rejects bad
+//! magic, unknown versions, truncated bodies, and trailing bytes, so a
+//! trace either round-trips exactly (`decode(encode(ops)) == ops`) or
+//! fails loudly. The golden file under `tests/golden/` pins the on-disk
+//! layout: changing it requires a version bump.
+
+use dd_dram::GlobalRowId;
+
+use crate::generator::{OpKind, WorkloadGenerator, WorkloadOp};
+
+/// File magic: "DNN-Defender Workload Trace".
+pub const TRACE_MAGIC: [u8; 4] = *b"DDWT";
+
+/// Current trace format version.
+pub const TRACE_VERSION: u16 = 1;
+
+/// Bytes per encoded record.
+pub const RECORD_BYTES: usize = 9;
+
+/// Header size in bytes.
+pub const HEADER_BYTES: usize = 16;
+
+/// Why a trace failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace error: {}", self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn err(message: impl Into<String>) -> TraceError {
+    TraceError {
+        message: message.into(),
+    }
+}
+
+/// Encode an op stream into the versioned binary format.
+///
+/// # Panics
+///
+/// Panics when an address does not fit the record layout (bank or
+/// subarray ≥ 2¹⁶, row ≥ 2³²) — silently truncating would break the
+/// round-trip guarantee, and no simulated device is anywhere near these
+/// bounds.
+pub fn encode(ops: &[WorkloadOp]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_BYTES + ops.len() * RECORD_BYTES);
+    out.extend_from_slice(&TRACE_MAGIC);
+    out.extend_from_slice(&TRACE_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&(ops.len() as u64).to_le_bytes());
+    for op in ops {
+        let bank = u16::try_from(op.row.bank.0).expect("bank exceeds trace format (u16)");
+        let subarray =
+            u16::try_from(op.row.subarray.0).expect("subarray exceeds trace format (u16)");
+        let row = u32::try_from(op.row.row.0).expect("row exceeds trace format (u32)");
+        out.push(match op.kind {
+            OpKind::Read => 0,
+            OpKind::Write => 1,
+        });
+        out.extend_from_slice(&bank.to_le_bytes());
+        out.extend_from_slice(&subarray.to_le_bytes());
+        out.extend_from_slice(&row.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a versioned binary trace.
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] on bad magic, an unsupported version, a
+/// truncated body, a record-count mismatch, or an invalid op kind.
+pub fn decode(bytes: &[u8]) -> Result<Vec<WorkloadOp>, TraceError> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(err(format!("truncated header: {} bytes", bytes.len())));
+    }
+    if bytes[0..4] != TRACE_MAGIC {
+        return Err(err("bad magic (not a DDWT trace)"));
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != TRACE_VERSION {
+        return Err(err(format!(
+            "unsupported trace version {version} (expected {TRACE_VERSION})"
+        )));
+    }
+    let count = u64::from_le_bytes(bytes[8..16].try_into().expect("8 header bytes")) as usize;
+    let body = &bytes[HEADER_BYTES..];
+    if body.len() != count * RECORD_BYTES {
+        return Err(err(format!(
+            "body is {} bytes, expected {} for {count} records",
+            body.len(),
+            count * RECORD_BYTES
+        )));
+    }
+    let mut ops = Vec::with_capacity(count);
+    for record in body.chunks_exact(RECORD_BYTES) {
+        let kind = match record[0] {
+            0 => OpKind::Read,
+            1 => OpKind::Write,
+            k => return Err(err(format!("invalid op kind {k}"))),
+        };
+        let bank = u16::from_le_bytes([record[1], record[2]]) as usize;
+        let subarray = u16::from_le_bytes([record[3], record[4]]) as usize;
+        let row = u32::from_le_bytes(record[5..9].try_into().expect("4 row bytes")) as usize;
+        ops.push(WorkloadOp {
+            kind,
+            row: GlobalRowId::new(bank, subarray, row),
+        });
+    }
+    Ok(ops)
+}
+
+/// Replay a recorded op stream as a [`WorkloadGenerator`].
+///
+/// The stream cycles when exhausted, so a short trace can back an
+/// arbitrarily long run; [`TraceReplay::exhausted`] tells a driver that
+/// wants exactly one pass when to stop.
+pub struct TraceReplay {
+    ops: Vec<WorkloadOp>,
+    pos: usize,
+    laps: u64,
+}
+
+impl TraceReplay {
+    /// Replay `ops` from the start.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ops` is empty.
+    pub fn new(ops: Vec<WorkloadOp>) -> Self {
+        assert!(!ops.is_empty(), "cannot replay an empty trace");
+        TraceReplay {
+            ops,
+            pos: 0,
+            laps: 0,
+        }
+    }
+
+    /// Decode and replay a binary trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] when the bytes do not decode (see
+    /// [`decode`]) or decode to an empty stream.
+    pub fn from_bytes(bytes: &[u8]) -> Result<TraceReplay, TraceError> {
+        let ops = decode(bytes)?;
+        if ops.is_empty() {
+            return Err(err("trace holds no records"));
+        }
+        Ok(TraceReplay::new(ops))
+    }
+
+    /// Whether at least one full pass over the trace has been replayed.
+    pub fn exhausted(&self) -> bool {
+        self.laps > 0
+    }
+
+    /// Number of records in the trace.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace holds no records (never true: construction
+    /// rejects empty traces).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+impl WorkloadGenerator for TraceReplay {
+    fn label(&self) -> &str {
+        "trace-replay"
+    }
+
+    fn next_op(&mut self) -> WorkloadOp {
+        let op = self.ops[self.pos];
+        self.pos += 1;
+        if self.pos == self.ops.len() {
+            self.pos = 0;
+            self.laps += 1;
+        }
+        op
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops() -> Vec<WorkloadOp> {
+        vec![
+            WorkloadOp {
+                kind: OpKind::Read,
+                row: GlobalRowId::new(0, 0, 0),
+            },
+            WorkloadOp {
+                kind: OpKind::Write,
+                row: GlobalRowId::new(15, 7, 125),
+            },
+            WorkloadOp {
+                kind: OpKind::Read,
+                row: GlobalRowId::new(3, 2, 1),
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let ops = ops();
+        let bytes = encode(&ops);
+        assert_eq!(bytes.len(), HEADER_BYTES + 3 * RECORD_BYTES);
+        assert_eq!(decode(&bytes).expect("decode"), ops);
+        // Empty traces round-trip too.
+        assert_eq!(decode(&encode(&[])).expect("decode empty"), vec![]);
+    }
+
+    #[test]
+    fn malformed_traces_are_rejected() {
+        let good = encode(&ops());
+        assert!(decode(&good[..10]).is_err(), "truncated header accepted");
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(decode(&bad_magic).is_err(), "bad magic accepted");
+        let mut bad_version = good.clone();
+        bad_version[4] = 99;
+        assert!(decode(&bad_version).is_err(), "future version accepted");
+        let mut truncated = good.clone();
+        truncated.pop();
+        assert!(decode(&truncated).is_err(), "short body accepted");
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(decode(&trailing).is_err(), "trailing bytes accepted");
+        let mut bad_kind = good;
+        bad_kind[HEADER_BYTES] = 7;
+        assert!(decode(&bad_kind).is_err(), "invalid kind accepted");
+    }
+
+    #[test]
+    #[should_panic(expected = "row exceeds trace format")]
+    fn encode_rejects_rows_beyond_the_record_layout() {
+        encode(&[WorkloadOp {
+            kind: OpKind::Read,
+            row: GlobalRowId::new(0, 0, 1 << 33),
+        }]);
+    }
+
+    #[test]
+    fn replay_cycles_and_reports_exhaustion() {
+        let mut replay = TraceReplay::new(ops());
+        assert_eq!(replay.len(), 3);
+        let first: Vec<WorkloadOp> = (0..3).map(|_| replay.next_op()).collect();
+        assert_eq!(first, ops());
+        assert!(replay.exhausted());
+        assert_eq!(replay.next_op(), ops()[0], "replay must cycle");
+    }
+}
