@@ -221,6 +221,12 @@ impl DefenseMechanism for GrapheneDefense {
         Ok(())
     }
 
+    fn has_online_tap(&self) -> bool {
+        // Every activation lands in the Misra–Gries table and can fire
+        // victim refreshes.
+        true
+    }
+
     fn stats(&self) -> DefenseStats {
         DefenseStats {
             defense_ops: self.refreshes,

@@ -1131,7 +1131,13 @@ impl ScenarioMatrix {
         // Bit flips commute (XOR), so blocked flips are tracked as
         // addresses and reverted by toggling.
         let mut mem = MemoryController::try_new(dram.clone())?;
-        // Bulk replay: counters-only tracing (see `TraceMode`).
+        // Bulk replay: counters-only tracing (see `TraceMode`). This is
+        // also what routes the cell's background traffic through the
+        // batched simulation kernel — `BenignTraffic::drive_span` under
+        // `IssuePath::Auto` issues counters-only devices via
+        // `MemoryController::issue_batch`, bit-identical to the
+        // per-command path (docs/perf.md), so cached cell reports and
+        // artifact numbers are unchanged.
         mem.set_trace_mode(TraceMode::CountersOnly);
         let t_rh = dram.rowhammer_threshold;
 

@@ -15,6 +15,7 @@
 //! repro all --force            # ignore caches, recompute everything
 //! repro report                 # re-render EXPERIMENTS.md from artifacts
 //! repro report --check         # exit non-zero if EXPERIMENTS.md would change
+//! repro kernel                 # batched-vs-reference perf gate -> BENCH_kernel.json
 //! ```
 
 use std::collections::HashMap;
@@ -23,6 +24,7 @@ use std::process::ExitCode;
 
 use dd_baselines::CellReport;
 use dd_bench::experiments::{print_artifact, ExperimentId, RunContext};
+use dd_bench::kernel::{run_kernel_bench, KernelBench, KERNEL_SPEEDUP_FLOOR};
 use dd_bench::report::{render_duration, splice_section, Artifact};
 use dnn_defender::Json;
 
@@ -43,6 +45,8 @@ fn usage(code: u8) -> ExitCode {
          commands:\n\
          \x20 all            run every experiment\n\
          \x20 report         regenerate the marked sections of EXPERIMENTS.md from artifacts\n\
+         \x20 kernel         benchmark the batched kernel vs the per-command reference path,\n\
+         \x20                write BENCH_kernel.json, and fail below the committed speedup floor\n\
          \x20 fig1a | fig1b | table2 | table3 | fig8a | fig8b | fig9 | power | workload\n\
          \n\
          options:\n\
@@ -117,10 +121,12 @@ fn main() -> ExitCode {
 
     let mut experiments = Vec::new();
     let mut want_report = false;
+    let mut want_kernel = false;
     for command in &opts.commands {
         match command.as_str() {
             "all" => experiments.extend(ExperimentId::ALL),
             "report" => want_report = true,
+            "kernel" => want_kernel = true,
             name => match ExperimentId::parse(name) {
                 Some(id) => experiments.push(id),
                 None => {
@@ -140,10 +146,67 @@ fn main() -> ExitCode {
             return code;
         }
     }
+    if want_kernel {
+        if let Err(code) = run_kernel(&opts) {
+            return code;
+        }
+    }
     if want_report {
         return run_report(&opts);
     }
     ExitCode::SUCCESS
+}
+
+/// The `kernel` perf gate: benchmark the batched kernel against the
+/// per-command reference path (equivalence-checked first), write
+/// `BENCH_kernel.json`, and fail when the measured speedup regresses
+/// below the committed floor.
+fn run_kernel(opts: &Options) -> Result<(), ExitCode> {
+    if let Err(e) = std::fs::create_dir_all(&opts.artifacts_dir) {
+        eprintln!("repro: cannot create {}: {e}", opts.artifacts_dir.display());
+        return Err(ExitCode::FAILURE);
+    }
+    let path = opts.artifacts_dir.join("BENCH_kernel.json");
+    // The floor travels in the committed artifact: prefer the target
+    // dir's copy, fall back to the repo's committed one, then to the
+    // built-in default.
+    let floor = [path.clone(), PathBuf::from("artifacts/BENCH_kernel.json")]
+        .iter()
+        .find_map(|p| {
+            let text = std::fs::read_to_string(p).ok()?;
+            Some(KernelBench::parse(&text).ok()?.floor)
+        })
+        .unwrap_or(KERNEL_SPEEDUP_FLOOR);
+
+    let quick = dd_bench::quick_mode();
+    println!(
+        "[kernel] racing the batched kernel against the per-command reference path \
+         ({} sizing; equivalence is asserted before timing)...",
+        if quick { "smoke" } else { "full" }
+    );
+    let bench = run_kernel_bench(quick, floor);
+    if let Err(e) = std::fs::write(&path, bench.to_json().render_pretty()) {
+        eprintln!("repro: cannot write {}: {e}", path.display());
+        return Err(ExitCode::FAILURE);
+    }
+    println!(
+        "[kernel] reference {:.1}M cmd/s vs batch {:.1}M cmd/s -> {:.2}x speedup \
+         (floor {:.2}x) -> {}",
+        bench.reference.commands_per_sec / 1e6,
+        bench.batch.commands_per_sec / 1e6,
+        bench.speedup,
+        bench.floor,
+        path.display(),
+    );
+    if bench.speedup < bench.floor {
+        eprintln!(
+            "repro: kernel speedup {:.2}x regressed below the committed floor {:.2}x — \
+             the batched fast path lost its advantage (see docs/perf.md)",
+            bench.speedup, bench.floor
+        );
+        return Err(ExitCode::FAILURE);
+    }
+    Ok(())
 }
 
 /// Tally of reusable work: scenario cells for matrix experiments, one

@@ -1,0 +1,406 @@
+//! The `kernel` perf benchmark: the batched simulation fast path
+//! ([`MemoryController::issue_batch`]) raced against the per-command
+//! reference path over one fixed seeded trace, with the end states
+//! asserted bit-identical before any timing is reported.
+//!
+//! `repro kernel` runs it and writes `artifacts/BENCH_kernel.json`
+//! (schema v1) — the repo's first *comparative* perf baseline: both
+//! paths' commands/sec plus their ratio. The committed artifact carries
+//! a `floor`; a rerun whose measured speedup falls below that floor
+//! exits non-zero, which is the CI perf-regression gate (the floor is
+//! deliberately well under the ≥3× target so CI noise cannot flake it).
+//! See `docs/perf.md` for how to read the numbers.
+
+use std::time::Instant;
+
+use dd_dram::{BatchOpKind, DecodedBatch, DramConfig, GlobalRowId, MemoryController, TraceMode};
+use dd_workload::{
+    all_data_rows, OpKind, StreamingScan, WorkloadGenerator, WorkloadOp, ZipfianServing,
+};
+use dnn_defender::{Json, JsonError};
+
+/// Schema version of `BENCH_kernel.json`.
+pub const KERNEL_BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Default speedup floor when no committed artifact provides one: the
+/// regression gate trips below this batch/reference ratio. Generously
+/// below the ≥3× target so shared-CI timing noise cannot flake the gate.
+pub const KERNEL_SPEEDUP_FLOOR: f64 = 2.0;
+
+/// Sizing of one kernel benchmark run.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelParams {
+    /// Ops in the fixed seeded trace.
+    pub ops: usize,
+    /// Activations each op stands for (the workload intensity model).
+    pub batch_factor: u64,
+    /// Trace seed.
+    pub seed: u64,
+    /// Ops per [`DecodedBatch`] chunk on the batched path.
+    pub chunk: usize,
+    /// Timed repetitions per path (best run wins, to shed scheduler
+    /// noise).
+    pub rounds: usize,
+}
+
+impl KernelParams {
+    /// Quick (smoke) or full sizing.
+    pub fn new(quick: bool) -> Self {
+        KernelParams {
+            ops: if quick { 120_000 } else { 600_000 },
+            batch_factor: 16,
+            seed: 20240606,
+            chunk: 512,
+            rounds: if quick { 2 } else { 3 },
+        }
+    }
+}
+
+/// One path's timing: wall time and throughput over the shared trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathMeasure {
+    /// Best wall time across the rounds, in milliseconds.
+    pub wall_millis: u64,
+    /// DRAM commands the trace issues (identical for both paths).
+    pub commands: u64,
+    /// Commands per wall second at the best round.
+    pub commands_per_sec: f64,
+}
+
+impl PathMeasure {
+    fn to_json(self) -> Json {
+        Json::obj()
+            .with("wall_millis", Json::uint(self.wall_millis))
+            .with("commands", Json::uint(self.commands))
+            .with("commands_per_sec", Json::num(self.commands_per_sec))
+    }
+
+    fn from_json(value: &Json) -> Result<PathMeasure, JsonError> {
+        Ok(PathMeasure {
+            wall_millis: value.field_u64("wall_millis")?,
+            commands: value.field_u64("commands")?,
+            commands_per_sec: value.field_f64("commands_per_sec")?,
+        })
+    }
+}
+
+/// The `BENCH_kernel.json` payload: both paths, their ratio, and the
+/// committed regression floor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelBench {
+    /// Schema version ([`KERNEL_BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Always `"kernel"`.
+    pub experiment: String,
+    /// Whether the run used smoke sizing.
+    pub quick: bool,
+    /// Ops in the measured trace.
+    pub trace_ops: u64,
+    /// Activations per op.
+    pub batch_factor: u64,
+    /// Trace seed.
+    pub seed: u64,
+    /// The per-command reference path.
+    pub reference: PathMeasure,
+    /// The batched fast path.
+    pub batch: PathMeasure,
+    /// `batch.commands_per_sec / reference.commands_per_sec`.
+    pub speedup: f64,
+    /// The regression gate: a rerun measuring below this fails.
+    pub floor: f64,
+}
+
+impl KernelBench {
+    /// Serialize (the hand-rolled deterministic JSON tree — the vendored
+    /// serde is a no-op stub).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("schema_version", Json::uint(self.schema_version))
+            .with("experiment", Json::str(&self.experiment))
+            .with("quick", Json::Bool(self.quick))
+            .with("trace_ops", Json::uint(self.trace_ops))
+            .with("batch_factor", Json::uint(self.batch_factor))
+            .with("seed", Json::uint(self.seed))
+            .with("reference", self.reference.to_json())
+            .with("batch", self.batch.to_json())
+            .with("speedup", Json::num(self.speedup))
+            .with("floor", Json::num(self.floor))
+    }
+
+    /// Parse a `BENCH_kernel.json` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on malformed JSON, a missing/mistyped
+    /// field, or an unsupported schema version.
+    pub fn parse(text: &str) -> Result<KernelBench, JsonError> {
+        let json = Json::parse(text)?;
+        let schema_version = json.field_u64("schema_version")?;
+        if schema_version != KERNEL_BENCH_SCHEMA_VERSION {
+            return Err(JsonError {
+                message: format!(
+                    "unsupported BENCH_kernel schema v{schema_version} \
+                     (this build reads v{KERNEL_BENCH_SCHEMA_VERSION})"
+                ),
+            });
+        }
+        Ok(KernelBench {
+            schema_version,
+            experiment: json.field_str("experiment")?.to_string(),
+            quick: json.field_bool("quick")?,
+            trace_ops: json.field_u64("trace_ops")?,
+            batch_factor: json.field_u64("batch_factor")?,
+            seed: json.field_u64("seed")?,
+            reference: PathMeasure::from_json(json.field("reference")?)?,
+            batch: PathMeasure::from_json(json.field("batch")?)?,
+            speedup: json.field_f64("speedup")?,
+            floor: json.field_f64("floor")?,
+        })
+    }
+}
+
+/// The fixed seeded trace both paths replay: zipfian serving reads over
+/// a 64-row hot set with a streaming write scan mixed in — the same
+/// recipe shape the background-load axis drives, deterministic per
+/// `(ops, seed)`.
+pub fn kernel_trace(config: &DramConfig, ops: usize, seed: u64) -> Vec<WorkloadOp> {
+    let rows = all_data_rows(config);
+    let hot: Vec<GlobalRowId> = rows
+        .iter()
+        .copied()
+        .step_by((rows.len() / 64).max(1))
+        .take(64)
+        .collect();
+    let mut zipf = ZipfianServing::new(hot, 1.0, seed);
+    let mut scan = StreamingScan::new(rows, 16);
+    (0..ops)
+        .map(|i| {
+            if i % 4 == 3 {
+                scan.next_op()
+            } else {
+                zipf.next_op()
+            }
+        })
+        .collect()
+}
+
+fn counters_only_device(config: &DramConfig) -> MemoryController {
+    let mut mem = MemoryController::try_new(config.clone()).expect("preset config is valid");
+    mem.set_trace_mode(TraceMode::CountersOnly);
+    mem
+}
+
+fn total_commands(mem: &MemoryController) -> u64 {
+    let s = mem.stats();
+    s.acts + s.pres + s.reads + s.writes + s.refreshes + s.row_clones
+}
+
+/// Replay the trace through the per-command reference path.
+fn run_reference(config: &DramConfig, ops: &[WorkloadOp], batch_factor: u64) -> MemoryController {
+    let mut mem = counters_only_device(config);
+    let mut fill = vec![0u8; config.row_bytes];
+    for op in ops {
+        match op.kind {
+            OpKind::Read => {
+                mem.read_row(op.row.bank, op.row.subarray, op.row.row)
+                    .expect("trace rows are valid");
+            }
+            OpKind::Write => {
+                fill.fill(dd_workload::tenant_fill(op.row.row));
+                mem.write_row(op.row.bank, op.row.subarray, op.row.row, &fill)
+                    .expect("trace rows are valid");
+            }
+        }
+        if batch_factor > 1 {
+            mem.hammer(op.row, batch_factor - 1)
+                .expect("trace rows are valid");
+        }
+    }
+    mem
+}
+
+/// Replay the trace through the batched kernel in `chunk`-sized pieces.
+fn run_batched(
+    config: &DramConfig,
+    ops: &[WorkloadOp],
+    batch_factor: u64,
+    chunk: usize,
+) -> MemoryController {
+    let mut mem = counters_only_device(config);
+    let mut kernel = DecodedBatch::new(config);
+    for piece in ops.chunks(chunk.max(1)) {
+        for op in piece {
+            let kind = match op.kind {
+                OpKind::Read => BatchOpKind::Read,
+                OpKind::Write => BatchOpKind::Write(dd_workload::tenant_fill(op.row.row)),
+            };
+            kernel
+                .push(op.row, kind, batch_factor - 1, None)
+                .expect("trace rows are valid");
+        }
+        mem.issue_batch(&mut kernel).expect("matching geometry");
+    }
+    mem
+}
+
+/// Assert the two paths produced the identical device end state — the
+/// benchmark refuses to report a speedup for a kernel that diverged.
+fn assert_equivalent(fast: &MemoryController, reference: &MemoryController, trace: &[WorkloadOp]) {
+    assert_eq!(fast.now(), reference.now(), "kernel clock diverged");
+    assert_eq!(fast.stats(), reference.stats(), "kernel stats diverged");
+    for kind in [
+        dd_dram::CommandKind::Act,
+        dd_dram::CommandKind::Pre,
+        dd_dram::CommandKind::Rd,
+        dd_dram::CommandKind::Wr,
+    ] {
+        assert_eq!(
+            fast.trace().issued_of(kind),
+            reference.trace().issued_of(kind),
+            "kernel issue counters diverged for {kind:?}"
+        );
+    }
+    for op in trace {
+        assert_eq!(
+            fast.disturbance(op.row),
+            reference.disturbance(op.row),
+            "kernel disturbance diverged at {:?}",
+            op.row
+        );
+    }
+}
+
+/// Run the benchmark: time both paths over the shared trace (best of
+/// [`KernelParams::rounds`]), verify equivalence, and assemble the
+/// artifact with the given regression `floor`.
+pub fn run_kernel_bench(quick: bool, floor: f64) -> KernelBench {
+    let p = KernelParams::new(quick);
+    let config = DramConfig::lpddr4_small();
+    let trace = kernel_trace(&config, p.ops, p.seed);
+
+    // Warm-up + equivalence check (untimed).
+    let warm_fast = run_batched(&config, &trace, p.batch_factor, p.chunk);
+    let warm_ref = run_reference(&config, &trace, p.batch_factor);
+    assert_equivalent(&warm_fast, &warm_ref, &trace);
+    let commands = total_commands(&warm_ref);
+
+    let mut best_ref = u128::MAX;
+    let mut best_fast = u128::MAX;
+    for _ in 0..p.rounds.max(1) {
+        let started = Instant::now();
+        let mem = run_reference(&config, &trace, p.batch_factor);
+        best_ref = best_ref.min(started.elapsed().as_micros().max(1));
+        std::hint::black_box(mem.stats());
+
+        let started = Instant::now();
+        let mem = run_batched(&config, &trace, p.batch_factor, p.chunk);
+        best_fast = best_fast.min(started.elapsed().as_micros().max(1));
+        std::hint::black_box(mem.stats());
+    }
+
+    let cps = |micros: u128| commands as f64 / (micros as f64 / 1e6);
+    let reference = PathMeasure {
+        wall_millis: (best_ref / 1000) as u64,
+        commands,
+        commands_per_sec: cps(best_ref).round(),
+    };
+    let batch = PathMeasure {
+        wall_millis: (best_fast / 1000) as u64,
+        commands,
+        commands_per_sec: cps(best_fast).round(),
+    };
+    let speedup = (best_ref as f64 / best_fast as f64 * 100.0).round() / 100.0;
+    KernelBench {
+        schema_version: KERNEL_BENCH_SCHEMA_VERSION,
+        experiment: "kernel".to_string(),
+        quick,
+        trace_ops: p.ops as u64,
+        batch_factor: p.batch_factor,
+        seed: p.seed,
+        reference,
+        batch,
+        speedup,
+        floor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_trace_is_deterministic() {
+        let config = DramConfig::lpddr4_small();
+        let a = kernel_trace(&config, 500, 7);
+        let b = kernel_trace(&config, 500, 7);
+        assert_eq!(a, b);
+        let c = kernel_trace(&config, 500, 8);
+        assert_ne!(a, c, "seed must matter");
+        assert!(a.iter().any(|op| op.kind == OpKind::Write));
+    }
+
+    #[test]
+    fn bench_paths_agree_on_small_traces() {
+        let config = DramConfig::lpddr4_small();
+        let trace = kernel_trace(&config, 2_000, 11);
+        let fast = run_batched(&config, &trace, 16, 128);
+        let reference = run_reference(&config, &trace, 16);
+        assert_equivalent(&fast, &reference, &trace);
+        assert!(total_commands(&reference) > 2_000);
+    }
+
+    #[test]
+    fn kernel_bench_json_round_trips() {
+        let bench = KernelBench {
+            schema_version: KERNEL_BENCH_SCHEMA_VERSION,
+            experiment: "kernel".into(),
+            quick: true,
+            trace_ops: 120_000,
+            batch_factor: 16,
+            seed: 20240606,
+            reference: PathMeasure {
+                wall_millis: 250,
+                commands: 3_960_000,
+                commands_per_sec: 15_840_000.0,
+            },
+            batch: PathMeasure {
+                wall_millis: 50,
+                commands: 3_960_000,
+                commands_per_sec: 79_200_000.0,
+            },
+            speedup: 5.0,
+            floor: KERNEL_SPEEDUP_FLOOR,
+        };
+        let text = bench.to_json().render_pretty();
+        let back = KernelBench::parse(&text).expect("parse back");
+        assert_eq!(back, bench);
+        // Stable across render/parse cycles (the `--check` property).
+        assert_eq!(back.to_json().render_pretty(), text);
+    }
+
+    #[test]
+    fn parse_rejects_foreign_schema() {
+        let mut bad = KernelBench {
+            schema_version: 99,
+            experiment: "kernel".into(),
+            quick: false,
+            trace_ops: 1,
+            batch_factor: 1,
+            seed: 0,
+            reference: PathMeasure {
+                wall_millis: 1,
+                commands: 1,
+                commands_per_sec: 1.0,
+            },
+            batch: PathMeasure {
+                wall_millis: 1,
+                commands: 1,
+                commands_per_sec: 1.0,
+            },
+            speedup: 1.0,
+            floor: 1.0,
+        };
+        bad.schema_version = 99;
+        assert!(KernelBench::parse(&bad.to_json().render_pretty()).is_err());
+    }
+}

@@ -6,6 +6,9 @@ use std::collections::HashMap;
 
 use dd_baselines::{CellReport, MatrixRunSummary};
 use dd_bench::experiments::{table3_matrix, ExperimentId, RunContext};
+use dd_bench::kernel::{
+    KernelBench, PathMeasure, KERNEL_BENCH_SCHEMA_VERSION, KERNEL_SPEEDUP_FLOOR,
+};
 use dd_bench::report::{splice_section, Artifact, TableArtifact, ARTIFACT_SCHEMA_VERSION};
 use dnn_defender::Json;
 
@@ -97,6 +100,81 @@ fn experiment_config_hashes_and_cell_keys_are_stable_across_runs() {
         assert_eq!(sa.defense, sf.defense);
         assert_ne!(*ka, kf);
     }
+}
+
+/// The fixed `BENCH_kernel.json` behind the golden render: every schema
+/// field exercised once.
+fn golden_kernel_bench() -> KernelBench {
+    KernelBench {
+        schema_version: KERNEL_BENCH_SCHEMA_VERSION,
+        experiment: "kernel".into(),
+        quick: true,
+        trace_ops: 120_000,
+        batch_factor: 16,
+        seed: 20240606,
+        reference: PathMeasure {
+            wall_millis: 250,
+            commands: 3_960_000,
+            commands_per_sec: 15_840_000.0,
+        },
+        batch: PathMeasure {
+            wall_millis: 50,
+            commands: 3_960_000,
+            commands_per_sec: 79_200_000.0,
+        },
+        speedup: 5.5,
+        floor: KERNEL_SPEEDUP_FLOOR,
+    }
+}
+
+#[test]
+fn kernel_bench_render_matches_golden_file() {
+    let expected = include_str!("golden/bench_kernel.json");
+    let bench = golden_kernel_bench();
+    assert_eq!(
+        bench.to_json().render_pretty(),
+        expected,
+        "BENCH_kernel.json schema drifted from tests/golden/bench_kernel.json — \
+         if the change is intentional, bump KERNEL_BENCH_SCHEMA_VERSION and update the golden"
+    );
+    // The golden file itself round-trips through the hand-rolled JSON
+    // tree back to the same struct and the same bytes.
+    let parsed = KernelBench::parse(expected).expect("golden parses");
+    assert_eq!(parsed, bench);
+    assert_eq!(parsed.to_json().render_pretty(), expected);
+}
+
+#[test]
+fn committed_kernel_bench_is_a_valid_baseline() {
+    // The committed perf baseline must parse under the current schema,
+    // satisfy its own regression floor, and hit the tentpole's >= 3x
+    // target on the counters-only replay path.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../artifacts/BENCH_kernel.json"
+    );
+    let text = std::fs::read_to_string(path).expect("committed BENCH_kernel.json exists");
+    let bench = KernelBench::parse(&text).expect("committed baseline parses");
+    assert_eq!(bench.schema_version, KERNEL_BENCH_SCHEMA_VERSION);
+    assert_eq!(bench.experiment, "kernel");
+    assert!(bench.floor >= 1.0, "floor must gate a real speedup");
+    assert!(
+        bench.speedup >= bench.floor,
+        "committed baseline violates its own floor"
+    );
+    assert!(
+        bench.speedup >= 3.0,
+        "committed baseline lost the 3x target: {}",
+        bench.speedup
+    );
+    assert_eq!(
+        bench.reference.commands, bench.batch.commands,
+        "both paths must replay the identical trace"
+    );
+    // Cold/warm byte stability: rerunning `repro kernel` rewrites the
+    // file through this exact renderer, so parse -> render must
+    // reproduce the committed bytes (the `--check` property).
+    assert_eq!(bench.to_json().render_pretty(), text);
 }
 
 #[test]

@@ -10,7 +10,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use dd_attack::{AttackConfig, AttackData};
-use dd_dram::DramConfig;
+use dd_dram::{DramConfig, GlobalRowId, MemoryController};
 use dd_nn::data::{Dataset, SyntheticSpec};
 use dd_nn::train::{train, TrainConfig};
 use dd_qnn::{build_model, Architecture, BitAddr, ModelConfig, QModel};
@@ -181,6 +181,99 @@ pub fn check<D: DefenseMechanism>(defense: D, campaigns: usize, seed: u64) -> Co
     }
 }
 
+/// Batched-invocation law for
+/// [`DefenseMechanism::observe_activation`]: a mechanism's *reported*
+/// behavior — its [`DefenseStats`] and the device state its defensive
+/// operations leave behind — must depend only on the activation totals
+/// it observes, not on how those totals are chunked into calls. The
+/// batched simulation kernel relies on this: the workload driver
+/// delivers each op's activations as one `observe_activation(row, n)`
+/// call on both the per-command and the batched path, and a mechanism
+/// whose bookkeeping depended on call granularity would make the two
+/// paths diverge.
+///
+/// Scope: mechanisms are *supposed* to react mid-stream (that is their
+/// job), and a reaction resets the very state being accumulated — so
+/// chunkings that provoke more than one reaction per row can legitimately
+/// differ. The law therefore drives each row with a burst of
+/// `T_RH/2 + T_RH/4` activations (past any `T_RH/2` trip point exactly
+/// once, short of tripping twice under any split) and asserts that one
+/// call, a three-way split, and one-activation-at-a-time delivery all
+/// report identical stats, identical simulated time, and identical
+/// disturbance on the rows and their neighbours.
+///
+/// # Panics
+///
+/// Panics when any chunking changes the mechanism's reported stats or
+/// the device end state.
+pub fn check_batched_observation<D: DefenseMechanism>(
+    make: impl Fn() -> D,
+    config: &DramConfig,
+) -> DefenseStats {
+    let rows = [
+        GlobalRowId::new(0, 0, 10),
+        GlobalRowId::new(config.banks - 1, config.subarrays_per_bank - 1, 30),
+        GlobalRowId::new(0, 0, 12),
+    ];
+    let burst = config.rowhammer_threshold / 2 + config.rowhammer_threshold / 4;
+    let chunkings: Vec<Vec<u64>> = vec![
+        vec![burst],
+        vec![burst / 2, burst / 4, burst - burst / 2 - burst / 4],
+        vec![1; burst as usize],
+    ];
+
+    let mut outcomes: Vec<(String, DefenseStats, u128, Vec<u64>)> = Vec::new();
+    for chunks in &chunkings {
+        let mut defense = make();
+        let mut mem = MemoryController::try_new(config.clone()).expect("valid config");
+        for &row in &rows {
+            mem.hammer(row, burst).expect("hammer burst");
+            for &n in chunks {
+                if n == 0 {
+                    continue;
+                }
+                defense
+                    .observe_activation(&mut mem, None, row, n)
+                    .expect("observe");
+            }
+        }
+        let disturbance: Vec<u64> = rows
+            .iter()
+            .flat_map(|&r| {
+                std::iter::once(mem.disturbance(r)).chain(
+                    mem.rowhammer_model()
+                        .victims_of(r)
+                        .into_iter()
+                        .map(|v| mem.disturbance(v)),
+                )
+            })
+            .collect();
+        outcomes.push((
+            defense.name().to_string(),
+            defense.stats(),
+            mem.now().0,
+            disturbance,
+        ));
+    }
+
+    let (name, first_stats, first_now, first_dist) = &outcomes[0];
+    for (label, (_, stats, now, dist)) in ["split", "one-at-a-time"].iter().zip(&outcomes[1..]) {
+        assert_eq!(
+            stats, first_stats,
+            "{name}: {label} chunking changed the reported stats"
+        );
+        assert_eq!(
+            now, first_now,
+            "{name}: {label} chunking changed the defensive operations' cost"
+        );
+        assert_eq!(
+            dist, first_dist,
+            "{name}: {label} chunking changed the device end state"
+        );
+    }
+    *first_stats
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,5 +295,23 @@ mod tests {
             report.resisted() >= 3,
             "secured half must be resisted: {report:?}"
         );
+    }
+
+    #[test]
+    fn batched_observation_law_holds_without_a_tap() {
+        let stats =
+            check_batched_observation(Undefended::new, &dd_dram::DramConfig::lpddr4_small());
+        assert_eq!(stats, DefenseStats::default());
+    }
+
+    #[test]
+    fn batched_observation_law_holds_for_inert_watcher() {
+        // No secured rows installed: the watcher observes but never
+        // fires — still chunk-invariant by the law.
+        let stats = check_batched_observation(
+            || DnnDefenderDefense::new(DefenseConfig::default(), 7),
+            &dd_dram::DramConfig::lpddr4_small(),
+        );
+        assert_eq!(stats.defense_ops, 0);
     }
 }

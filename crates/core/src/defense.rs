@@ -229,6 +229,19 @@ pub trait DefenseMechanism: Send {
         Ok(())
     }
 
+    /// Whether this mechanism has an *online* command-stream component:
+    /// an [`DefenseMechanism::observe_activation`] override that can
+    /// read device state or issue defensive operations. Mechanisms that
+    /// override `observe_activation` with effects **must** override this
+    /// to return `true` — the workload driver's batched fast path defers
+    /// tap invocations across a command chunk when no tap exists, which
+    /// is only sound for taps that are no-ops. The differential oracle
+    /// (`tests/kernel_differential.rs`) catches a mechanism that lies
+    /// here, since its fast-path and reference-path stats diverge.
+    fn has_online_tap(&self) -> bool {
+        false
+    }
+
     /// Refresh-window rollover notification (per-window budgets reset
     /// here or lazily off `mem.epoch()`).
     fn on_hammer_window(&mut self, _epoch: u64) {}
@@ -279,6 +292,9 @@ impl DefenseMechanism for DynDefense {
         n: u64,
     ) -> Result<(), DramError> {
         (**self).observe_activation(mem, map, row, n)
+    }
+    fn has_online_tap(&self) -> bool {
+        (**self).has_online_tap()
     }
     fn on_hammer_window(&mut self, epoch: u64) {
         (**self).on_hammer_window(epoch);
@@ -717,6 +733,11 @@ impl DefenseMechanism for DnnDefenderDefense {
             }
         }
         Ok(())
+    }
+
+    fn has_online_tap(&self) -> bool {
+        // The victim watcher above: reads disturbance, issues swaps.
+        true
     }
 
     fn stats(&self) -> DefenseStats {

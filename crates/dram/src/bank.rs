@@ -43,6 +43,13 @@ impl Bank {
             })
     }
 
+    /// Direct mutable subarray access for pre-validated indices (the
+    /// batched fast path decodes and bounds-checks addresses once per
+    /// chunk, so the per-command range check would be pure overhead).
+    pub(crate) fn subarray_raw_mut(&mut self, idx: usize) -> &mut Subarray {
+        &mut self.subarrays[idx]
+    }
+
     /// Mutable subarray access.
     ///
     /// # Errors

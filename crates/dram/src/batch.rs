@@ -1,0 +1,345 @@
+//! Batched fast-path command decoding for bulk trace replay.
+//!
+//! The per-command [`crate::MemoryController`] API pays, for every benign
+//! workload op, an address re-validation, two bank/subarray lookups, a
+//! row-payload allocation (reads), and three to six per-row `HashMap`
+//! operations in the RowHammer tracker. Replaying millions of commands —
+//! the scenario matrix's background traffic and the workload driver's
+//! replay loop — spends most of its wall time there.
+//!
+//! [`DecodedBatch`] is the fast path's front end: ops are *decoded once*
+//! (validated against the device geometry and flattened to dense row
+//! indices) when they are [pushed](DecodedBatch::push), and
+//! [`crate::MemoryController::issue_batch`] then executes the whole chunk
+//! with
+//!
+//! * structure-of-arrays disturbance counters (`count` / `epoch_tag` /
+//!   `flags`, indexed by flat row id) instead of per-row hash-map
+//!   entries, loaded lazily on first touch and flushed back once per
+//!   chunk;
+//! * refresh-epoch tracking amortized to one comparison per time
+//!   advance instead of one division per disturbance event;
+//! * per-chunk (not per-command) accumulation of stats, busy time, and
+//!   trace counters.
+//!
+//! The slow path stays authoritative: `issue_batch` on a
+//! [`crate::TraceMode::Full`] controller replays the same ops through the
+//! ordinary per-command methods, and the two paths are proven
+//! bit-identical by `tests/kernel_differential.rs` and benchmarked
+//! against each other by `repro kernel` (see `docs/perf.md`).
+
+use crate::error::DramError;
+use crate::geometry::{BankId, DramConfig, GlobalRowId, RowInSubarray, SubarrayId};
+use crate::rowhammer::HammerTracker;
+use crate::timing::Nanos;
+
+/// What one batched op does to its (pre-decoded) target row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchOpKind {
+    /// Full-row read (`ACT` + `RD` + `PRE`). The payload is not copied
+    /// out — bulk replay discards it; use
+    /// [`crate::MemoryController::read_row`] when the data matters.
+    Read,
+    /// Full-row write (`ACT` + `WR` + `PRE`) filling the row with one
+    /// byte value (the deterministic tenant payloads the workload
+    /// generators emit).
+    Write(u8),
+    /// A bulk activate/precharge storm against the row (the
+    /// [`crate::MemoryController::hammer`] primitive); the count is the
+    /// op's `extra` field.
+    Hammer,
+}
+
+/// One decoded op of a batch: target row (validated, with its dense flat
+/// index precomputed), the command, and the op's share of the simulated
+/// schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchOp {
+    /// Advance the clock to this instant before issuing (0 = issue at
+    /// the current time). Carries the event-driven driver's idle gaps.
+    pub advance_to: u128,
+    /// The target row.
+    pub row: GlobalRowId,
+    /// Dense flat index of `row` (precomputed at push).
+    pub(crate) flat: u32,
+    /// The command.
+    pub kind: BatchOpKind,
+    /// Bulk activations to apply after the data command (the workload
+    /// intensity model's `batch - 1`), or the whole hammer count for
+    /// [`BatchOpKind::Hammer`].
+    pub extra: u64,
+}
+
+/// Dense per-row scratch-state flags (see [`DecodedBatch`]).
+pub(crate) const SLOT_LOADED: u8 = 1;
+pub(crate) const SLOT_PRESENT: u8 = 2;
+pub(crate) const SLOT_DIRTY: u8 = 4;
+
+/// A chunk of pre-decoded commands plus the dense counter scratch the
+/// fast path runs on.
+///
+/// Build one per device with [`DecodedBatch::new`] and reuse it across
+/// chunks — the scratch arrays are sized to the device's total row count
+/// and reset lazily (only rows actually touched by a chunk are cleaned
+/// up when the chunk is issued).
+///
+/// # Example
+///
+/// ```
+/// use dd_dram::{BatchOpKind, DecodedBatch, DramConfig, GlobalRowId, MemoryController, TraceMode};
+///
+/// # fn main() -> Result<(), dd_dram::DramError> {
+/// let config = DramConfig::lpddr4_small();
+/// let mut mem = MemoryController::try_new(config.clone())?;
+/// mem.set_trace_mode(TraceMode::CountersOnly);
+/// let mut batch = DecodedBatch::new(&config);
+/// batch.push(GlobalRowId::new(0, 0, 10), BatchOpKind::Read, 15, None)?;
+/// batch.push(GlobalRowId::new(0, 0, 12), BatchOpKind::Write(0xA5), 15, None)?;
+/// mem.issue_batch(&mut batch)?;
+/// assert_eq!(mem.stats().reads, 1);
+/// assert_eq!(mem.stats().writes, 1);
+/// assert_eq!(mem.stats().acts, 2 + 30);
+/// assert_eq!(mem.disturbance(GlobalRowId::new(0, 0, 11)), 32);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DecodedBatch {
+    pub(crate) banks: usize,
+    pub(crate) subarrays_per_bank: usize,
+    pub(crate) rows_per_subarray: usize,
+    /// The decoded ops of the current chunk (drained by `issue_batch`).
+    pub(crate) ops: Vec<BatchOp>,
+    /// Disturbance accumulated this epoch, per flat row (valid when the
+    /// row's `SLOT_LOADED` flag is set).
+    pub(crate) count: Vec<u64>,
+    /// Epoch the row's count belongs to (lazy rollover, mirroring the
+    /// hash-map tracker's tags).
+    pub(crate) epoch_tag: Vec<u64>,
+    /// Per-row `SLOT_*` state flags.
+    pub(crate) flags: Vec<u8>,
+    /// Flat indices loaded this chunk (the flush/reset worklist).
+    pub(crate) touched: Vec<u32>,
+}
+
+impl DecodedBatch {
+    /// Scratch sized for `config`'s geometry.
+    pub fn new(config: &DramConfig) -> Self {
+        let total = config.total_rows();
+        DecodedBatch {
+            banks: config.banks,
+            subarrays_per_bank: config.subarrays_per_bank,
+            rows_per_subarray: config.rows_per_subarray,
+            ops: Vec::new(),
+            count: vec![0; total],
+            epoch_tag: vec![0; total],
+            flags: vec![0; total],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Whether this batch was decoded for `config`'s geometry (the flat
+    /// indices are only meaningful on a matching device).
+    pub fn matches(&self, config: &DramConfig) -> bool {
+        self.banks == config.banks
+            && self.subarrays_per_bank == config.subarrays_per_bank
+            && self.rows_per_subarray == config.rows_per_subarray
+    }
+
+    /// Decode and append one op. `extra` is the bulk activation count
+    /// ([`BatchOp::extra`]); `advance_to` is the op's scheduled issue
+    /// instant, if the clock should jump forward first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same out-of-range error the per-command path would
+    /// produce for an invalid address, and [`DramError::InvalidConfig`]
+    /// for a [`BatchOpKind::Hammer`] with `extra == 0` (a zero-count
+    /// hammer is not a meaningful command).
+    pub fn push(
+        &mut self,
+        row: GlobalRowId,
+        kind: BatchOpKind,
+        extra: u64,
+        advance_to: Option<Nanos>,
+    ) -> Result<(), DramError> {
+        if row.bank.0 >= self.banks {
+            return Err(DramError::BankOutOfRange {
+                bank: row.bank,
+                banks: self.banks,
+            });
+        }
+        if row.subarray.0 >= self.subarrays_per_bank {
+            return Err(DramError::SubarrayOutOfRange {
+                subarray: row.subarray,
+                subarrays: self.subarrays_per_bank,
+            });
+        }
+        if row.row.0 >= self.rows_per_subarray {
+            return Err(DramError::RowOutOfRange {
+                row: row.row,
+                rows: self.rows_per_subarray,
+            });
+        }
+        if kind == BatchOpKind::Hammer && extra == 0 {
+            return Err(DramError::InvalidConfig(
+                "batched hammer needs a positive activation count".into(),
+            ));
+        }
+        let flat = (row.bank.0 * self.subarrays_per_bank + row.subarray.0) * self.rows_per_subarray
+            + row.row.0;
+        self.ops.push(BatchOp {
+            advance_to: advance_to.map_or(0, |n| n.0),
+            row,
+            flat: flat as u32,
+            kind,
+            extra,
+        });
+        Ok(())
+    }
+
+    /// Ops queued in the current chunk.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the current chunk is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Drop any queued ops without issuing them.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
+
+    /// Lazily mirror a row's `(epoch, count)` tracker entry into the
+    /// dense arrays on its first touch this chunk.
+    #[inline]
+    fn load_slot(&mut self, hammer: &HammerTracker, flat: usize) {
+        if self.flags[flat] & SLOT_LOADED != 0 {
+            return;
+        }
+        self.touched.push(flat as u32);
+        match hammer.raw_get(self.row_of(flat)) {
+            Some((epoch, count)) => {
+                self.epoch_tag[flat] = epoch;
+                self.count[flat] = count;
+                self.flags[flat] = SLOT_LOADED | SLOT_PRESENT;
+            }
+            None => self.flags[flat] = SLOT_LOADED,
+        }
+    }
+
+    /// Dense equivalent of [`HammerTracker::disturb`]: add `n` units to
+    /// a row's count, restarting it when the entry is absent or tagged
+    /// with a stale epoch.
+    #[inline]
+    pub(crate) fn disturb_slot(&mut self, hammer: &HammerTracker, flat: usize, n: u64, epoch: u64) {
+        self.load_slot(hammer, flat);
+        let f = self.flags[flat];
+        if f & SLOT_PRESENT == 0 || self.epoch_tag[flat] != epoch {
+            self.epoch_tag[flat] = epoch;
+            self.count[flat] = n;
+        } else {
+            self.count[flat] += n;
+        }
+        self.flags[flat] = f | SLOT_PRESENT | SLOT_DIRTY;
+    }
+
+    /// Dense equivalent of [`HammerTracker::refresh`]: drop the row's
+    /// entry (an activation recharged it).
+    #[inline]
+    pub(crate) fn refresh_slot(&mut self, hammer: &HammerTracker, flat: usize) {
+        self.load_slot(hammer, flat);
+        if self.flags[flat] & SLOT_PRESENT != 0 {
+            self.flags[flat] = (self.flags[flat] | SLOT_DIRTY) & !SLOT_PRESENT;
+        }
+    }
+
+    /// Write every touched slot whose state diverged back into the
+    /// hash-map tracker and reset the scratch for the next chunk.
+    pub(crate) fn flush_slots(&mut self, hammer: &mut HammerTracker) {
+        while let Some(flat) = self.touched.pop() {
+            let flat = flat as usize;
+            let f = self.flags[flat];
+            self.flags[flat] = 0;
+            if f & SLOT_DIRTY != 0 {
+                let row = self.row_of(flat);
+                if f & SLOT_PRESENT != 0 {
+                    hammer.raw_set(row, self.epoch_tag[flat], self.count[flat]);
+                } else {
+                    hammer.raw_remove(row);
+                }
+            }
+        }
+    }
+
+    /// Reconstruct the [`GlobalRowId`] of a flat index.
+    pub(crate) fn row_of(&self, flat: usize) -> GlobalRowId {
+        let rows = self.rows_per_subarray;
+        let sub = flat / rows;
+        GlobalRowId {
+            bank: BankId(sub / self.subarrays_per_bank),
+            subarray: SubarrayId(sub % self.subarrays_per_bank),
+            row: RowInSubarray(flat % rows),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_validates_like_check_addr() {
+        let config = DramConfig::lpddr4_small();
+        let mut b = DecodedBatch::new(&config);
+        assert!(matches!(
+            b.push(GlobalRowId::new(16, 0, 0), BatchOpKind::Read, 0, None),
+            Err(DramError::BankOutOfRange { .. })
+        ));
+        assert!(matches!(
+            b.push(GlobalRowId::new(0, 8, 0), BatchOpKind::Read, 0, None),
+            Err(DramError::SubarrayOutOfRange { .. })
+        ));
+        assert!(matches!(
+            b.push(GlobalRowId::new(0, 0, 128), BatchOpKind::Read, 0, None),
+            Err(DramError::RowOutOfRange { .. })
+        ));
+        assert!(matches!(
+            b.push(GlobalRowId::new(0, 0, 0), BatchOpKind::Hammer, 0, None),
+            Err(DramError::InvalidConfig(_))
+        ));
+        b.push(GlobalRowId::new(0, 0, 0), BatchOpKind::Read, 0, None)
+            .unwrap();
+        assert_eq!(b.len(), 1);
+        b.clear();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn flat_indices_round_trip() {
+        let config = DramConfig::lpddr4_small();
+        let mut b = DecodedBatch::new(&config);
+        for row in [
+            GlobalRowId::new(0, 0, 0),
+            GlobalRowId::new(3, 5, 77),
+            GlobalRowId::new(15, 7, 127),
+        ] {
+            b.push(row, BatchOpKind::Read, 0, None).unwrap();
+            let op = *b.ops.last().unwrap();
+            assert_eq!(b.row_of(op.flat as usize), row);
+        }
+    }
+
+    #[test]
+    fn geometry_mismatch_is_detected() {
+        let small = DramConfig::lpddr4_small();
+        let b = DecodedBatch::new(&small);
+        assert!(b.matches(&small));
+        // Same geometry, different threshold/timing: still compatible.
+        assert!(b.matches(&small.clone().with_rowhammer_threshold(2400)));
+        assert!(!b.matches(&small.clone().with_rows_per_subarray(64)));
+    }
+}

@@ -121,8 +121,15 @@ impl CommandTrace {
     /// Count one issued command of `kind` without retaining it (the
     /// [`TraceMode::CountersOnly`] fast path).
     pub fn count(&mut self, kind: CommandKind) {
-        self.issued += 1;
-        self.kind_counts[kind as usize] += 1;
+        self.count_n(kind, 1);
+    }
+
+    /// Count `n` issued commands of `kind` in one step — the batched
+    /// kernel accumulates per-kind totals over a whole chunk and credits
+    /// them here once, instead of once per command.
+    pub fn count_n(&mut self, kind: CommandKind, n: u64) {
+        self.issued += n;
+        self.kind_counts[kind as usize] += n;
     }
 
     /// Record a command.

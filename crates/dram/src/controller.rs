@@ -7,6 +7,7 @@
 //! and consistent per-row disturbance state.
 
 use crate::bank::Bank;
+use crate::batch::{BatchOpKind, DecodedBatch};
 use crate::command::{CommandKind, CommandTrace, DramCommand, TraceMode};
 use crate::error::DramError;
 use crate::geometry::{BankId, DramConfig, GlobalRowId, RowInSubarray, SubarrayId};
@@ -448,6 +449,208 @@ impl MemoryController {
         self.row_clone(bank, subarray, scratch, b)?;
         Ok(())
     }
+
+    /// Execute a chunk of pre-decoded commands, draining `batch`'s op
+    /// queue. This is the bulk-replay entry point the scenario matrix's
+    /// background traffic and the workload driver's replay loop issue
+    /// through (see `docs/perf.md`).
+    ///
+    /// On a [`TraceMode::CountersOnly`] or [`TraceMode::Disabled`]
+    /// controller the chunk runs on the batched fast path: dense
+    /// structure-of-arrays disturbance counters instead of per-row
+    /// hash-map entries, refresh-epoch checks amortized to one comparison
+    /// per time advance, stats/trace counters accumulated once per chunk,
+    /// and no row-payload allocation on reads. On a [`TraceMode::Full`]
+    /// controller the same ops replay through the ordinary per-command
+    /// methods ([`MemoryController::issue_batch_reference`]) so the
+    /// command ring stays exact.
+    ///
+    /// Both paths leave the controller in the *identical* end state —
+    /// simulated clock, [`MemStats`], trace counters, per-row disturbance
+    /// and row payloads — a contract enforced by the differential oracle
+    /// in `tests/kernel_differential.rs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::InvalidConfig`] when `batch` was decoded for
+    /// a different device geometry, and propagates per-command errors
+    /// from the reference replay (ops are pre-validated at
+    /// [`DecodedBatch::push`], so well-formed batches cannot fail).
+    pub fn issue_batch(&mut self, batch: &mut DecodedBatch) -> Result<(), DramError> {
+        if !batch.matches(&self.config) {
+            return Err(DramError::InvalidConfig(
+                "batch was decoded for a different device geometry".into(),
+            ));
+        }
+        match self.trace.mode() {
+            TraceMode::Full => self.issue_batch_reference(batch),
+            TraceMode::CountersOnly | TraceMode::Disabled => {
+                self.issue_batch_fast(batch);
+                Ok(())
+            }
+        }
+    }
+
+    /// Replay a batch through the per-command reference path
+    /// ([`MemoryController::read_row`] / [`MemoryController::write_row`]
+    /// / [`MemoryController::hammer`]), draining the op queue. This is
+    /// the oracle the fast path is measured and differentially tested
+    /// against; it is also what [`MemoryController::issue_batch`] runs
+    /// under [`TraceMode::Full`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`DramError`] any replayed command produced
+    /// (remaining ops are dropped, matching an aborted per-command loop).
+    pub fn issue_batch_reference(&mut self, batch: &mut DecodedBatch) -> Result<(), DramError> {
+        let ops = std::mem::take(&mut batch.ops);
+        let mut fill_buf = vec![0u8; self.config.row_bytes];
+        let mut outcome = Ok(());
+        for op in &ops {
+            if op.advance_to > self.now.0 {
+                let gap = Nanos(op.advance_to) - self.now;
+                self.advance(gap);
+            }
+            let issued = match op.kind {
+                BatchOpKind::Read => self
+                    .read_row(op.row.bank, op.row.subarray, op.row.row)
+                    .map(|_| ()),
+                BatchOpKind::Write(fill) => {
+                    fill_buf.fill(fill);
+                    self.write_row(op.row.bank, op.row.subarray, op.row.row, &fill_buf)
+                }
+                BatchOpKind::Hammer => Ok(()),
+            }
+            .and_then(|()| {
+                if op.extra > 0 {
+                    self.hammer(op.row, op.extra).map(|_| ())
+                } else {
+                    Ok(())
+                }
+            });
+            if let Err(e) = issued {
+                outcome = Err(e);
+                break;
+            }
+        }
+        batch.ops = ops;
+        batch.ops.clear();
+        outcome
+    }
+
+    /// The batched kernel: dense counters, amortized epoch checks, one
+    /// stats/trace flush per chunk. Infallible — ops were validated when
+    /// pushed and the geometry was checked by the caller.
+    fn issue_batch_fast(&mut self, batch: &mut DecodedBatch) {
+        let ops = std::mem::take(&mut batch.ops);
+        let t = self.config.timing;
+        let (t_act, t_pre, t_rd, t_wr, t_ref) =
+            (t.t_act.0, t.t_pre.0, t.t_rd.0, t.t_wr.0, t.t_ref.0);
+        let rows_per = batch.rows_per_subarray;
+        let spb = batch.subarrays_per_bank;
+        let counting = self.trace.mode() == TraceMode::CountersOnly;
+        let mut now = self.now.0;
+        let mut epoch = (now / t_ref) as u64;
+        let mut epoch_end = (now / t_ref + 1) * t_ref;
+        let (mut acts, mut pres, mut reads, mut writes) = (0u64, 0u64, 0u64, 0u64);
+        let (mut c_act, mut c_rd, mut c_wr, mut c_pre) = (0u64, 0u64, 0u64, 0u64);
+        let mut busy = 0u128;
+        let mut events = 0u64;
+
+        for op in &ops {
+            if op.advance_to > now {
+                now = op.advance_to;
+            }
+            let flat = op.flat as usize;
+            let in_row = flat % rows_per;
+            if op.kind != BatchOpKind::Hammer {
+                // The data command's ACT: the row recharges and its
+                // neighbours take one disturbance at the post-ACT
+                // instant, exactly as `activate` orders it.
+                now += t_act;
+                if now >= epoch_end {
+                    epoch = (now / t_ref) as u64;
+                    epoch_end = (now / t_ref + 1) * t_ref;
+                }
+                batch.refresh_slot(&self.hammer, flat);
+                if in_row > 0 {
+                    batch.disturb_slot(&self.hammer, flat - 1, 1, epoch);
+                    events += 1;
+                }
+                if in_row + 1 < rows_per {
+                    batch.disturb_slot(&self.hammer, flat + 1, 1, epoch);
+                    events += 1;
+                }
+                let sub =
+                    self.banks[flat / (spb * rows_per)].subarray_raw_mut((flat / rows_per) % spb);
+                match op.kind {
+                    BatchOpKind::Read => {
+                        now += t_rd;
+                        reads += 1;
+                        c_rd += 1;
+                        busy += t_act + t_rd + t_pre;
+                    }
+                    BatchOpKind::Write(fill) => {
+                        sub.fill_row_raw(in_row, fill);
+                        now += t_wr;
+                        writes += 1;
+                        c_wr += 1;
+                        busy += t_act + t_wr + t_pre;
+                    }
+                    BatchOpKind::Hammer => unreachable!("guarded above"),
+                }
+                // The ACT latched the row; the closing PRE releases it.
+                sub.precharge();
+                now += t_pre;
+                acts += 1;
+                pres += 1;
+                c_act += 1;
+                c_pre += 1;
+            }
+            if op.extra > 0 {
+                // The bulk ACT storm (`hammer`): time advances for the
+                // whole storm first, then the target recharges and the
+                // neighbours take the burst at the post-storm instant —
+                // the per-command path's exact order.
+                now += t_act * u128::from(op.extra);
+                if now >= epoch_end {
+                    epoch = (now / t_ref) as u64;
+                    epoch_end = (now / t_ref + 1) * t_ref;
+                }
+                batch.refresh_slot(&self.hammer, flat);
+                if in_row > 0 {
+                    batch.disturb_slot(&self.hammer, flat - 1, op.extra, epoch);
+                    events += op.extra;
+                }
+                if in_row + 1 < rows_per {
+                    batch.disturb_slot(&self.hammer, flat + 1, op.extra, epoch);
+                    events += op.extra;
+                }
+                acts += op.extra;
+                pres += op.extra;
+                busy += t_act * u128::from(op.extra);
+                // `hammer` records one bulk ACT regardless of count.
+                c_act += 1;
+            }
+        }
+
+        self.now = Nanos(now);
+        self.stats.acts += acts;
+        self.stats.pres += pres;
+        self.stats.reads += reads;
+        self.stats.writes += writes;
+        self.stats.busy += Nanos(busy);
+        if counting {
+            self.trace.count_n(CommandKind::Act, c_act);
+            self.trace.count_n(CommandKind::Rd, c_rd);
+            self.trace.count_n(CommandKind::Wr, c_wr);
+            self.trace.count_n(CommandKind::Pre, c_pre);
+        }
+        batch.flush_slots(&mut self.hammer);
+        self.hammer.raw_add_events(events);
+        batch.ops = ops;
+        batch.ops.clear();
+    }
 }
 
 #[cfg(test)]
@@ -637,5 +840,158 @@ mod tests {
             .read_row(BankId(0), SubarrayId(99), RowInSubarray(0))
             .is_err());
         assert!(m.hammer(GlobalRowId::new(0, 0, 999), 1).is_err());
+    }
+
+    /// A mixed op chunk for the batch-equivalence tests: reads, writes,
+    /// bulk hammers, scheduled idle gaps, and enough activations to roll
+    /// the refresh epoch mid-chunk.
+    fn mixed_chunk(batch: &mut DecodedBatch) {
+        use crate::batch::BatchOpKind as K;
+        for i in 0..200u64 {
+            let row = GlobalRowId::new((i % 3) as usize, (i % 5) as usize, 2 + (i % 90) as usize);
+            let kind = if i % 4 == 3 {
+                K::Write(i as u8 ^ 0xA5)
+            } else {
+                K::Read
+            };
+            let advance = (i % 7 == 0).then(|| Nanos(i as u128 * 700_000));
+            batch.push(row, kind, (i % 3) * 8, advance).unwrap();
+            if i % 11 == 0 {
+                batch
+                    .push(GlobalRowId::new(0, 0, 40), K::Hammer, 900, None)
+                    .unwrap();
+            }
+        }
+        // Edge rows: only one neighbour exists.
+        batch
+            .push(GlobalRowId::new(1, 1, 0), K::Read, 4, None)
+            .unwrap();
+        batch
+            .push(GlobalRowId::new(1, 1, 127), K::Write(0x3C), 4, None)
+            .unwrap();
+    }
+
+    fn assert_same_end_state(fast: &MemoryController, reference: &MemoryController) {
+        assert_eq!(fast.now(), reference.now(), "clock diverged");
+        assert_eq!(fast.stats(), reference.stats(), "stats diverged");
+        for kind in [
+            CommandKind::Act,
+            CommandKind::Pre,
+            CommandKind::Rd,
+            CommandKind::Wr,
+        ] {
+            assert_eq!(
+                fast.trace().issued_of(kind),
+                reference.trace().issued_of(kind),
+                "issue counter diverged for {kind:?}"
+            );
+        }
+        let config = fast.config().clone();
+        for bank in 0..config.banks {
+            for sub in 0..config.subarrays_per_bank {
+                for row in 0..config.rows_per_subarray {
+                    let gid = GlobalRowId::new(bank, sub, row);
+                    assert_eq!(
+                        fast.disturbance(gid),
+                        reference.disturbance(gid),
+                        "disturbance diverged at {gid:?}"
+                    );
+                    assert_eq!(
+                        fast.peek_row(gid.bank, gid.subarray, gid.row).unwrap(),
+                        reference.peek_row(gid.bank, gid.subarray, gid.row).unwrap(),
+                        "row payload diverged at {gid:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn issue_batch_fast_path_matches_reference() {
+        let mut fast = mem();
+        fast.set_trace_mode(TraceMode::CountersOnly);
+        let mut reference = mem();
+        reference.set_trace_mode(TraceMode::CountersOnly);
+
+        let mut batch = DecodedBatch::new(fast.config());
+        mixed_chunk(&mut batch);
+        let mut ref_batch = DecodedBatch::new(reference.config());
+        mixed_chunk(&mut ref_batch);
+
+        fast.issue_batch(&mut batch).unwrap();
+        reference.issue_batch_reference(&mut ref_batch).unwrap();
+        assert!(batch.is_empty() && ref_batch.is_empty());
+        assert_same_end_state(&fast, &reference);
+
+        // A second chunk on the same (already-dirty) state: the lazy
+        // slot load/flush must pick up where the hash map left off.
+        mixed_chunk(&mut batch);
+        mixed_chunk(&mut ref_batch);
+        fast.issue_batch(&mut batch).unwrap();
+        reference.issue_batch_reference(&mut ref_batch).unwrap();
+        assert_same_end_state(&fast, &reference);
+    }
+
+    #[test]
+    fn issue_batch_full_mode_replays_per_command() {
+        let mut m = mem();
+        assert_eq!(m.trace_mode(), TraceMode::Full);
+        let mut batch = DecodedBatch::new(m.config());
+        batch
+            .push(gid(10), crate::batch::BatchOpKind::Read, 2, None)
+            .unwrap();
+        m.issue_batch(&mut batch).unwrap();
+        // Full mode keeps the command ring: ACT, RD, PRE, bulk ACT.
+        assert_eq!(m.trace().len(), 4);
+        assert_eq!(m.stats().reads, 1);
+        assert_eq!(m.stats().acts, 3);
+    }
+
+    #[test]
+    fn issue_batch_rejects_foreign_geometry() {
+        let mut m = mem();
+        m.set_trace_mode(TraceMode::CountersOnly);
+        let other = DramConfig::lpddr4_small().with_rows_per_subarray(64);
+        let mut batch = DecodedBatch::new(&other);
+        batch
+            .push(gid(10), crate::batch::BatchOpKind::Read, 0, None)
+            .unwrap();
+        assert!(m.issue_batch(&mut batch).is_err());
+    }
+
+    #[test]
+    fn issue_batch_preserves_defense_visible_state_across_interleaving() {
+        // A chunk, then per-command defensive ops (swap + refresh), then
+        // another chunk: the flush/load cycle must stay coherent with
+        // the per-command mutations in between.
+        let mut fast = mem();
+        fast.set_trace_mode(TraceMode::CountersOnly);
+        let mut reference = mem();
+        reference.set_trace_mode(TraceMode::CountersOnly);
+        let mut batch = DecodedBatch::new(fast.config());
+        let mut ref_batch = DecodedBatch::new(reference.config());
+
+        mixed_chunk(&mut batch);
+        mixed_chunk(&mut ref_batch);
+        fast.issue_batch(&mut batch).unwrap();
+        reference.issue_batch_reference(&mut ref_batch).unwrap();
+
+        for m in [&mut fast, &mut reference] {
+            m.swap_rows_via(
+                BankId(0),
+                SubarrayId(0),
+                RowInSubarray(41),
+                RowInSubarray(80),
+                RowInSubarray(126),
+            )
+            .unwrap();
+            m.refresh_row(gid(39)).unwrap();
+        }
+
+        mixed_chunk(&mut batch);
+        mixed_chunk(&mut ref_batch);
+        fast.issue_batch(&mut batch).unwrap();
+        reference.issue_batch_reference(&mut ref_batch).unwrap();
+        assert_same_end_state(&fast, &reference);
     }
 }

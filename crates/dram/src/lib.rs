@@ -44,6 +44,7 @@
 
 pub mod addressing;
 pub mod bank;
+pub mod batch;
 pub mod command;
 pub mod controller;
 pub mod error;
@@ -56,6 +57,7 @@ pub mod timing;
 
 pub use addressing::{AddressMapping, DecodedAddr, PhysAddr};
 pub use bank::Bank;
+pub use batch::{BatchOp, BatchOpKind, DecodedBatch};
 pub use command::{CommandKind, CommandTrace, DramCommand, TraceMode};
 pub use controller::MemoryController;
 pub use error::DramError;

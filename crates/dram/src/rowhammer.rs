@@ -77,6 +77,29 @@ impl HammerTracker {
         self.total_events
     }
 
+    /// Raw `(epoch, count)` entry of a row, if one exists — the batched
+    /// fast path's lazy slot load (see [`crate::batch::DecodedBatch`]).
+    pub(crate) fn raw_get(&self, row: GlobalRowId) -> Option<(u64, u64)> {
+        self.counts.get(&row).copied()
+    }
+
+    /// Install a raw `(epoch, count)` entry (batched flush).
+    pub(crate) fn raw_set(&mut self, row: GlobalRowId, epoch: u64, count: u64) {
+        self.counts.insert(row, (epoch, count));
+    }
+
+    /// Remove a row's entry without touching `total_events` (batched
+    /// flush of a refreshed row).
+    pub(crate) fn raw_remove(&mut self, row: GlobalRowId) {
+        self.counts.remove(&row);
+    }
+
+    /// Add `n` to the diagnostic event total (batched disturbance is
+    /// accumulated densely and credited once per chunk).
+    pub(crate) fn raw_add_events(&mut self, n: u64) {
+        self.total_events += n;
+    }
+
     /// Number of rows currently carrying non-zero disturbance from `epoch`.
     pub fn dirty_rows(&self, epoch: u64) -> usize {
         self.counts

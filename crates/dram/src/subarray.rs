@@ -143,6 +143,12 @@ impl Subarray {
         self.open_row = None;
     }
 
+    /// Fill a pre-validated row with one byte value (the batched write
+    /// path; the deterministic tenant payloads are single-byte fills).
+    pub(crate) fn fill_row_raw(&mut self, row: usize, byte: u8) {
+        self.rows[row].as_bytes_mut().fill(byte);
+    }
+
     /// Immutable access to a row's payload.
     ///
     /// # Errors

@@ -21,12 +21,95 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
-use dd_dram::{DramConfig, DramError, GlobalRowId, MemoryController, Nanos};
+use dd_dram::{
+    BatchOpKind, DecodedBatch, DramConfig, DramError, GlobalRowId, MemoryController, Nanos,
+    TraceMode,
+};
 use dd_qnn::BitAddr;
 use dnn_defender::defense::{CampaignView, DefenseMechanism, DefenseStats};
 use dnn_defender::WeightMap;
 
 use crate::generator::{BackgroundLoad, OpKind, WorkloadGenerator, WorkloadOp};
+
+/// Ops per [`dd_dram::DecodedBatch`] chunk on the batched path (when the
+/// installed defense has no online tap that must run per-op).
+const BATCH_CHUNK: usize = 512;
+
+/// Which command-issue path [`BenignTraffic::drive_span`] uses.
+///
+/// The two paths are bit-identical by contract — same device end state,
+/// same [`DefenseStats`], same
+/// [`DefenseMechanism::observe_activation`] call sequence — which the
+/// differential oracle in `tests/kernel_differential.rs` enforces across
+/// every defense, device, and load. See `docs/perf.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IssuePath {
+    /// Pick automatically: the batched kernel whenever the controller is
+    /// not retaining a full command trace ([`TraceMode::Full`] keeps the
+    /// per-command path so the command ring stays exact). This is what
+    /// the scenario matrix and the workload experiment run under.
+    #[default]
+    Auto,
+    /// Always the per-command reference path (the oracle).
+    Reference,
+    /// Always the batched driver loop (under [`TraceMode::Full`] the
+    /// chunk itself replays per-command inside
+    /// [`MemoryController::issue_batch`]).
+    Batched,
+}
+
+/// The event-driven merge schedule over the traffic's streams: a min-heap
+/// of per-stream next-fire times with rates proportional to stream
+/// weights. Shared verbatim by the reference and batched paths so their
+/// op sequences cannot drift.
+struct StreamSchedule {
+    heap: BinaryHeap<Reverse<(u128, usize)>>,
+    span: u128,
+    ops: u64,
+    total_weight: u64,
+}
+
+impl StreamSchedule {
+    fn new(
+        streams: &[(Box<dyn WorkloadGenerator>, u32)],
+        start: Nanos,
+        span: Nanos,
+        ops: u64,
+    ) -> Self {
+        let total_weight: u64 = streams.iter().map(|(_, w)| u64::from(*w)).sum();
+        // Per-stream periods from weight shares; the heap merges the
+        // streams into one time-ordered command sequence.
+        let mut heap: BinaryHeap<Reverse<(u128, usize)>> = BinaryHeap::new();
+        for (i, (_, weight)) in streams.iter().enumerate() {
+            let stream_ops = (ops * u64::from(*weight)) / total_weight;
+            if stream_ops == 0 {
+                continue;
+            }
+            let period = (span.0 / u128::from(stream_ops)).max(1);
+            heap.push(Reverse((start.0 + period / 2 + i as u128, i)));
+        }
+        if heap.is_empty() {
+            heap.push(Reverse((start.0 + 1, 0)));
+        }
+        StreamSchedule {
+            heap,
+            span: span.0,
+            ops,
+            total_weight,
+        }
+    }
+
+    fn pop(&mut self) -> (u128, usize) {
+        let Reverse(next) = self.heap.pop().expect("non-empty event heap");
+        next
+    }
+
+    fn reschedule(&mut self, at: u128, idx: usize, weight: u64) {
+        let stream_ops = ((self.ops * weight) / self.total_weight).max(1);
+        let period = (self.span / u128::from(stream_ops)).max(1);
+        self.heap.push(Reverse((at + period, idx)));
+    }
+}
 
 /// Traffic issued by one [`BenignTraffic::drive_span`] call.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -56,6 +139,10 @@ pub struct BenignTraffic {
     universe: Vec<GlobalRowId>,
     scratch_row: Vec<u8>,
     recorded: Option<Vec<WorkloadOp>>,
+    issue_path: IssuePath,
+    /// The batched kernel's decoded-op/dense-counter scratch, built
+    /// lazily for the first device driven and reused across chunks.
+    kernel: Option<DecodedBatch>,
 }
 
 impl BenignTraffic {
@@ -80,7 +167,21 @@ impl BenignTraffic {
             universe,
             scratch_row: vec![0u8; config.row_bytes],
             recorded: None,
+            issue_path: IssuePath::Auto,
+            kernel: None,
         }
+    }
+
+    /// Force a command-issue path (differential tests and the `kernel`
+    /// benchmark pin [`IssuePath::Reference`] / [`IssuePath::Batched`];
+    /// everything else should leave the default [`IssuePath::Auto`]).
+    pub fn set_issue_path(&mut self, path: IssuePath) {
+        self.issue_path = path;
+    }
+
+    /// The command-issue path in force.
+    pub fn issue_path(&self) -> IssuePath {
+        self.issue_path
     }
 
     /// Assemble the canonical traffic for a [`BackgroundLoad`] level.
@@ -180,6 +281,12 @@ impl BenignTraffic {
     /// after every op. Idle gaps advance the simulated clock; on return
     /// the clock sits at `span_end`.
     ///
+    /// Under the default [`IssuePath::Auto`] the ops are issued through
+    /// the batched kernel ([`MemoryController::issue_batch`]) whenever
+    /// the controller is not keeping a full command trace; the
+    /// per-command reference path remains available (and bit-identical)
+    /// via [`IssuePath::Reference`].
+    ///
     /// # Errors
     ///
     /// Propagates [`DramError`] from device or defense operations.
@@ -199,40 +306,142 @@ impl BenignTraffic {
             }
             return Ok(traffic);
         }
-        let span = span_end - start;
-        let total_weight: u64 = self.streams.iter().map(|(_, w)| u64::from(*w)).sum();
-
-        // Per-stream periods from weight shares; the heap merges the
-        // streams into one time-ordered command sequence.
-        let mut heap: BinaryHeap<Reverse<(u128, usize)>> = BinaryHeap::new();
-        for (i, (_, weight)) in self.streams.iter().enumerate() {
-            let stream_ops = (ops * u64::from(*weight)) / total_weight;
-            if stream_ops == 0 {
-                continue;
+        let mut sched = StreamSchedule::new(&self.streams, start, span_end - start, ops);
+        let batched = match self.issue_path {
+            IssuePath::Reference => false,
+            IssuePath::Batched => true,
+            IssuePath::Auto => mem.trace_mode() != TraceMode::Full,
+        };
+        if batched {
+            self.drive_span_batched(mem, defense, map, span_end, &mut sched, &mut traffic)?;
+        } else {
+            for _ in 0..ops {
+                let (at, idx) = sched.pop();
+                if at > mem.now().0 && at < span_end.0 {
+                    mem.advance(Nanos(at) - mem.now());
+                }
+                let op = self.streams[idx].0.next_op();
+                self.execute(mem, defense, map.as_deref_mut(), op, &mut traffic)?;
+                sched.reschedule(at, idx, u64::from(self.streams[idx].1));
             }
-            let period = (span.0 / u128::from(stream_ops)).max(1);
-            heap.push(Reverse((start.0 + period / 2 + i as u128, i)));
-        }
-        if heap.is_empty() {
-            heap.push(Reverse((start.0 + 1, 0)));
-        }
-
-        for _ in 0..ops {
-            let Reverse((at, idx)) = heap.pop().expect("non-empty event heap");
-            if at > mem.now().0 && at < span_end.0 {
-                mem.advance(Nanos(at) - mem.now());
-            }
-            let op = self.streams[idx].0.next_op();
-            self.execute(mem, defense, map.as_deref_mut(), op, &mut traffic)?;
-            let weight = u64::from(self.streams[idx].1);
-            let stream_ops = ((ops * weight) / total_weight).max(1);
-            let period = (span.0 / u128::from(stream_ops)).max(1);
-            heap.push(Reverse((at + period, idx)));
         }
         if span_end > mem.now() {
             mem.advance(span_end - mem.now());
         }
         Ok(traffic)
+    }
+
+    /// The batched issue loop: ops are decoded into the kernel chunk as
+    /// the schedule emits them, with the simulated clock tracked locally
+    /// (every op's cost is deterministic), and each chunk executes in one
+    /// [`MemoryController::issue_batch`] call before the deferred
+    /// [`DefenseMechanism::observe_activation`] calls run in op order.
+    /// Defenses with an online tap flush every op (the tap must see the
+    /// device exactly as the per-command path would show it); defenses
+    /// without one batch [`BATCH_CHUNK`] ops per flush.
+    fn drive_span_batched(
+        &mut self,
+        mem: &mut MemoryController,
+        defense: &mut dyn DefenseMechanism,
+        mut map: Option<&mut WeightMap>,
+        span_end: Nanos,
+        sched: &mut StreamSchedule,
+        traffic: &mut SpanTraffic,
+    ) -> Result<(), DramError> {
+        let tapped = defense.has_online_tap();
+        let chunk_cap = if tapped { 1 } else { BATCH_CHUNK };
+        if self
+            .kernel
+            .as_ref()
+            .is_none_or(|k| !k.matches(mem.config()))
+        {
+            self.kernel = Some(DecodedBatch::new(mem.config()));
+        }
+        let mut kernel = self.kernel.take().expect("kernel installed above");
+        let t = mem.config().timing;
+        let extra = self.batch - 1;
+        let hammer_cost = t.t_act.0 * u128::from(extra);
+        let read_cost = t.t_act.0 + t.t_rd.0 + t.t_pre.0 + hammer_cost;
+        let write_cost = t.t_act.0 + t.t_wr.0 + t.t_pre.0 + hammer_cost;
+        let mut pending: Vec<WorkloadOp> = Vec::with_capacity(chunk_cap);
+        let mut vnow = mem.now().0;
+        let mut failed: Option<DramError> = None;
+
+        for _ in 0..sched.ops {
+            let (at, idx) = sched.pop();
+            let advance_to = if at > vnow && at < span_end.0 {
+                vnow = at;
+                Some(Nanos(at))
+            } else {
+                None
+            };
+            let op = self.streams[idx].0.next_op();
+            let kind = match op.kind {
+                OpKind::Read => BatchOpKind::Read,
+                OpKind::Write => BatchOpKind::Write(crate::generator::tenant_fill(op.row.row)),
+            };
+            if let Err(e) = kernel.push(op.row, kind, extra, advance_to) {
+                // Same surface as the per-command loop: everything before
+                // the invalid op executes (flushed below), the error then
+                // propagates.
+                failed = Some(e);
+                break;
+            }
+            vnow += match op.kind {
+                OpKind::Read => read_cost,
+                OpKind::Write => write_cost,
+            };
+            pending.push(op);
+            sched.reschedule(at, idx, u64::from(self.streams[idx].1));
+            if pending.len() >= chunk_cap {
+                if let Err(e) =
+                    self.flush_chunk(mem, defense, &mut map, &mut kernel, &mut pending, traffic)
+                {
+                    failed = Some(e);
+                    break;
+                }
+                debug_assert!(
+                    tapped || mem.now().0 == vnow,
+                    "batched clock prediction diverged"
+                );
+                vnow = mem.now().0;
+            }
+        }
+        let last = self.flush_chunk(mem, defense, &mut map, &mut kernel, &mut pending, traffic);
+        self.kernel = Some(kernel);
+        match failed {
+            Some(e) => Err(e),
+            None => last,
+        }
+    }
+
+    /// Issue the queued chunk, then run the deferred per-op accounting
+    /// and defense observations in op order.
+    fn flush_chunk(
+        &mut self,
+        mem: &mut MemoryController,
+        defense: &mut dyn DefenseMechanism,
+        map: &mut Option<&mut WeightMap>,
+        kernel: &mut DecodedBatch,
+        pending: &mut Vec<WorkloadOp>,
+        traffic: &mut SpanTraffic,
+    ) -> Result<(), DramError> {
+        if pending.is_empty() {
+            kernel.clear();
+            return Ok(());
+        }
+        mem.issue_batch(kernel)?;
+        let bytes = self.scratch_row.len() as u64;
+        for op in pending.drain(..) {
+            traffic.ops += 1;
+            traffic.activations += self.batch;
+            traffic.bytes += bytes;
+            defense.observe_activation(mem, map.as_deref_mut(), op.row, self.batch)?;
+            if let Some(recorded) = &mut self.recorded {
+                recorded.push(op);
+            }
+        }
+        Ok(())
     }
 
     /// [`BenignTraffic::drive_span`] over the remainder of the current
@@ -339,7 +548,8 @@ impl BenignTraffic {
             OpKind::Write => {
                 // Deterministic tenant payload; writes are confined to
                 // non-weight rows by the generator recipes.
-                self.scratch_row.fill(row.row.0 as u8 ^ 0xA5);
+                self.scratch_row
+                    .fill(crate::generator::tenant_fill(row.row));
                 mem.write_row(row.bank, row.subarray, row.row, &self.scratch_row)?;
             }
         }
@@ -641,6 +851,62 @@ mod tests {
             light.peak_benign_disturbance
         );
         assert!(heavy.benign_ops > light.benign_ops);
+    }
+
+    /// The full run_workload surface under one issue path, against a
+    /// deterministic mix, for the path-equivalence tests below.
+    fn run_with_path(path: IssuePath, load: BackgroundLoad) -> (DriverReport, MemoryController) {
+        let config = DramConfig::lpddr4_small();
+        let mut mem = device();
+        let mut defense = Undefended::new();
+        let cold = all_data_rows(&config);
+        let hot: Vec<GlobalRowId> = cold.iter().copied().take(64).collect();
+        let mut traffic = BenignTraffic::for_load(load, 17, &config, &hot, &cold).expect("traffic");
+        traffic.set_issue_path(path);
+        let cfg = DriverConfig {
+            benign_windows: 2,
+            attack_windows: 0,
+            record: true,
+        };
+        let report =
+            run_workload(&mut mem, &mut defense, None, &mut traffic, &[], &cfg).expect("run");
+        (report, mem)
+    }
+
+    #[test]
+    fn batched_path_matches_reference_end_to_end() {
+        for load in [
+            BackgroundLoad::Light,
+            BackgroundLoad::Heavy,
+            BackgroundLoad::MultiTenant,
+        ] {
+            let (ref_report, ref_mem) = run_with_path(IssuePath::Reference, load);
+            let (fast_report, fast_mem) = run_with_path(IssuePath::Batched, load);
+            assert_eq!(ref_report.benign_ops, fast_report.benign_ops, "{load}");
+            assert_eq!(ref_report.benign_bytes, fast_report.benign_bytes);
+            assert_eq!(ref_report.commands, fast_report.commands, "{load}");
+            assert_eq!(ref_report.sim_nanos, fast_report.sim_nanos, "{load}");
+            assert_eq!(ref_report.busy_nanos, fast_report.busy_nanos, "{load}");
+            assert_eq!(
+                ref_report.peak_benign_disturbance, fast_report.peak_benign_disturbance,
+                "{load}"
+            );
+            assert_eq!(ref_report.disturbed_rows, fast_report.disturbed_rows);
+            assert_eq!(ref_report.trace, fast_report.trace, "op streams diverged");
+            assert_eq!(ref_mem.stats(), fast_mem.stats(), "{load}");
+            assert_eq!(ref_mem.now(), fast_mem.now());
+        }
+    }
+
+    #[test]
+    fn auto_path_batches_on_counters_only_devices() {
+        // Same outcome as the explicit paths: Auto on a counters-only
+        // device takes the batched loop and must match the reference.
+        let (ref_report, _) = run_with_path(IssuePath::Reference, BackgroundLoad::Light);
+        let (auto_report, _) = run_with_path(IssuePath::Auto, BackgroundLoad::Light);
+        assert_eq!(ref_report.commands, auto_report.commands);
+        assert_eq!(ref_report.sim_nanos, auto_report.sim_nanos);
+        assert_eq!(ref_report.trace, auto_report.trace);
     }
 
     #[test]

@@ -39,6 +39,14 @@ pub struct WorkloadOp {
     pub row: GlobalRowId,
 }
 
+/// The deterministic single-byte tenant payload a benign write fills its
+/// row with. One definition on purpose: the per-command and batched
+/// issue paths (and the `repro kernel` benchmark) must agree on the
+/// exact bytes a replayed write produces, or row payloads diverge.
+pub fn tenant_fill(row: dd_dram::RowInSubarray) -> u8 {
+    row.0 as u8 ^ 0xA5
+}
+
 /// A deterministic source of benign traffic.
 ///
 /// Generators never touch the device themselves; the driver executes the

@@ -58,11 +58,12 @@ pub mod trace;
 pub const WORKLOAD_PROTOCOL_VERSION: u64 = 1;
 
 pub use driver::{
-    next_window_boundary, run_workload, BenignTraffic, DriverConfig, DriverReport, SpanTraffic,
+    next_window_boundary, run_workload, BenignTraffic, DriverConfig, DriverReport, IssuePath,
+    SpanTraffic,
 };
 pub use generator::{
-    all_data_rows, tenant_rows, BackgroundLoad, OpKind, PointerChase, StreamingScan, TenantMix,
-    WorkloadGenerator, WorkloadOp, ZipfianServing,
+    all_data_rows, tenant_fill, tenant_rows, BackgroundLoad, OpKind, PointerChase, StreamingScan,
+    TenantMix, WorkloadGenerator, WorkloadOp, ZipfianServing,
 };
 pub use trace::{
     decode, encode, TraceError, TraceReplay, HEADER_BYTES, RECORD_BYTES, TRACE_MAGIC, TRACE_VERSION,
