@@ -83,6 +83,50 @@ impl AttackerKind {
             AttackerKind::Adaptive(t) => format!("Adaptive({t:?})"),
         }
     }
+
+    /// Inverse of [`AttackerKind::label`], for wire formats (the sweep
+    /// server's cell specs) that name attackers by their canonical label.
+    pub fn parse(label: &str) -> Option<AttackerKind> {
+        if label == "BFA" {
+            return Some(AttackerKind::Bfa);
+        }
+        if let Some(inner) = label
+            .strip_prefix("Adaptive(")
+            .and_then(|r| r.strip_suffix(')'))
+        {
+            return match inner {
+                "SemiWhiteBox" => Some(AttackerKind::Adaptive(ThreatModel::SemiWhiteBox)),
+                "WhiteBox" => Some(AttackerKind::Adaptive(ThreatModel::WhiteBox)),
+                _ => None,
+            };
+        }
+        if let Some(inner) = label
+            .strip_prefix("Random(")
+            .and_then(|r| r.strip_suffix(')'))
+        {
+            return inner
+                .parse()
+                .ok()
+                .map(|flips| AttackerKind::Random { flips });
+        }
+        if let Some(inner) = label
+            .strip_prefix("T-BFA(")
+            .and_then(|r| r.strip_suffix(')'))
+        {
+            let (source, target) = inner.split_once("->")?;
+            let source_class = if source == "*" {
+                None
+            } else {
+                Some(source.parse().ok()?)
+            };
+            let target_class = target.parse().ok()?;
+            return Some(AttackerKind::Tbfa(TbfaGoal {
+                source_class,
+                target_class,
+            }));
+        }
+        None
+    }
 }
 
 impl fmt::Display for AttackerKind {
@@ -167,6 +211,12 @@ impl DefenseKind {
             DefenseKind::Shadow => "SHADOW",
             DefenseKind::DnnDefender => "DNN-Defender",
         }
+    }
+
+    /// Inverse of [`DefenseKind::label`], for wire formats (the sweep
+    /// server's cell specs) that name defenses by their canonical label.
+    pub fn parse(label: &str) -> Option<DefenseKind> {
+        DefenseKind::TABLE3.into_iter().find(|k| k.label() == label)
     }
 
     /// The paper's per-defense attempt budget for Table 3 (hardware
@@ -1462,6 +1512,34 @@ mod tests {
             );
             assert_eq!(format!("{kind}"), kind.label());
         }
+    }
+
+    #[test]
+    fn kind_labels_parse_round_trip() {
+        for kind in DefenseKind::TABLE3 {
+            assert_eq!(DefenseKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(DefenseKind::parse("Fortress"), None);
+        let attackers = [
+            AttackerKind::Bfa,
+            AttackerKind::Tbfa(TbfaGoal {
+                source_class: Some(1),
+                target_class: 2,
+            }),
+            AttackerKind::Tbfa(TbfaGoal {
+                source_class: None,
+                target_class: 3,
+            }),
+            AttackerKind::Random { flips: 17 },
+            AttackerKind::Adaptive(ThreatModel::SemiWhiteBox),
+            AttackerKind::Adaptive(ThreatModel::WhiteBox),
+        ];
+        for attacker in attackers {
+            assert_eq!(AttackerKind::parse(&attacker.label()), Some(attacker));
+        }
+        assert_eq!(AttackerKind::parse("T-BFA(?->2)"), None);
+        assert_eq!(AttackerKind::parse("Random(many)"), None);
+        assert_eq!(AttackerKind::parse("Adaptive(BlackBox)"), None);
     }
 
     #[test]

@@ -16,16 +16,20 @@
 //! repro report                 # re-render EXPERIMENTS.md from artifacts
 //! repro report --check         # exit non-zero if EXPERIMENTS.md would change
 //! repro kernel                 # batched-vs-reference perf gate -> BENCH_kernel.json
+//! repro serve --socket S.sock  # resident sweep server (matrix-as-a-service)
+//! repro submit --socket S.sock DnnDefender:BFA:lpddr4_small:none
+//!                              # price, run, and fetch cells from a server
 //! ```
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use dd_baselines::CellReport;
+use dd_bench::cache::{load_cell_cache, save_cell_cache};
 use dd_bench::experiments::{print_artifact, ExperimentId, RunContext};
 use dd_bench::kernel::{run_kernel_bench, KernelBench, KERNEL_SPEEDUP_FLOOR};
 use dd_bench::report::{render_duration, splice_section, Artifact};
+use dd_bench::serve::{run_serve, run_submit, ServeOptions, SubmitOptions};
 use dnn_defender::Json;
 
 struct Options {
@@ -47,7 +51,12 @@ fn usage(code: u8) -> ExitCode {
          \x20 report         regenerate the marked sections of EXPERIMENTS.md from artifacts\n\
          \x20 kernel         benchmark the batched kernel vs the per-command reference path,\n\
          \x20                write BENCH_kernel.json, and fail below the committed speedup floor\n\
-         \x20 fig1a | fig1b | table2 | table3 | fig8a | fig8b | fig9 | power | workload\n\
+         \x20 serve          resident sweep server (line-delimited JSON on stdio, or\n\
+         \x20                --socket <S>; budget-accounted, work-stealing, cell-cached)\n\
+         \x20 submit         submit cell specs (defense:attacker:device:load[:priority])\n\
+         \x20                to a server (--socket <S>, else in-process); --client <C>,\n\
+         \x20                --grant-micros <N>, --out <F>, --check-batch\n\
+         \x20 fig1a | fig1b | table2 | table3 | fig8a | fig8b | fig9 | power | workload | server\n\
          \n\
          options:\n\
          \x20 --smoke              smoke-sized experiments (sets DD_QUICK=1)\n\
@@ -109,6 +118,13 @@ fn parse_args() -> Result<Options, ExitCode> {
 }
 
 fn main() -> ExitCode {
+    // The service subcommands own their arguments (cell specs would be
+    // misread as experiment names by the pipeline parser).
+    if let Some(first) = std::env::args().nth(1) {
+        if first == "serve" || first == "submit" {
+            return run_service(&first);
+        }
+    }
     let opts = match parse_args() {
         Ok(opts) => opts,
         Err(code) => return code,
@@ -511,46 +527,113 @@ fn write_workload_bench(dir: &Path, artifact: &Artifact) -> std::io::Result<()> 
     std::fs::write(dir.join("BENCH_workload.json"), json.render_pretty())
 }
 
-/// The on-disk scenario-cell cache: `{"version":1,"cells":{"0x<key>":
-/// <CellReport>}}`, keys sorted for deterministic bytes.
-fn load_cell_cache(path: &Path) -> HashMap<u64, CellReport> {
-    let Ok(text) = std::fs::read_to_string(path) else {
-        return HashMap::new();
+/// Parse the args of `repro serve` / `repro submit` (the service
+/// subcommands take their own options, so they bypass [`parse_args`]).
+fn parse_service_args(command: &str) -> Result<(ServeOptions, SubmitOptions), ExitCode> {
+    let mut serve = ServeOptions {
+        artifacts_dir: PathBuf::from("artifacts"),
+        socket: None,
+        jobs: None,
+        capacity_micros: None,
+        grant_micros: None,
+        quick: false,
     };
-    let Ok(json) = Json::parse(&text) else {
-        eprintln!("repro: ignoring malformed cell cache {}", path.display());
-        return HashMap::new();
+    let mut submit = SubmitOptions {
+        artifacts_dir: PathBuf::from("artifacts"),
+        socket: None,
+        client: "cli".to_string(),
+        grant_micros: None,
+        out: None,
+        check_batch: false,
+        quick: false,
+        quiet: false,
+        specs: Vec::new(),
     };
-    if json.get("version").and_then(Json::as_u64) != Some(1) {
-        return HashMap::new();
-    }
-    let Some(Json::Obj(fields)) = json.get("cells") else {
-        return HashMap::new();
+    let need = |flag: &str, value: Option<String>| {
+        value.ok_or_else(|| {
+            eprintln!("repro {command}: {flag} needs a value");
+            usage(1)
+        })
     };
-    let mut cells = HashMap::new();
-    for (key, value) in fields {
-        let parsed_key = key
-            .strip_prefix("0x")
-            .and_then(|k| u64::from_str_radix(k, 16).ok());
-        if let (Some(key), Ok(cell)) = (parsed_key, CellReport::from_json(value)) {
-            cells.insert(key, cell);
+    let mut args = std::env::args().skip(2);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                serve.quick = true;
+                submit.quick = true;
+            }
+            "--quiet" => submit.quiet = true,
+            "--check-batch" => submit.check_batch = true,
+            "--socket" => {
+                let path = PathBuf::from(need("--socket", args.next())?);
+                serve.socket = Some(path.clone());
+                submit.socket = Some(path);
+            }
+            "--artifacts-dir" => {
+                let dir = PathBuf::from(need("--artifacts-dir", args.next())?);
+                serve.artifacts_dir = dir.clone();
+                submit.artifacts_dir = dir;
+            }
+            "--client" => submit.client = need("--client", args.next())?,
+            "--out" => submit.out = Some(PathBuf::from(need("--out", args.next())?)),
+            "--jobs" => match need("--jobs", args.next())?.parse::<usize>() {
+                Ok(n) if n > 0 => serve.jobs = Some(n),
+                _ => {
+                    eprintln!("repro {command}: --jobs needs a positive integer");
+                    return Err(usage(1));
+                }
+            },
+            "--capacity-micros" => match need("--capacity-micros", args.next())?.parse::<u64>() {
+                Ok(n) => serve.capacity_micros = Some(n),
+                Err(_) => {
+                    eprintln!("repro {command}: --capacity-micros needs an integer");
+                    return Err(usage(1));
+                }
+            },
+            "--grant-micros" => match need("--grant-micros", args.next())?.parse::<u64>() {
+                Ok(n) => {
+                    serve.grant_micros = Some(n);
+                    submit.grant_micros = Some(n);
+                }
+                Err(_) => {
+                    eprintln!("repro {command}: --grant-micros needs an integer");
+                    return Err(usage(1));
+                }
+            },
+            "--help" | "-h" => return Err(usage(0)),
+            spec if !spec.starts_with('-') => submit.specs.push(spec.to_string()),
+            unknown => {
+                eprintln!("repro {command}: unknown option `{unknown}`");
+                return Err(usage(1));
+            }
         }
     }
-    cells
+    Ok((serve, submit))
 }
 
-fn save_cell_cache(path: &Path, cells: &HashMap<u64, CellReport>) -> std::io::Result<()> {
-    if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
+/// The `serve`/`submit` service subcommands, dispatched before the
+/// experiment-pipeline arg parsing (they accept cell specs as bare
+/// arguments, which the pipeline would read as experiment names).
+fn run_service(command: &str) -> ExitCode {
+    let (serve, submit) = match parse_service_args(command) {
+        Ok(parsed) => parsed,
+        Err(code) => return code,
+    };
+    let result = match command {
+        "serve" => {
+            if !submit.specs.is_empty() {
+                eprintln!("repro serve: unexpected arguments {:?}", submit.specs);
+                return usage(1);
+            }
+            run_serve(&serve)
+        }
+        _ => run_submit(&submit),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("repro {command}: {e}");
+            ExitCode::FAILURE
+        }
     }
-    let mut keys: Vec<u64> = cells.keys().copied().collect();
-    keys.sort_unstable();
-    let fields: Vec<(String, Json)> = keys
-        .into_iter()
-        .map(|key| (format!("{key:#018x}"), cells[&key].to_json()))
-        .collect();
-    let json = Json::obj()
-        .with("version", Json::uint(1))
-        .with("cells", Json::Obj(fields));
-    std::fs::write(path, json.render_pretty())
 }

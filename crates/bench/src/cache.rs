@@ -1,0 +1,152 @@
+//! The on-disk content-addressed cell cache (`artifacts/cache/cells.json`).
+//!
+//! Format v2: `{"version": 2, "cell_protocol_version": <v>, "cells":
+//! {"0x<key>": <CellReport>, …}}`, keys sorted for deterministic bytes.
+//!
+//! The `cell_protocol_version` stamp records the
+//! [`CELL_PROTOCOL_VERSION`] the cells were computed under. Cache *keys*
+//! already hash that version, so stale entries could never produce a false
+//! hit — but before the stamp existed, a protocol bump mid-tree left the
+//! old entries in the file forever (dead weight that pruning only clears
+//! on full `repro all` runs, and a trap for any tool that reads the file
+//! without re-deriving keys). The loader therefore **evicts** the whole
+//! file — returns an empty cache, no error — whenever the stamp (or the
+//! container version) does not match what this build would write.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use dd_baselines::{CellReport, CELL_PROTOCOL_VERSION};
+use dnn_defender::Json;
+
+/// Version of the cache *container* format (not of the cells' semantics —
+/// that is the `cell_protocol_version` stamp). v2 added the stamp.
+pub const CELL_CACHE_FORMAT_VERSION: u64 = 2;
+
+/// Load the cell cache, returning an empty map when the file is missing,
+/// malformed, from another container version, or stamped with a different
+/// [`CELL_PROTOCOL_VERSION`] (stale caches evict, they never error).
+pub fn load_cell_cache(path: &Path) -> HashMap<u64, CellReport> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return HashMap::new();
+    };
+    let Ok(json) = Json::parse(&text) else {
+        eprintln!("repro: ignoring malformed cell cache {}", path.display());
+        return HashMap::new();
+    };
+    parse_cell_cache(&json)
+}
+
+/// The eviction-aware decode behind [`load_cell_cache`] (separated so the
+/// version-mismatch behavior is testable without touching the fs).
+pub fn parse_cell_cache(json: &Json) -> HashMap<u64, CellReport> {
+    if json.get("version").and_then(Json::as_u64) != Some(CELL_CACHE_FORMAT_VERSION) {
+        return HashMap::new();
+    }
+    if json.get("cell_protocol_version").and_then(Json::as_u64) != Some(CELL_PROTOCOL_VERSION) {
+        return HashMap::new();
+    }
+    let Some(Json::Obj(fields)) = json.get("cells") else {
+        return HashMap::new();
+    };
+    let mut cells = HashMap::new();
+    for (key, value) in fields {
+        let parsed_key = key
+            .strip_prefix("0x")
+            .and_then(|k| u64::from_str_radix(k, 16).ok());
+        if let (Some(key), Ok(cell)) = (parsed_key, CellReport::from_json(value)) {
+            cells.insert(key, cell);
+        }
+    }
+    cells
+}
+
+/// Render the cache document (sorted keys, deterministic bytes).
+pub fn render_cell_cache(cells: &HashMap<u64, CellReport>) -> String {
+    let mut keys: Vec<u64> = cells.keys().copied().collect();
+    keys.sort_unstable();
+    let fields: Vec<(String, Json)> = keys
+        .into_iter()
+        .map(|key| (format!("{key:#018x}"), cells[&key].to_json()))
+        .collect();
+    Json::obj()
+        .with("version", Json::uint(CELL_CACHE_FORMAT_VERSION))
+        .with("cell_protocol_version", Json::uint(CELL_PROTOCOL_VERSION))
+        .with("cells", Json::Obj(fields))
+        .render_pretty()
+}
+
+/// Write the cache, creating parent directories as needed.
+pub fn save_cell_cache(path: &Path, cells: &HashMap<u64, CellReport>) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, render_cell_cache(cells))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_baselines::{DefenseKind, ScenarioMatrix, VictimSpec};
+
+    fn one_cell() -> HashMap<u64, CellReport> {
+        let matrix = ScenarioMatrix::new(VictimSpec::tiny_mlp(7))
+            .budget(2)
+            .defense_kind(DefenseKind::Undefended)
+            .threads(1);
+        let key = matrix.cell_keys()[0].1;
+        let report = matrix.run().expect("tiny matrix");
+        HashMap::from([(key, report.cells[0].clone())])
+    }
+
+    #[test]
+    fn cache_round_trips_and_evicts_on_version_mismatch() {
+        let cells = one_cell();
+        let rendered = render_cell_cache(&cells);
+        let json = Json::parse(&rendered).expect("cache parses");
+        assert_eq!(
+            json.field_u64("cell_protocol_version"),
+            Ok(CELL_PROTOCOL_VERSION)
+        );
+
+        // Round trip.
+        let back = parse_cell_cache(&json);
+        assert_eq!(back.len(), 1);
+        let key = *cells.keys().next().expect("key");
+        assert_eq!(back[&key].scenario, cells[&key].scenario);
+
+        // A mid-tree CELL_PROTOCOL_VERSION bump evicts instead of erroring
+        // (regression test for the stale-cache hazard: pre-stamp caches
+        // kept entries from older protocol versions forever).
+        let cells_field = json.field("cells").expect("cells").clone();
+        let stale = Json::obj()
+            .with("version", Json::uint(CELL_CACHE_FORMAT_VERSION))
+            .with(
+                "cell_protocol_version",
+                Json::uint(CELL_PROTOCOL_VERSION + 1),
+            )
+            .with("cells", cells_field.clone());
+        assert!(parse_cell_cache(&stale).is_empty());
+        let unstamped = Json::obj()
+            .with("version", Json::uint(CELL_CACHE_FORMAT_VERSION))
+            .with("cells", cells_field.clone());
+        assert!(parse_cell_cache(&unstamped).is_empty());
+        let old_container = Json::obj()
+            .with("version", Json::uint(1))
+            .with("cell_protocol_version", Json::uint(CELL_PROTOCOL_VERSION))
+            .with("cells", cells_field);
+        assert!(parse_cell_cache(&old_container).is_empty());
+    }
+
+    #[test]
+    fn missing_and_malformed_files_load_empty() {
+        let dir = std::env::temp_dir().join(format!("dd-cache-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let missing = dir.join("nope.json");
+        assert!(load_cell_cache(&missing).is_empty());
+        let garbled = dir.join("garbled.json");
+        std::fs::write(&garbled, "{not json").expect("write");
+        assert!(load_cell_cache(&garbled).is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

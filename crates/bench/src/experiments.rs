@@ -27,13 +27,15 @@ use dd_nn::init::seeded_rng;
 use dd_nn::layers::{Flatten, Linear};
 use dd_nn::model::Network;
 use dd_qnn::{Architecture, BitAddr, QModel};
+use dd_server::{CellSpec, ServerConfig, SweepBase, SweepServer, SERVER_PROTOCOL_VERSION};
 use dd_workload::{
     all_data_rows, run_workload, BackgroundLoad, BenignTraffic, DriverConfig, DriverReport,
     WORKLOAD_PROTOCOL_VERSION,
 };
+use dnn_defender::budget::DEFAULT_COMMANDS_PER_SEC;
 use dnn_defender::{
-    overhead_table, power_table, rh_thresholds, saving_versus, DefenseOp, Json, SecurityModel,
-    StableHasher, WeightMap,
+    overhead_table, power_table, rh_thresholds, saving_versus, CostModel, DefenseOp, Json,
+    SecurityModel, StableHasher, WeightMap,
 };
 
 use crate::report::{Artifact, TableArtifact, ARTIFACT_SCHEMA_VERSION};
@@ -71,11 +73,14 @@ pub enum ExperimentId {
     Power,
     /// Defense overhead and false-swap rate vs benign traffic intensity.
     Workload,
+    /// Matrix-as-a-service: a scripted sweep-server session exercising
+    /// admission pricing, budgets, regimes, and cache invalidation.
+    Server,
 }
 
 impl ExperimentId {
     /// Every experiment, in docs order.
-    pub const ALL: [ExperimentId; 9] = [
+    pub const ALL: [ExperimentId; 10] = [
         ExperimentId::Fig1a,
         ExperimentId::Fig1b,
         ExperimentId::Table2,
@@ -85,6 +90,7 @@ impl ExperimentId {
         ExperimentId::Fig9,
         ExperimentId::Power,
         ExperimentId::Workload,
+        ExperimentId::Server,
     ];
 
     /// The experiment id: subcommand name, artifact file stem, and docs
@@ -100,6 +106,7 @@ impl ExperimentId {
             ExperimentId::Fig9 => "fig9",
             ExperimentId::Power => "power",
             ExperimentId::Workload => "workload",
+            ExperimentId::Server => "server",
         }
     }
 
@@ -116,6 +123,9 @@ impl ExperimentId {
             ExperimentId::Power => "Power: defense energy at maximum attack rate",
             ExperimentId::Workload => {
                 "Workload: defense overhead and false positives under benign traffic"
+            }
+            ExperimentId::Server => {
+                "Server: matrix-as-a-service scheduling, budgets, and cache reuse"
             }
         }
     }
@@ -196,6 +206,19 @@ impl ExperimentId {
                 }
                 h.write_u64(workload_matrix(quick).config_hash());
             }
+            ExperimentId::Server => {
+                h.write(&quick);
+                h.write_u64(SERVER_PROTOCOL_VERSION);
+                let cost = server_cost_model();
+                h.write_u64(cost.commands_per_sec());
+                h.write_u64(cost.reference_rows());
+                let base = SweepBase::standard(quick);
+                for spec in server_script().all() {
+                    h.write_str(&spec.label());
+                    h.write_u64(spec.priority as u64);
+                    h.write_u64(base.cell_key(&spec).1);
+                }
+            }
         }
         h.finish()
     }
@@ -216,6 +239,14 @@ impl ExperimentId {
                 .into_iter()
                 .map(|(_, key)| key)
                 .collect(),
+            ExperimentId::Server => {
+                let base = SweepBase::standard(quick);
+                server_script()
+                    .all()
+                    .iter()
+                    .map(|spec| base.cell_key(spec).1)
+                    .collect()
+            }
             _ => Vec::new(),
         }
     }
@@ -237,6 +268,7 @@ impl ExperimentId {
             ExperimentId::Fig9 => fig9(ctx),
             ExperimentId::Power => power(),
             ExperimentId::Workload => workload(ctx)?,
+            ExperimentId::Server => server_service(ctx),
         };
         artifact.wall_millis = started.elapsed().as_millis() as u64;
         Ok(artifact)
@@ -1258,6 +1290,373 @@ fn workload(ctx: &mut RunContext<'_>) -> Result<Artifact, DramError> {
             .with("matrix", report.to_json()),
     );
     Ok(artifact)
+}
+
+/// The pinned, machine-independent calibration of the scripted service
+/// session: the conservative default throughput over the small device.
+/// (`repro serve` calibrates from the measured `BENCH_kernel.json`
+/// instead; the experiment pins the model so its prices — and therefore
+/// its admission, rejection, and shedding decisions — are deterministic.)
+fn server_cost_model() -> CostModel {
+    CostModel::new(
+        DEFAULT_COMMANDS_PER_SEC,
+        crate::serve::REFERENCE_DEVICE_ROWS,
+    )
+}
+
+/// The scripted session's cell specs. Alice exercises the cold → warm →
+/// invalidated cache lifecycle, Bob the budget accounting, Carol the
+/// storm regime (four warm cells at priority 1 riding along with four
+/// expensive cold cells at priority 0).
+struct ServerScript {
+    alice: Vec<CellSpec>,
+    bob: Vec<CellSpec>,
+    carol: Vec<CellSpec>,
+}
+
+impl ServerScript {
+    /// Every scripted spec, in submission order.
+    fn all(&self) -> Vec<CellSpec> {
+        [&self.alice, &self.bob, &self.carol]
+            .into_iter()
+            .flatten()
+            .cloned()
+            .collect()
+    }
+}
+
+fn server_script() -> ServerScript {
+    let s = |text: &str| CellSpec::parse_compact(text).expect("scripted cell spec");
+    ServerScript {
+        alice: vec![
+            s("Baseline (undefended):BFA:lpddr4_small:none"),
+            s("DNN-Defender:BFA:lpddr4_small:none"),
+            s("Baseline (undefended):BFA:lpddr4_small:light"),
+            s("DNN-Defender:BFA:lpddr4_small:light"),
+        ],
+        bob: vec![
+            s("Baseline (undefended):BFA:lpddr4_small@3000:none"),
+            s("DNN-Defender:BFA:lpddr4_small@3000:none"),
+        ],
+        carol: vec![
+            s("Baseline (undefended):BFA:lpddr4_small:none:1"),
+            s("DNN-Defender:BFA:lpddr4_small:none:1"),
+            s("Baseline (undefended):BFA:lpddr4_small:light:1"),
+            s("DNN-Defender:BFA:lpddr4_small:light:1"),
+            s("Baseline (undefended):BFA:lpddr4_small:heavy"),
+            s("DNN-Defender:BFA:lpddr4_small:heavy"),
+            s("Baseline (undefended):BFA:lpddr4_small:multi-tenant"),
+            s("DNN-Defender:BFA:lpddr4_small:multi-tenant"),
+        ],
+    }
+}
+
+/// Deterministic per-step outcome counts extracted from a response.
+#[derive(Default)]
+struct StepCounts {
+    computed: u64,
+    hits: u64,
+    rejected: u64,
+    shed: u64,
+    evicted: u64,
+}
+
+fn submit_counts(response: &Json) -> StepCounts {
+    let mut counts = StepCounts::default();
+    for result in response.field_arr("results").expect("submit results") {
+        match result.field_str("status").expect("status") {
+            "done" => {
+                if result.field_bool("cache_hit").expect("cache_hit") {
+                    counts.hits += 1;
+                } else {
+                    counts.computed += 1;
+                }
+            }
+            "rejected" => counts.rejected += 1,
+            "shed" => counts.shed += 1,
+            other => panic!("scripted session produced unexpected status `{other}`"),
+        }
+    }
+    counts
+}
+
+fn server_roundtrip(server: &mut SweepServer, request: &Json) -> Json {
+    let response = server.handle_line(&request.render_compact());
+    let response = Json::parse(&response).expect("response parses");
+    assert_eq!(
+        response.field_bool("ok"),
+        Ok(true),
+        "scripted request failed: {response:?}"
+    );
+    response
+}
+
+fn server_submit(server: &mut SweepServer, client: &str, specs: &[CellSpec]) -> Json {
+    let request = Json::obj()
+        .with("op", Json::str("submit"))
+        .with("client", Json::str(client))
+        .with("quick", Json::Bool(server.sweep_base().quick()))
+        .with(
+            "cells",
+            Json::Arr(specs.iter().map(CellSpec::to_json).collect()),
+        );
+    server_roundtrip(server, &request)
+}
+
+/// The scripted matrix-as-a-service session. Runs a real [`SweepServer`]
+/// (empty cache, pinned cost model, capacity of exactly one heavy cell)
+/// through three clients and asserts the scheduler's decisions at every
+/// step — the artifact's tables are the deterministic session ledger;
+/// wall-clock timings stay in `raw`.
+fn server_service(ctx: &mut RunContext<'_>) -> Artifact {
+    let id = ExperimentId::Server;
+    let script = server_script();
+    let cost = server_cost_model();
+    let base = SweepBase::standard(ctx.quick);
+    let price =
+        |spec: &CellSpec| cost.price_micros(base.estimated_commands(spec), spec.device.rows());
+
+    // Capacity: exactly one heavy cell. Alice's light batch stays calm
+    // under it; Carol's four cold cells (two heavy + two multi-tenant)
+    // storm it and shed down to the single surviving heavy cell.
+    let capacity_micros = price(&script.carol[4]);
+    let mut config = ServerConfig::standard(ctx.quick);
+    config.workers = ctx.jobs.unwrap_or(config.workers);
+    config.capacity_micros = capacity_micros;
+    let mut server = SweepServer::new(config, cost);
+
+    if ctx.verbose {
+        println!(
+            "[server] scripted service session: {} specs over 3 clients, capacity {capacity_micros}us...",
+            script.all().len()
+        );
+    }
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut raw_steps: Vec<Json> = Vec::new();
+    let mut log =
+        |step: &str, client: &str, regime: &str, counts: &StepCounts, raw_steps: &mut Vec<Json>| {
+            rows.push(vec![
+                step.to_string(),
+                client.to_string(),
+                regime.to_string(),
+                counts.computed.to_string(),
+                counts.hits.to_string(),
+                counts.rejected.to_string(),
+                counts.shed.to_string(),
+                counts.evicted.to_string(),
+            ]);
+            raw_steps.push(
+                Json::obj()
+                    .with("step", Json::str(step))
+                    .with("client", Json::str(client))
+                    .with("regime", Json::str(regime))
+                    .with("computed", Json::uint(counts.computed))
+                    .with("cache_hits", Json::uint(counts.hits))
+                    .with("rejected", Json::uint(counts.rejected))
+                    .with("shed", Json::uint(counts.shed))
+                    .with("evicted", Json::uint(counts.evicted)),
+            );
+        };
+
+    // Alice: cold sweep → warm resweep → invalidate one axis → resweep.
+    let cold = server_submit(&mut server, "alice", &script.alice);
+    let counts = submit_counts(&cold);
+    assert_eq!(cold.field_str("regime"), Ok("calm"));
+    assert_eq!((counts.computed, counts.hits), (4, 0));
+    let charged_cold = cold
+        .field("ledger")
+        .and_then(|l| l.field_u64("charged_micros"))
+        .expect("ledger");
+    log("cold sweep", "alice", "calm", &counts, &mut raw_steps);
+
+    let warm = server_submit(&mut server, "alice", &script.alice);
+    let counts = submit_counts(&warm);
+    assert_eq!((counts.computed, counts.hits), (0, 4));
+    let charged_warm = warm
+        .field("ledger")
+        .and_then(|l| l.field_u64("charged_micros"))
+        .expect("ledger");
+    assert_eq!(charged_warm, charged_cold, "cache hits must charge nothing");
+    log("warm resweep", "alice", "calm", &counts, &mut raw_steps);
+
+    let invalidate = server_roundtrip(
+        &mut server,
+        &Json::obj()
+            .with("op", Json::str("invalidate"))
+            .with("axis", Json::str("workload"))
+            .with("value", Json::str("light")),
+    );
+    let counts = StepCounts {
+        evicted: invalidate.field_u64("evicted").expect("evicted"),
+        ..StepCounts::default()
+    };
+    assert_eq!(counts.evicted, 2, "the light slice is two of alice's cells");
+    log(
+        "invalidate workload=light",
+        "-",
+        "-",
+        &counts,
+        &mut raw_steps,
+    );
+
+    let resweep = server_submit(&mut server, "alice", &script.alice);
+    let counts = submit_counts(&resweep);
+    assert_eq!(
+        (counts.computed, counts.hits),
+        (2, 2),
+        "only the invalidated slice recomputes"
+    );
+    log(
+        "incremental resweep",
+        "alice",
+        "calm",
+        &counts,
+        &mut raw_steps,
+    );
+
+    // Bob: an exact grant covers the first cell and rejects the second.
+    let grant_micros = price(&script.bob[0]);
+    server_roundtrip(
+        &mut server,
+        &Json::obj()
+            .with("op", Json::str("budget"))
+            .with("client", Json::str("bob"))
+            .with("grant_micros", Json::uint(grant_micros)),
+    );
+    let bob = server_submit(&mut server, "bob", &script.bob);
+    let counts = submit_counts(&bob);
+    assert_eq!((counts.computed, counts.rejected), (1, 1));
+    let results = bob.field_arr("results").expect("results");
+    assert_eq!(results[1].field_str("reason"), Ok("budget_exhausted"));
+    assert_eq!(results[1].field_u64("remaining_micros"), Ok(0));
+    log("over-budget sweep", "bob", "calm", &counts, &mut raw_steps);
+
+    // Carol: warm riders at priority 1, four cold cells storming the
+    // capacity; shedding drops the lowest priority, newest first.
+    let carol = server_submit(&mut server, "carol", &script.carol);
+    let counts = submit_counts(&carol);
+    assert_eq!(carol.field_str("regime"), Ok("storm"));
+    assert_eq!((counts.computed, counts.hits, counts.shed), (1, 4, 3));
+    let results = carol.field_arr("results").expect("results");
+    assert_eq!(
+        results[4].field_str("status"),
+        Ok("done"),
+        "the oldest cold cell survives the storm"
+    );
+    log("storm sweep", "carol", "storm", &counts, &mut raw_steps);
+
+    let stats = server_roundtrip(&mut server, &Json::obj().with("op", Json::str("stats")));
+
+    // Per-client accounting (deterministic: estimates charge, wall-clock
+    // is metric-only and stays in `raw`).
+    let clients = stats.field("clients").expect("clients");
+    let Json::Obj(client_fields) = clients else {
+        panic!("clients is an object");
+    };
+    let ledger_rows: Vec<Vec<String>> = client_fields
+        .iter()
+        .map(|(name, ledger)| {
+            let f = |key: &str| ledger.field_u64(key).expect(key).to_string();
+            vec![
+                name.clone(),
+                f("granted_micros"),
+                f("charged_micros"),
+                f("remaining_micros"),
+                f("computed"),
+                f("cache_hits"),
+                f("rejected_budget"),
+                f("shed"),
+            ]
+        })
+        .collect();
+
+    // Admission pricing across the axes the cost model keys on.
+    let pricing_specs = [
+        "Baseline (undefended):BFA:lpddr4_small:none",
+        "Baseline (undefended):BFA:lpddr4_small:light",
+        "Baseline (undefended):BFA:lpddr4_small:multi-tenant",
+        "Baseline (undefended):BFA:lpddr4_small:heavy",
+        "Baseline (undefended):BFA:lpddr4_small@3000:none",
+        "Baseline (undefended):BFA:ddr4_32gb:none",
+    ];
+    let pricing_rows: Vec<Vec<String>> = pricing_specs
+        .iter()
+        .map(|text| {
+            let spec = CellSpec::parse_compact(text).expect("pricing spec");
+            vec![
+                format!("{} × {}", spec.device.label(), spec.load.label()),
+                spec.device.rows().to_string(),
+                base.estimated_commands(&spec).to_string(),
+                price(&spec).to_string(),
+            ]
+        })
+        .collect();
+
+    // Merge the session's computed cells into the shared batch cache:
+    // server and batch paths share content-addressed keys, so `repro
+    // workload` can reuse what the session just computed.
+    for (key, cell) in server.into_cache() {
+        ctx.cells.insert(key, cell);
+    }
+
+    let mut artifact = blank_artifact(id, id.config_hash(ctx.quick), 2024, ctx.quick);
+    artifact.cache = MatrixRunSummary {
+        cells: 22,
+        cache_hits: 10,
+    };
+    artifact.tables = vec![
+        TableArtifact::new(
+            "Service session log (scripted; deterministic by construction)",
+            &[
+                "Step", "Client", "Regime", "Computed", "Hits", "Rejected", "Shed", "Evicted",
+            ],
+            rows,
+        ),
+        TableArtifact::new(
+            "Per-client budget accounting (estimated microseconds)",
+            &[
+                "Client",
+                "Granted",
+                "Charged",
+                "Remaining",
+                "Computed",
+                "Hits",
+                "Rejected",
+                "Shed",
+            ],
+            ledger_rows,
+        ),
+        TableArtifact::new(
+            "Admission pricing (pinned calibration)",
+            &["Device × load", "Rows", "Est. commands", "Price (us)"],
+            pricing_rows,
+        ),
+    ];
+    artifact.notes = vec![
+        "Budget semantics: admission charges the deterministic estimate, never the measured \
+         wall time, so `charged ≤ granted` holds by construction and the session ledger is \
+         reproducible bit-for-bit; cache hits charge nothing, and rejected or shed cells are \
+         refunded. Bob's exact grant covers his first cell and bounces the second with a \
+         structured `budget_exhausted` rejection — no hang, no partial charge."
+            .to_string(),
+        "Regimes: Alice's batches fit the planning capacity (calm). Carol's four cold cells \
+         exceed twice the capacity (storm), so the scheduler sheds the lowest-priority \
+         pending cells newest-first down to capacity — her four priority-1 riders are warm \
+         cache hits and never enter the backlog, and the oldest cold cell survives, keeping \
+         the server live. Pricing scales with estimated commands × device rows: the same \
+         no-load cell is ~256× dearer on ddr4_32gb than on lpddr4_small."
+            .to_string(),
+    ];
+    artifact.raw = Some(
+        Json::obj()
+            .with("protocol", Json::uint(SERVER_PROTOCOL_VERSION))
+            .with("capacity_micros", Json::uint(capacity_micros))
+            .with("grant_micros_bob", Json::uint(grant_micros))
+            .with("session", Json::Arr(raw_steps))
+            .with("stats", stats),
+    );
+    artifact
 }
 
 #[cfg(test)]

@@ -20,9 +20,11 @@ use dd_nn::init::seeded_rng;
 use dd_nn::train::{train, TrainConfig};
 use dd_qnn::{build_model, Architecture, ModelConfig, QModel};
 
+pub mod cache;
 pub mod experiments;
 pub mod kernel;
 pub mod report;
+pub mod serve;
 
 /// Whether quick (smoke-test) mode is active.
 pub fn quick_mode() -> bool {

@@ -1,0 +1,403 @@
+//! The `repro serve` / `repro submit` front ends over [`dd_server`].
+//!
+//! `serve` runs a resident [`SweepServer`] speaking the line-delimited
+//! JSON protocol on stdin/stdout (default) or a Unix socket, warm-started
+//! from the artifact directory's cell cache and calibrated from its
+//! `BENCH_kernel.json`. `submit` is the matching client: it prices and
+//! runs a list of cell specs through a server (over the socket, or an
+//! in-process server when none is given), optionally writing the returned
+//! cells as a canonical `MatrixReport` document and cross-checking them
+//! byte-for-byte against a fresh batch run of the same specs.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+
+use dd_baselines::{CellReport, MatrixReport};
+use dd_server::{CellSpec, ServerConfig, SweepBase, SweepServer};
+use dnn_defender::budget::DEFAULT_COMMANDS_PER_SEC;
+use dnn_defender::{CostModel, Json};
+
+use crate::cache::load_cell_cache;
+use crate::kernel::KernelBench;
+
+/// Row count of the device the kernel benchmark calibrates on
+/// (`DramConfig::lpddr4_small`): 16 banks × 8 subarrays × 128 rows.
+pub const REFERENCE_DEVICE_ROWS: u64 = 16 * 8 * 128;
+
+/// Build the admission cost model: calibrated from the artifact
+/// directory's `BENCH_kernel.json` batched-kernel throughput when present
+/// and sane, else the conservative [`DEFAULT_COMMANDS_PER_SEC`].
+pub fn calibrated_cost_model(artifacts_dir: &Path) -> CostModel {
+    let commands_per_sec = std::fs::read_to_string(artifacts_dir.join("BENCH_kernel.json"))
+        .ok()
+        .and_then(|text| KernelBench::parse(&text).ok())
+        .map(|bench| bench.batch.commands_per_sec)
+        .filter(|cps| cps.is_finite() && *cps >= 1.0)
+        .map(|cps| cps as u64)
+        .unwrap_or(DEFAULT_COMMANDS_PER_SEC);
+    CostModel::new(commands_per_sec, REFERENCE_DEVICE_ROWS)
+}
+
+/// Options of `repro serve`.
+pub struct ServeOptions {
+    /// Artifact directory (cell-cache warm start + kernel calibration).
+    pub artifacts_dir: PathBuf,
+    /// Listen on this Unix socket instead of stdin/stdout.
+    pub socket: Option<PathBuf>,
+    /// Executor worker threads (default: one per core).
+    pub jobs: Option<usize>,
+    /// Regime planning capacity override, in estimated microseconds.
+    pub capacity_micros: Option<u64>,
+    /// Default per-client grant override, in estimated microseconds.
+    pub grant_micros: Option<u64>,
+    /// Quick (smoke) mode.
+    pub quick: bool,
+}
+
+fn build_server(opts: &ServeOptions) -> SweepServer {
+    let mut config = ServerConfig::standard(opts.quick);
+    if let Some(jobs) = opts.jobs {
+        config.workers = jobs;
+    }
+    if let Some(capacity) = opts.capacity_micros {
+        config.capacity_micros = capacity;
+    }
+    if let Some(grant) = opts.grant_micros {
+        config.default_grant_micros = grant;
+    }
+    let cost = calibrated_cost_model(&opts.artifacts_dir);
+    let cache = load_cell_cache(&opts.artifacts_dir.join("cache").join("cells.json"));
+    eprintln!(
+        "repro serve: protocol v{}, {} worker(s), {} cached cell(s), {} cmd/s, quick={}",
+        dd_server::SERVER_PROTOCOL_VERSION,
+        config.workers,
+        cache.len(),
+        cost.commands_per_sec(),
+        opts.quick,
+    );
+    SweepServer::new(config, cost).with_cache(cache)
+}
+
+/// Run the resident server until a `shutdown` op (or EOF on stdio).
+pub fn run_serve(opts: &ServeOptions) -> Result<(), String> {
+    let mut server = build_server(opts);
+    match &opts.socket {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            for line in stdin.lock().lines() {
+                let line = line.map_err(|e| format!("stdin: {e}"))?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let response = server.handle_line(&line);
+                let mut out = stdout.lock();
+                writeln!(out, "{response}").map_err(|e| format!("stdout: {e}"))?;
+                out.flush().map_err(|e| format!("stdout: {e}"))?;
+                if server.is_shutdown() {
+                    break;
+                }
+            }
+            Ok(())
+        }
+        Some(path) => {
+            // A stale socket file from a previous run would make bind fail.
+            let _ = std::fs::remove_file(path);
+            let listener = UnixListener::bind(path)
+                .map_err(|e| format!("cannot bind {}: {e}", path.display()))?;
+            eprintln!("repro serve: listening on {}", path.display());
+            for stream in listener.incoming() {
+                let stream = stream.map_err(|e| format!("accept: {e}"))?;
+                if let Err(e) = serve_connection(&mut server, stream) {
+                    // A broken client must not take the server down.
+                    eprintln!("repro serve: connection error: {e}");
+                }
+                if server.is_shutdown() {
+                    break;
+                }
+            }
+            let _ = std::fs::remove_file(path);
+            Ok(())
+        }
+    }
+}
+
+fn serve_connection(server: &mut SweepServer, stream: UnixStream) -> Result<(), String> {
+    let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("read: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = server.handle_line(&line);
+        writeln!(writer, "{response}").map_err(|e| format!("write: {e}"))?;
+        writer.flush().map_err(|e| format!("flush: {e}"))?;
+        if server.is_shutdown() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Options of `repro submit`.
+pub struct SubmitOptions {
+    /// Artifact directory (for the in-process server and batch check).
+    pub artifacts_dir: PathBuf,
+    /// Connect to a `repro serve --socket` server; in-process otherwise.
+    pub socket: Option<PathBuf>,
+    /// Client name for budget accounting.
+    pub client: String,
+    /// Grant this many estimated microseconds before submitting.
+    pub grant_micros: Option<u64>,
+    /// Write the returned cells as a canonical `MatrixReport` document.
+    pub out: Option<PathBuf>,
+    /// Re-run the same specs through the batch path and require
+    /// byte-identical cells.
+    pub check_batch: bool,
+    /// Quick (smoke) mode — must match the server's.
+    pub quick: bool,
+    /// Suppress per-cell lines.
+    pub quiet: bool,
+    /// Cell specs (`defense:attacker:device:load[:priority]`).
+    pub specs: Vec<String>,
+}
+
+enum Transport {
+    Socket(BufReader<UnixStream>, UnixStream),
+    Local(Box<SweepServer>),
+}
+
+impl Transport {
+    fn roundtrip(&mut self, line: &str) -> Result<String, String> {
+        match self {
+            Transport::Socket(reader, writer) => {
+                writeln!(writer, "{line}").map_err(|e| format!("write: {e}"))?;
+                writer.flush().map_err(|e| format!("flush: {e}"))?;
+                let mut response = String::new();
+                let n = reader
+                    .read_line(&mut response)
+                    .map_err(|e| format!("read: {e}"))?;
+                if n == 0 {
+                    return Err("server closed the connection".to_string());
+                }
+                Ok(response.trim_end().to_string())
+            }
+            Transport::Local(server) => Ok(server.handle_line(line)),
+        }
+    }
+}
+
+/// Submit cell specs, print the per-cell outcomes, and enforce
+/// `--out` / `--check-batch`. Any non-`done` cell is an error.
+pub fn run_submit(opts: &SubmitOptions) -> Result<(), String> {
+    if opts.specs.is_empty() {
+        return Err("no cell specs given (defense:attacker:device:load[:priority])".to_string());
+    }
+    let specs: Vec<CellSpec> = opts
+        .specs
+        .iter()
+        .map(|text| CellSpec::parse_compact(text))
+        .collect::<Result<_, _>>()?;
+
+    let mut transport = match &opts.socket {
+        Some(path) => {
+            let stream = UnixStream::connect(path)
+                .map_err(|e| format!("cannot connect to {}: {e}", path.display()))?;
+            let reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+            Transport::Socket(reader, stream)
+        }
+        None => Transport::Local(Box::new(build_server(&ServeOptions {
+            artifacts_dir: opts.artifacts_dir.clone(),
+            socket: None,
+            jobs: None,
+            capacity_micros: None,
+            grant_micros: None,
+            quick: opts.quick,
+        }))),
+    };
+
+    if let Some(grant) = opts.grant_micros {
+        let budget = Json::obj()
+            .with("op", Json::str("budget"))
+            .with("client", Json::str(opts.client.clone()))
+            .with("grant_micros", Json::uint(grant));
+        let response = parse_response(&transport.roundtrip(&budget.render_compact())?)?;
+        expect_ok(&response)?;
+    }
+
+    let request = Json::obj()
+        .with("op", Json::str("submit"))
+        .with("client", Json::str(opts.client.clone()))
+        .with("quick", Json::Bool(opts.quick))
+        .with(
+            "cells",
+            Json::Arr(specs.iter().map(CellSpec::to_json).collect()),
+        );
+    let response = parse_response(&transport.roundtrip(&request.render_compact())?)?;
+    expect_ok(&response)?;
+
+    let regime = response.field_str("regime").unwrap_or("?").to_string();
+    let results = response
+        .field_arr("results")
+        .map_err(|e| e.message.clone())?;
+    let mut cells: Vec<CellReport> = Vec::new();
+    let mut failures = 0usize;
+    for (spec, result) in specs.iter().zip(results) {
+        let status = result.field_str("status").unwrap_or("?").to_string();
+        if !opts.quiet {
+            let detail = match status.as_str() {
+                "done" => format!(
+                    "cache_hit={} estimate={}us wall={}us",
+                    result.field_bool("cache_hit").unwrap_or(false),
+                    result.field_u64("estimate_micros").unwrap_or(0),
+                    result.field_u64("wall_micros").unwrap_or(0),
+                ),
+                "rejected" | "shed" => format!(
+                    "reason={} estimate={}us",
+                    result.field_str("reason").unwrap_or("?"),
+                    result.field_u64("estimate_micros").unwrap_or(0),
+                ),
+                _ => result.field_str("reason").unwrap_or("?").to_string(),
+            };
+            println!("repro submit: [{status}] {} ({detail})", spec.label());
+        }
+        if status == "done" {
+            let cell = result
+                .field("cell")
+                .and_then(CellReport::from_json)
+                .map_err(|e| format!("bad cell in response: {}", e.message))?;
+            cells.push(cell);
+        } else {
+            failures += 1;
+        }
+    }
+    if !opts.quiet {
+        println!(
+            "repro submit: {} done / {} other, regime {regime}",
+            cells.len(),
+            failures
+        );
+    }
+
+    let report = MatrixReport { cells };
+    if let Some(out) = &opts.out {
+        if let Some(parent) = out.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("mkdir: {e}"))?;
+        }
+        std::fs::write(out, report.to_json().render_pretty())
+            .map_err(|e| format!("write {}: {e}", out.display()))?;
+        if !opts.quiet {
+            println!("repro submit: wrote {}", out.display());
+        }
+    }
+
+    if opts.check_batch {
+        if failures > 0 {
+            return Err("cannot --check-batch: not every cell completed".to_string());
+        }
+        let batch = batch_report(&specs, opts.quick)?;
+        let server_bytes = report.to_json().render_pretty();
+        let batch_bytes = batch.to_json().render_pretty();
+        if server_bytes != batch_bytes {
+            return Err(
+                "server and batch paths disagree: returned cells are not byte-identical"
+                    .to_string(),
+            );
+        }
+        println!(
+            "repro submit: server cells byte-identical to the batch path ({} cells, {} bytes)",
+            specs.len(),
+            server_bytes.len()
+        );
+    }
+
+    if failures > 0 {
+        return Err(format!("{failures} cell(s) did not complete"));
+    }
+    Ok(())
+}
+
+/// The batch path for the same specs: a fresh [`ScenarioMatrix`] run per
+/// cell (no server, no cache) under the shared [`SweepBase`] constants.
+///
+/// [`ScenarioMatrix`]: dd_baselines::ScenarioMatrix
+fn batch_report(specs: &[CellSpec], quick: bool) -> Result<MatrixReport, String> {
+    let base = SweepBase::standard(quick);
+    let mut cells = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let report = base
+            .matrix_for(spec)
+            .run()
+            .map_err(|e| format!("batch run of `{}` failed: {e:?}", spec.label()))?;
+        cells.extend(report.cells);
+    }
+    Ok(MatrixReport { cells })
+}
+
+fn parse_response(line: &str) -> Result<Json, String> {
+    Json::parse(line).map_err(|e| format!("bad response line: {}", e.message))
+}
+
+fn expect_ok(response: &Json) -> Result<(), String> {
+    if response.field_bool("ok") == Ok(true) {
+        return Ok(());
+    }
+    Err(response
+        .field_str("error")
+        .map(str::to_string)
+        .unwrap_or_else(|_| "server error".to_string()))
+}
+
+/// Shared in-process round trip used by tests and the `server`
+/// experiment: submit `specs` for `client` against `server`, returning
+/// the parsed response.
+pub fn submit_specs(
+    server: &mut SweepServer,
+    client: &str,
+    specs: &[CellSpec],
+    quick: bool,
+) -> Result<Json, String> {
+    let request = Json::obj()
+        .with("op", Json::str("submit"))
+        .with("client", Json::str(client))
+        .with("quick", Json::Bool(quick))
+        .with(
+            "cells",
+            Json::Arr(specs.iter().map(CellSpec::to_json).collect()),
+        );
+    let response = parse_response(&server.handle_line(&request.render_compact()))?;
+    expect_ok(&response)?;
+    Ok(response)
+}
+
+/// Decode the `done` cells of a submit response in request order,
+/// erroring on any other status.
+pub fn response_cells(response: &Json) -> Result<Vec<CellReport>, String> {
+    let results = response
+        .field_arr("results")
+        .map_err(|e| e.message.clone())?;
+    results
+        .iter()
+        .map(|result| {
+            let status = result.field_str("status").unwrap_or("?");
+            if status != "done" {
+                return Err(format!("cell not done: status {status}"));
+            }
+            result
+                .field("cell")
+                .and_then(CellReport::from_json)
+                .map_err(|e| e.message.clone())
+        })
+        .collect()
+}
+
+/// Merge a server's computed cells into a batch-side cell cache (used by
+/// the `server` experiment to share cells with `repro workload`).
+pub fn merge_server_cache(server: SweepServer, cells: &mut HashMap<u64, CellReport>) {
+    for (key, cell) in server.into_cache() {
+        cells.insert(key, cell);
+    }
+}

@@ -1,0 +1,277 @@
+//! Resource accounting for the sweep server (`dd-server`): cost model,
+//! per-client budgets, and load regimes.
+//!
+//! The matrix-as-a-service layer gates every simulation job behind explicit
+//! resource accounting, in the spirit of energy-bounded agency: nothing runs
+//! unless it has been priced and the price has been charged against a
+//! client's grant. The currency is *estimated simulation microseconds*,
+//! derived from the DRAM-command throughput measured by the kernel benchmark
+//! (`artifacts/BENCH_kernel.json`).
+//!
+//! Three pieces live here, kept in `dnn-defender` (the core crate) so both
+//! the server and the bench harness can use them without a dependency cycle:
+//!
+//! * [`CostModel`] — prices a job from its estimated DRAM command count and
+//!   the simulated device size, monotone in `commands × device_rows` by
+//!   construction (integer arithmetic, ceiling division);
+//! * [`BudgetAccount`] — a granted/charged ledger where
+//!   `charged ≤ granted` is an invariant, not a hope: the only way to spend
+//!   is [`BudgetAccount::try_charge`], which rejects overdrafts;
+//! * [`Regime`] — Calm / PreStorm / Storm classification of the offered
+//!   backlog against a planning capacity, used by the server to shed the
+//!   lowest-priority work first instead of wedging under overload.
+
+use crate::stablehash::{StableHash, StableHasher};
+
+/// Fallback command throughput (commands/second) when no kernel benchmark
+/// is available for calibration. Deliberately conservative (about half the
+/// measured batched-kernel rate) so un-calibrated servers over-price rather
+/// than over-admit.
+pub const DEFAULT_COMMANDS_PER_SEC: u64 = 200_000_000;
+
+/// Prices a simulation job in estimated microseconds of simulator time.
+///
+/// `price = ceil(commands × device_rows × 1e6 / (commands_per_sec × reference_rows))`
+///
+/// using 128-bit integer arithmetic, so the estimate is monotone
+/// (non-strictly) in the product `commands × device_rows`: if
+/// `c₁·r₁ ≤ c₂·r₂` then `price(c₁,r₁) ≤ price(c₂,r₂)`. `reference_rows` is
+/// the row count of the device the throughput was calibrated on, so a job
+/// on the calibration device is priced at `commands / commands_per_sec`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    commands_per_sec: u64,
+    reference_rows: u64,
+}
+
+impl CostModel {
+    /// Build a cost model from a calibrated throughput and the row count of
+    /// the calibration device. Both are clamped to at least 1.
+    pub fn new(commands_per_sec: u64, reference_rows: u64) -> Self {
+        CostModel {
+            commands_per_sec: commands_per_sec.max(1),
+            reference_rows: reference_rows.max(1),
+        }
+    }
+
+    /// The calibrated throughput in commands per second.
+    pub fn commands_per_sec(&self) -> u64 {
+        self.commands_per_sec
+    }
+
+    /// Row count of the calibration device.
+    pub fn reference_rows(&self) -> u64 {
+        self.reference_rows
+    }
+
+    /// Price a job: estimated microseconds to simulate `commands` DRAM
+    /// commands on a device with `device_rows` rows. Always at least 1 for
+    /// a non-empty job.
+    pub fn price_micros(&self, commands: u64, device_rows: u64) -> u64 {
+        if commands == 0 {
+            return 0;
+        }
+        let weighted = u128::from(commands) * u128::from(device_rows.max(1));
+        let denom = u128::from(self.commands_per_sec) * u128::from(self.reference_rows);
+        let micros = (weighted * 1_000_000).div_ceil(denom);
+        u64::try_from(micros).unwrap_or(u64::MAX)
+    }
+}
+
+impl StableHash for CostModel {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(self.commands_per_sec);
+        h.write_u64(self.reference_rows);
+    }
+}
+
+/// Error returned when a charge would overdraw a [`BudgetAccount`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExhausted {
+    /// Microseconds the caller asked to charge.
+    pub requested_micros: u64,
+    /// Microseconds still available on the account.
+    pub remaining_micros: u64,
+}
+
+impl std::fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "budget exhausted: requested {} us, {} us remaining",
+            self.requested_micros, self.remaining_micros
+        )
+    }
+}
+
+impl std::error::Error for BudgetExhausted {}
+
+/// A per-client grant/charge ledger.
+///
+/// The invariant `charged ≤ granted` holds by construction: the only
+/// spending path is [`BudgetAccount::try_charge`], which fails (leaving the
+/// ledger untouched) when the charge does not fit, and [`BudgetAccount::refund`]
+/// never drives `charged` below zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BudgetAccount {
+    granted_micros: u64,
+    charged_micros: u64,
+}
+
+impl BudgetAccount {
+    /// A fresh account with `granted_micros` of budget and nothing charged.
+    pub fn new(granted_micros: u64) -> Self {
+        BudgetAccount {
+            granted_micros,
+            charged_micros: 0,
+        }
+    }
+
+    /// Total microseconds granted so far.
+    pub fn granted_micros(&self) -> u64 {
+        self.granted_micros
+    }
+
+    /// Total microseconds charged so far.
+    pub fn charged_micros(&self) -> u64 {
+        self.charged_micros
+    }
+
+    /// Microseconds still available.
+    pub fn remaining_micros(&self) -> u64 {
+        self.granted_micros - self.charged_micros
+    }
+
+    /// Extend the grant (saturating).
+    pub fn grant(&mut self, extra_micros: u64) {
+        self.granted_micros = self.granted_micros.saturating_add(extra_micros);
+    }
+
+    /// Charge `cost_micros` against the grant, or fail without charging if
+    /// it does not fit.
+    pub fn try_charge(&mut self, cost_micros: u64) -> Result<(), BudgetExhausted> {
+        let remaining = self.remaining_micros();
+        if cost_micros > remaining {
+            return Err(BudgetExhausted {
+                requested_micros: cost_micros,
+                remaining_micros: remaining,
+            });
+        }
+        self.charged_micros += cost_micros;
+        Ok(())
+    }
+
+    /// Return a previous charge (for shed or deduplicated jobs). Clamped so
+    /// `charged` never goes below zero.
+    pub fn refund(&mut self, cost_micros: u64) {
+        self.charged_micros = self.charged_micros.saturating_sub(cost_micros);
+    }
+}
+
+/// Load regime of the server, classified from the estimated backlog of
+/// admitted-but-not-yet-simulated work against a planning capacity.
+///
+/// * `Calm` — backlog fits the capacity; everything admitted runs.
+/// * `PreStorm` — backlog is between 1× and 2× capacity; the server still
+///   runs everything but advertises the regime so clients can back off.
+/// * `Storm` — backlog exceeds 2× capacity; the server sheds the
+///   lowest-priority pending jobs (newest first among ties) until the
+///   backlog is back within capacity, answering each shed job with a
+///   structured rejection instead of wedging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Regime {
+    /// Backlog ≤ capacity.
+    Calm,
+    /// capacity < backlog ≤ 2 × capacity.
+    PreStorm,
+    /// Backlog > 2 × capacity.
+    Storm,
+}
+
+impl Regime {
+    /// Classify a backlog (estimated pending microseconds) against a
+    /// planning capacity. A zero capacity is treated as 1.
+    pub fn classify(backlog_micros: u64, capacity_micros: u64) -> Regime {
+        let cap = capacity_micros.max(1);
+        if backlog_micros <= cap {
+            Regime::Calm
+        } else if backlog_micros <= cap.saturating_mul(2) {
+            Regime::PreStorm
+        } else {
+            Regime::Storm
+        }
+    }
+
+    /// Wire label used in the server protocol.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Regime::Calm => "calm",
+            Regime::PreStorm => "pre-storm",
+            Regime::Storm => "storm",
+        }
+    }
+
+    /// Inverse of [`Regime::label`].
+    pub fn parse(label: &str) -> Option<Regime> {
+        match label {
+            "calm" => Some(Regime::Calm),
+            "pre-storm" => Some(Regime::PreStorm),
+            "storm" => Some(Regime::Storm),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn price_is_monotone_in_weighted_commands() {
+        let m = CostModel::new(1000, 10);
+        assert!(m.price_micros(10, 10) <= m.price_micros(20, 10));
+        assert!(m.price_micros(10, 10) <= m.price_micros(10, 20));
+        // Equal products price equally.
+        assert_eq!(m.price_micros(4, 6), m.price_micros(6, 4));
+        assert_eq!(m.price_micros(0, 1_000_000), 0);
+        assert!(m.price_micros(1, 1) >= 1);
+    }
+
+    #[test]
+    fn price_matches_throughput_on_reference_device() {
+        // 1e6 commands at 1e6 commands/sec on the calibration device is
+        // exactly one second.
+        let m = CostModel::new(1_000_000, 64);
+        assert_eq!(m.price_micros(1_000_000, 64), 1_000_000);
+    }
+
+    #[test]
+    fn charged_never_exceeds_granted() {
+        let mut acct = BudgetAccount::new(100);
+        assert!(acct.try_charge(60).is_ok());
+        let err = acct.try_charge(41).unwrap_err();
+        assert_eq!(err.remaining_micros, 40);
+        assert_eq!(acct.charged_micros(), 60);
+        assert!(acct.try_charge(40).is_ok());
+        assert_eq!(acct.remaining_micros(), 0);
+        acct.refund(1000);
+        assert_eq!(acct.charged_micros(), 0);
+        acct.grant(u64::MAX);
+        assert_eq!(acct.granted_micros(), u64::MAX);
+    }
+
+    #[test]
+    fn regime_thresholds() {
+        assert_eq!(Regime::classify(0, 100), Regime::Calm);
+        assert_eq!(Regime::classify(100, 100), Regime::Calm);
+        assert_eq!(Regime::classify(101, 100), Regime::PreStorm);
+        assert_eq!(Regime::classify(200, 100), Regime::PreStorm);
+        assert_eq!(Regime::classify(201, 100), Regime::Storm);
+        // Zero capacity never divides by zero.
+        assert_eq!(Regime::classify(5, 0), Regime::Storm);
+        for r in [Regime::Calm, Regime::PreStorm, Regime::Storm] {
+            assert_eq!(Regime::parse(r.label()), Some(r));
+        }
+        assert_eq!(Regime::parse("hurricane"), None);
+    }
+}

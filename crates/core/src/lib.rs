@@ -22,6 +22,8 @@
 //!   generic over the installed [`defense::DefenseMechanism`], with the
 //!   attacker-vs-defense race played out on the simulator;
 //! * [`analysis`] — the §5.1 security / latency formulas (Fig. 8);
+//! * [`budget`] — cost model, budget ledgers, and load regimes backing the
+//!   `dd-server` matrix-as-a-service layer;
 //! * [`overhead`] — the Table 2 hardware-overhead comparison.
 //!
 //! ## Quickstart
@@ -63,6 +65,7 @@
 #![deny(missing_docs)]
 
 pub mod analysis;
+pub mod budget;
 pub mod conformance;
 pub mod defense;
 pub mod json;
@@ -76,6 +79,7 @@ pub mod swap;
 pub mod system;
 
 pub use analysis::{rh_thresholds, DefenseOp, SecurityModel};
+pub use budget::{BudgetAccount, BudgetExhausted, CostModel, Regime};
 pub use defense::{
     CampaignView, DefenseConfig, DefenseMechanism, DefenseStats, DnnDefenderDefense, DynDefense,
     FlipAttempt, Undefended,

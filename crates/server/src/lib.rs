@@ -1,0 +1,44 @@
+//! # dd-server — matrix-as-a-service for the DNN-Defender reproduction
+//!
+//! Turns [`dd_baselines::ScenarioMatrix`] into a resident service: a
+//! long-running sweep engine that accepts cell specs over a line-delimited
+//! JSON protocol (stdin/stdout or a Unix socket), prices every job with a
+//! throughput-calibrated cost model *before* admission, charges it against
+//! a per-client budget, and executes admitted jobs on a work-stealing
+//! threaded executor — shedding the lowest-priority work first under
+//! overload instead of wedging.
+//!
+//! Module map:
+//!
+//! * [`spec`] — [`spec::CellSpec`] (defense × attacker × device × load)
+//!   and [`spec::SweepBase`], the fixed sweep base whose cells share
+//!   content-addressed cache keys with the batch `repro workload` path;
+//! * [`executor`] — the per-worker-deque work-stealing thread pool;
+//! * [`server`] — [`server::SweepServer`]: the protocol handler with
+//!   admission control, budget accounting, Calm/PreStorm/Storm regime
+//!   switching, and incremental cache invalidation;
+//! * [`metrics`] — per-client ledgers and whole-server counters.
+//!
+//! The resource-accounting primitives themselves ([`dnn_defender::CostModel`],
+//! [`dnn_defender::BudgetAccount`], [`dnn_defender::Regime`]) live in the
+//! core crate so the bench harness can use them without a cycle.
+//!
+//! See `docs/server.md` for the wire protocol and `repro serve` /
+//! `repro submit` for the CLI front ends.
+
+#![deny(missing_docs)]
+
+pub mod executor;
+pub mod metrics;
+pub mod server;
+pub mod spec;
+
+pub use executor::{run_work_stealing, JobRun};
+pub use metrics::{ClientLedger, ServerStats};
+pub use server::{ServerConfig, SweepServer};
+pub use spec::{CellSpec, DeviceBase, DeviceSpec, SweepBase};
+
+/// Version of the line-delimited JSON wire protocol. Every response
+/// carries it; bump on any incompatible change to request or response
+/// shapes.
+pub const SERVER_PROTOCOL_VERSION: u64 = 1;

@@ -1,0 +1,106 @@
+//! Per-client ledgers and whole-server counters.
+//!
+//! Everything here is observable over the wire: submit responses embed the
+//! client's ledger, and the `stats` op returns the whole-server counters
+//! plus every ledger. The bench harness turns a scripted session's ledgers
+//! into the versioned `server` artifact spliced into EXPERIMENTS.md.
+
+use dnn_defender::{BudgetAccount, Json};
+
+/// One client's budget account plus its lifetime job counters.
+#[derive(Debug, Clone, Default)]
+pub struct ClientLedger {
+    /// The granted/charged budget ledger (`charged ≤ granted` invariant).
+    pub account: BudgetAccount,
+    /// Cells this client has submitted (including malformed ones).
+    pub submitted: u64,
+    /// Cells computed for this client (cache misses that ran).
+    pub computed: u64,
+    /// Cells served straight from the content-addressed cache.
+    pub cache_hits: u64,
+    /// Cells rejected at admission because the budget could not cover the
+    /// estimate.
+    pub rejected_budget: u64,
+    /// Cells shed by storm-regime overload control.
+    pub shed: u64,
+    /// Malformed or failed cells.
+    pub errors: u64,
+    /// Total microseconds actually spent simulating this client's cells.
+    pub actual_micros: u64,
+    /// Total microseconds this client's cells waited before starting.
+    pub queue_micros: u64,
+}
+
+impl ClientLedger {
+    /// A fresh ledger with an initial grant.
+    pub fn with_grant(grant_micros: u64) -> Self {
+        ClientLedger {
+            account: BudgetAccount::new(grant_micros),
+            ..ClientLedger::default()
+        }
+    }
+
+    /// Wire encoding (embedded in submit responses and `stats`).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("granted_micros", Json::uint(self.account.granted_micros()))
+            .with("charged_micros", Json::uint(self.account.charged_micros()))
+            .with(
+                "remaining_micros",
+                Json::uint(self.account.remaining_micros()),
+            )
+            .with("submitted", Json::uint(self.submitted))
+            .with("computed", Json::uint(self.computed))
+            .with("cache_hits", Json::uint(self.cache_hits))
+            .with("rejected_budget", Json::uint(self.rejected_budget))
+            .with("shed", Json::uint(self.shed))
+            .with("errors", Json::uint(self.errors))
+            .with("actual_micros", Json::uint(self.actual_micros))
+            .with("queue_micros", Json::uint(self.queue_micros))
+    }
+}
+
+/// Whole-server lifetime counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Requests handled (any op).
+    pub requests: u64,
+    /// Cells submitted across all clients.
+    pub jobs: u64,
+    /// Cells computed (cache misses that ran).
+    pub computed: u64,
+    /// Cells served from cache.
+    pub cache_hits: u64,
+    /// Cells rejected for budget.
+    pub rejected_budget: u64,
+    /// Cells shed under storm.
+    pub shed: u64,
+    /// Malformed or failed cells.
+    pub errors: u64,
+    /// Cache entries evicted by `invalidate` ops.
+    pub invalidated: u64,
+    /// Submit requests admitted in the calm regime.
+    pub calm_requests: u64,
+    /// Submit requests admitted in the pre-storm regime.
+    pub pre_storm_requests: u64,
+    /// Submit requests that hit the storm regime (and shed).
+    pub storm_requests: u64,
+}
+
+impl ServerStats {
+    /// Wire encoding for the `stats` op.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("requests", Json::uint(self.requests))
+            .with("jobs", Json::uint(self.jobs))
+            .with("computed", Json::uint(self.computed))
+            .with("cache_hits", Json::uint(self.cache_hits))
+            .with("rejected_budget", Json::uint(self.rejected_budget))
+            .with("shed", Json::uint(self.shed))
+            .with("errors", Json::uint(self.errors))
+            .with("invalidated", Json::uint(self.invalidated))
+            .with("calm_requests", Json::uint(self.calm_requests))
+            .with("pre_storm_requests", Json::uint(self.pre_storm_requests))
+            .with("storm_requests", Json::uint(self.storm_requests))
+    }
+}
