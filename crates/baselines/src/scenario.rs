@@ -27,19 +27,22 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use dd_attack::{run_bfa, run_tbfa, AttackConfig, AttackData, TbfaGoal, ThreatModel};
-use dd_dram::{DramConfig, DramError, GlobalRowId, MemoryController, Nanos, TraceMode};
+use dd_dram::{CellSweep, DramConfig, DramError, GlobalRowId, MemoryController, Nanos, TraceMode};
 use dd_nn::data::{Dataset, SyntheticSpec};
 use dd_nn::train::{train, TrainConfig};
 use dd_nn::Network;
 use dd_qnn::{build_model, Architecture, BitAddr, BitFlip, ModelConfig, QModel};
-use dd_workload::{all_data_rows, BackgroundLoad, BenignTraffic, WORKLOAD_PROTOCOL_VERSION};
+use dd_workload::{
+    all_data_rows, drive_benign_window_sweep, BackgroundLoad, BenignTraffic, SpanTraffic,
+    SweepCell, WORKLOAD_PROTOCOL_VERSION,
+};
 use dnn_defender::defense::{
     CampaignView, DefenseConfig, DefenseMechanism, DefenseStats, DnnDefenderDefense, DynDefense,
     Undefended,
@@ -155,7 +158,13 @@ impl StableHash for AttackerKind {
 ///
 /// v2: the background-workload axis (benign traffic interleaved into the
 /// campaign replay, `Scenario.workload`, `CellReport.benign`).
-pub const CELL_PROTOCOL_VERSION: u64 = 2;
+///
+/// v3: benign traffic is seeded from the non-defense axes only
+/// ([`ScenarioMatrix::traffic_seed`]), so cells sharing (attacker,
+/// device, load) carry byte-identical traffic and can be replayed as one
+/// cross-cell sweep group ([`dd_dram::CellSweep`]). Every cell that runs
+/// background traffic computes different numbers than v2.
+pub const CELL_PROTOCOL_VERSION: u64 = 3;
 
 /// The canonical defense roster: every mitigation the paper's Table 3
 /// compares, as a closed enum so the scenario matrix, the artifacts, and
@@ -670,6 +679,7 @@ pub struct ScenarioMatrix {
     budget: usize,
     seed: u64,
     threads: Option<usize>,
+    sweep: bool,
 }
 
 impl ScenarioMatrix {
@@ -687,7 +697,20 @@ impl ScenarioMatrix {
             budget: 25,
             seed: 0x5ca1_ab1e,
             threads: None,
+            sweep: true,
         }
+    }
+
+    /// Enable or disable cross-cell sweep grouping (default: on).
+    ///
+    /// Grouping is byte-invariant — every cell's report is identical
+    /// either way, which the conformance suite's grouping-invariance law
+    /// enforces — so this toggle exists for differential tests and for
+    /// isolating performance effects. It is deliberately absent from
+    /// [`ScenarioMatrix::config_hash`] and the cell cache keys.
+    pub fn sweep_groups(mut self, on: bool) -> Self {
+        self.sweep = on;
+        self
     }
 
     /// Add an attacker axis entry.
@@ -832,6 +855,31 @@ impl ScenarioMatrix {
             h = h.wrapping_mul(0x1000_0000_01b3);
         }
         h
+    }
+
+    /// Seed of a cell's benign traffic: derived from the *non-defense*
+    /// axes only, so every cell sharing (attacker, device, load) builds
+    /// byte-identical traffic regardless of its defense. This is what
+    /// makes cross-cell sweep groups possible — grouped cells replay one
+    /// decoded command stream — and it is a protocol property:
+    /// [`CELL_PROTOCOL_VERSION`] v3.
+    fn traffic_seed(
+        &self,
+        attacker: &AttackerKind,
+        dram: &DramConfig,
+        load: BackgroundLoad,
+    ) -> u64 {
+        let mut h: u64 = self.seed ^ 0xcbf2_9ce4_8422_2325;
+        for b in attacker
+            .label()
+            .bytes()
+            .chain(dram_label(dram).bytes())
+            .chain(load.label().bytes())
+        {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^ 0x00be_9114
     }
 
     fn scenario_for(
@@ -1042,30 +1090,193 @@ impl ScenarioMatrix {
                 })
                 .min(pending.len())
                 .max(1);
-            let next = AtomicUsize::new(0);
+
+            // Partition the pending cells into cross-cell sweep groups:
+            // same (attacker, device, load) with background traffic and
+            // an untapped defense (probed on a throwaway instance — the
+            // factory is cheap next to victim training). Grouped cells
+            // pause after setup, run their benign warmup windows as one
+            // kernel sweep, then return to the pool as attack jobs;
+            // everything else runs the unchanged solo path. Grouping is
+            // byte-invariant, so scheduling cannot change any report.
+            let mut group_of: Vec<Option<usize>> = vec![None; pending.len()];
+            let mut groups: Vec<Vec<usize>> = Vec::new();
+            if self.sweep {
+                let mut by_key: HashMap<(usize, usize, usize), Vec<usize>> = HashMap::new();
+                for (p, &i) in pending.iter().enumerate() {
+                    let (d, a, m, l) = cells[i];
+                    if loads[l] == BackgroundLoad::None {
+                        continue;
+                    }
+                    let (name, factory, _) = &self.defenses[d];
+                    let probe_seed = self.cell_seed(name, &attackers[a], &drams[m], loads[l]);
+                    if factory(probe_seed, &drams[m]).has_online_tap() {
+                        continue;
+                    }
+                    by_key.entry((a, m, l)).or_default().push(p);
+                }
+                for members in by_key.into_values() {
+                    if members.len() >= 2 {
+                        let g = groups.len();
+                        for &p in &members {
+                            group_of[p] = Some(g);
+                        }
+                        groups.push(members);
+                    }
+                }
+            }
+
+            enum Job {
+                Setup { p: usize },
+                Attack { i: usize, state: Box<CellState> },
+            }
+            struct GroupSlot {
+                expected: usize,
+                arrived: Vec<(usize, Box<CellState>)>,
+            }
+
+            let queue: Mutex<Vec<Job>> =
+                Mutex::new((0..pending.len()).rev().map(|p| Job::Setup { p }).collect());
+            let group_slots: Vec<Mutex<GroupSlot>> = groups
+                .iter()
+                .map(|members| {
+                    Mutex::new(GroupSlot {
+                        expected: members.len(),
+                        arrived: Vec::new(),
+                    })
+                })
+                .collect();
+            let remaining = AtomicUsize::new(pending.len());
             let pending = &pending;
+            let cells = &cells;
+            let attackers = &attackers;
+            let drams = &drams;
+            let loads = &loads;
+            let group_of = &group_of;
+            let queue = &queue;
+            let group_slots = &group_slots;
+            let remaining = &remaining;
+            let done = &done;
+            let slots = &slots;
+
+            let finish_cell = move |i: usize, result: Result<CellReport, DramError>, ms: u64| {
+                let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if let (Some(observe), Ok(cell)) = (progress, &result) {
+                    observe(&CellProgress {
+                        done: n,
+                        total,
+                        scenario: cell.scenario.clone(),
+                        cache_hit: false,
+                        millis: ms,
+                    });
+                }
+                *slots[i].lock().expect("cell slot") = Some(result);
+                remaining.fetch_sub(1, Ordering::Release);
+            };
+            let finish_cell = &finish_cell;
 
             std::thread::scope(|scope| {
                 for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let p = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&i) = pending.get(p) else {
+                    scope.spawn(move || loop {
+                        if remaining.load(Ordering::Acquire) == 0 {
                             break;
-                        };
-                        let (d, a, m, l) = cells[i];
-                        let started = Instant::now();
-                        let result = self.run_cell(d, &attackers[a], &drams[m], loads[l]);
-                        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
-                        if let (Some(observe), Ok(cell)) = (progress, &result) {
-                            observe(&CellProgress {
-                                done: n,
-                                total,
-                                scenario: cell.scenario.clone(),
-                                cache_hit: false,
-                                millis: started.elapsed().as_millis() as u64,
-                            });
                         }
-                        *slots[i].lock().expect("cell slot") = Some(result);
+                        let job = queue.lock().expect("job queue").pop();
+                        let Some(job) = job else {
+                            // Jobs still in flight on other workers may
+                            // yet push attack work back to the pool.
+                            std::thread::sleep(Duration::from_micros(200));
+                            continue;
+                        };
+                        match job {
+                            Job::Setup { p } => {
+                                let i = pending[p];
+                                let (d, a, m, l) = cells[i];
+                                let started = Instant::now();
+                                let setup = self.cell_setup(d, &attackers[a], &drams[m], loads[l]);
+                                let mut ready: Vec<(usize, Box<CellState>)> = Vec::new();
+                                match (setup, group_of[p]) {
+                                    (Ok(mut state), None) => match self.warmup_solo(&mut state) {
+                                        Ok(()) => {
+                                            state.millis += started.elapsed().as_millis() as u64;
+                                            queue.lock().expect("job queue").push(Job::Attack {
+                                                i,
+                                                state: Box::new(state),
+                                            });
+                                        }
+                                        Err(e) => finish_cell(
+                                            i,
+                                            Err(e),
+                                            started.elapsed().as_millis() as u64,
+                                        ),
+                                    },
+                                    (Ok(mut state), Some(g)) => {
+                                        state.millis += started.elapsed().as_millis() as u64;
+                                        let mut slot = group_slots[g].lock().expect("group slot");
+                                        slot.arrived.push((i, Box::new(state)));
+                                        if slot.arrived.len() == slot.expected {
+                                            ready = std::mem::take(&mut slot.arrived);
+                                        }
+                                    }
+                                    (Err(e), None) => {
+                                        finish_cell(i, Err(e), started.elapsed().as_millis() as u64)
+                                    }
+                                    (Err(e), Some(g)) => {
+                                        finish_cell(
+                                            i,
+                                            Err(e),
+                                            started.elapsed().as_millis() as u64,
+                                        );
+                                        // Shrink the group so the cells
+                                        // that did set up still run.
+                                        let mut slot = group_slots[g].lock().expect("group slot");
+                                        slot.expected -= 1;
+                                        if slot.expected > 0 && slot.arrived.len() == slot.expected
+                                        {
+                                            ready = std::mem::take(&mut slot.arrived);
+                                        }
+                                    }
+                                }
+                                if !ready.is_empty() {
+                                    // The last member to arrive warms the
+                                    // whole group up in one sweep, then
+                                    // returns the cells to the pool.
+                                    let warm_started = Instant::now();
+                                    let (idxs, mut states): (Vec<usize>, Vec<CellState>) =
+                                        ready.into_iter().map(|(ci, b)| (ci, *b)).unzip();
+                                    match self.warmup_group(&mut states) {
+                                        Ok(()) => {
+                                            let share = (warm_started.elapsed().as_millis() as u64)
+                                                / states.len().max(1) as u64;
+                                            let mut q = queue.lock().expect("job queue");
+                                            for (ci, mut st) in idxs.into_iter().zip(states) {
+                                                st.millis += share;
+                                                q.push(Job::Attack {
+                                                    i: ci,
+                                                    state: Box::new(st),
+                                                });
+                                            }
+                                        }
+                                        Err(e) => {
+                                            let ms = warm_started.elapsed().as_millis() as u64;
+                                            for ci in idxs {
+                                                finish_cell(ci, Err(e.clone()), ms);
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            Job::Attack { i, state } => {
+                                let started = Instant::now();
+                                let base_ms = state.millis;
+                                let result = self.cell_attack(*state);
+                                finish_cell(
+                                    i,
+                                    result,
+                                    base_ms + started.elapsed().as_millis() as u64,
+                                );
+                            }
+                        }
                     });
                 }
             });
@@ -1088,14 +1299,18 @@ impl ScenarioMatrix {
         ))
     }
 
-    /// Execute one cell.
-    fn run_cell(
+    /// Phase 1 of a cell: train and deploy the victim, run the
+    /// attacker's search, assemble the scratch device and its background
+    /// traffic — everything up to (but excluding) the warmup windows.
+    /// The returned state is `Send`, so a sweep group can collect its
+    /// members from whichever worker threads set them up.
+    fn cell_setup(
         &self,
         defense_idx: usize,
         attacker: &AttackerKind,
         dram: &DramConfig,
         load: BackgroundLoad,
-    ) -> Result<CellReport, DramError> {
+    ) -> Result<CellState, DramError> {
         let (name, factory, budget_override) = &self.defenses[defense_idx];
         let budget = budget_override.unwrap_or(self.budget);
         let seed = self.cell_seed(name, attacker, dram, load);
@@ -1195,7 +1410,7 @@ impl ScenarioMatrix {
         // "hot" working set spread across the device, scans over the
         // rest (on the scratch device there is no deployed weight image,
         // so the working set is a geometric stand-in for one).
-        let mut traffic = {
+        let traffic = {
             let cold = all_data_rows(dram);
             let hot: Vec<GlobalRowId> = cold
                 .iter()
@@ -1203,33 +1418,124 @@ impl ScenarioMatrix {
                 .step_by((cold.len() / 64).max(1))
                 .take(64)
                 .collect();
-            BenignTraffic::for_load(load, seed ^ 0x00be_9114, dram, &hot, &cold)
+            BenignTraffic::for_load(
+                load,
+                self.traffic_seed(attacker, dram, load),
+                dram,
+                &hot,
+                &cold,
+            )
         };
-        let mut benign_report = traffic.as_ref().map(|_| BenignReport::default());
-        let mut disturbed: HashSet<GlobalRowId> = HashSet::new();
+        let benign = traffic.as_ref().map(|_| BenignReport::default());
+        let false_ops_base = defense.stats().defense_ops;
+        Ok(CellState {
+            scenario: self.scenario_for(name, attacker, dram, load),
+            dram: dram.clone(),
+            defense,
+            model,
+            data,
+            flips,
+            mem,
+            traffic,
+            benign,
+            disturbed: HashSet::new(),
+            clean_accuracy: clean,
+            t_rh,
+            false_ops_base,
+            millis: 0,
+        })
+    }
 
-        // Benign-only warmup windows: any defensive operation fired here
-        // is a false positive (nothing is under attack yet). The window
-        // protocol (rollover notification, budget, boundary-minus-1
-        // sampling point) is the workload driver's.
-        if let (Some(t), Some(b)) = (traffic.as_mut(), benign_report.as_mut()) {
-            let before = defense.stats().defense_ops;
+    /// Phase 2, solo: the two benign-only measurement windows — any
+    /// defensive operation fired here is a false positive (nothing is
+    /// under attack yet). The window protocol (rollover notification,
+    /// budget, boundary-minus-1 sampling point) is the workload driver's.
+    fn warmup_solo(&self, state: &mut CellState) -> Result<(), DramError> {
+        if state.traffic.is_some() {
             for _ in 0..2 {
-                let span = t.drive_benign_window(&mut mem, &mut *defense, None)?;
-                b.ops += span.ops;
-                b.activations += span.activations;
-                for &row in t.universe() {
-                    let d = mem.disturbance(row);
-                    b.peak_disturbance = b.peak_disturbance.max(d);
-                    if d >= t_rh / 2 {
-                        disturbed.insert(row);
-                    }
-                }
-                mem.advance(Nanos(1));
+                let span = {
+                    let CellState {
+                        traffic,
+                        mem,
+                        defense,
+                        ..
+                    } = state;
+                    traffic
+                        .as_mut()
+                        .expect("checked above")
+                        .drive_benign_window(mem, &mut **defense, None)?
+                };
+                state.absorb_warmup_window(span);
             }
-            b.false_defense_ops = defense.stats().defense_ops - before;
         }
+        state.finish_warmup();
+        Ok(())
+    }
 
+    /// Phase 2, grouped: the same two benign-only windows, but driven
+    /// across a whole sweep group in one cross-cell kernel pass per
+    /// window ([`drive_benign_window_sweep`]). Relies on what the
+    /// scheduler's grouping guarantees — identical device configs and
+    /// clocks, background traffic present, untapped defenses — and is
+    /// bit-identical to running [`ScenarioMatrix::warmup_solo`] on every
+    /// member, which the conformance suite's grouping-invariance law
+    /// enforces.
+    fn warmup_group(&self, states: &mut [CellState]) -> Result<(), DramError> {
+        if states.len() == 1 {
+            return self.warmup_solo(&mut states[0]);
+        }
+        let config = states[0].dram.clone();
+        let mut sweep = CellSweep::new(&config, states.len());
+        for _ in 0..2 {
+            let span = {
+                let mut cells: Vec<SweepCell<'_>> = states
+                    .iter_mut()
+                    .map(|s| {
+                        let CellState {
+                            mem,
+                            defense,
+                            traffic,
+                            ..
+                        } = s;
+                        SweepCell {
+                            mem,
+                            defense: &mut **defense,
+                            map: None,
+                            traffic: traffic.as_mut().expect("grouped cell has traffic"),
+                        }
+                    })
+                    .collect();
+                drive_benign_window_sweep(&mut sweep, &mut cells)?
+            };
+            for s in states.iter_mut() {
+                s.absorb_warmup_window(span);
+            }
+        }
+        for s in states.iter_mut() {
+            s.finish_warmup();
+        }
+        Ok(())
+    }
+
+    /// Phase 3: the attacked windows — one mechanistic RowHammer
+    /// campaign per selected flip, racing the defense mid-window while
+    /// benign traffic (if any) keeps flowing around it.
+    fn cell_attack(&self, state: CellState) -> Result<CellReport, DramError> {
+        let CellState {
+            scenario,
+            dram,
+            mut defense,
+            mut model,
+            data,
+            flips,
+            mut mem,
+            mut traffic,
+            benign: mut benign_report,
+            mut disturbed,
+            clean_accuracy,
+            t_rh,
+            ..
+        } = state;
         let mut blocked: Vec<BitAddr> = Vec::new();
         let mut attempts = 0usize;
         let mut landed = 0usize;
@@ -1241,8 +1547,8 @@ impl ScenarioMatrix {
                 model.flip_bit(flip.addr);
                 continue;
             }
-            let victim = pseudo_victim(flip.addr, dram);
-            let bit_in_row = pseudo_bit_in_row(flip.addr, dram);
+            let victim = pseudo_victim(flip.addr, &dram);
+            let bit_in_row = pseudo_bit_in_row(flip.addr, &dram);
             let addr = flip.addr;
 
             let outcome = match (traffic.as_mut(), benign_report.as_mut()) {
@@ -1317,8 +1623,8 @@ impl ScenarioMatrix {
 
         let post = real_accuracy(&mut model, &data, &blocked);
         Ok(CellReport {
-            scenario: self.scenario_for(name, attacker, dram, load),
-            clean_accuracy: clean,
+            scenario,
+            clean_accuracy,
             post_attack_accuracy: post,
             attempts,
             landed,
@@ -1328,6 +1634,63 @@ impl ScenarioMatrix {
                 b
             }),
         })
+    }
+}
+
+/// A cell paused between its setup phase (victim training, defense
+/// deployment, attack search, device + traffic assembly) and its
+/// measurement phases (warmup, then attacked windows). States are `Send`
+/// — [`DefenseMechanism`] and the traffic's generators carry the bound —
+/// so the matrix scheduler can collect a sweep group's members from the
+/// worker threads that set them up and warm them up together.
+struct CellState {
+    scenario: Scenario,
+    dram: DramConfig,
+    defense: DynDefense,
+    model: QModel,
+    data: AttackData,
+    flips: Vec<BitFlip>,
+    mem: MemoryController,
+    traffic: Option<BenignTraffic>,
+    benign: Option<BenignReport>,
+    disturbed: HashSet<GlobalRowId>,
+    clean_accuracy: f32,
+    t_rh: u64,
+    /// Defense-op counter at the end of setup; the warmup windows'
+    /// false-positive delta is measured from here.
+    false_ops_base: u64,
+    /// Wall-clock milliseconds attributed to this cell so far (setup,
+    /// plus its share of a grouped warmup).
+    millis: u64,
+}
+
+impl CellState {
+    /// Absorb one warmup window's traffic into the benign report, sample
+    /// benign-row disturbance at the boundary-minus-1 instant, and cross
+    /// the window boundary — identical bookkeeping for the solo and
+    /// grouped warmup paths.
+    fn absorb_warmup_window(&mut self, span: SpanTraffic) {
+        let (Some(t), Some(b)) = (self.traffic.as_ref(), self.benign.as_mut()) else {
+            return;
+        };
+        b.ops += span.ops;
+        b.activations += span.activations;
+        for &row in t.universe() {
+            let d = self.mem.disturbance(row);
+            b.peak_disturbance = b.peak_disturbance.max(d);
+            if d >= self.t_rh / 2 {
+                self.disturbed.insert(row);
+            }
+        }
+        self.mem.advance(Nanos(1));
+    }
+
+    /// Close the warmup phase: everything the defense fired since setup
+    /// was fired with nothing under attack — false positives.
+    fn finish_warmup(&mut self) {
+        if let Some(b) = self.benign.as_mut() {
+            b.false_defense_ops = self.defense.stats().defense_ops - self.false_ops_base;
+        }
     }
 }
 
@@ -1498,6 +1861,43 @@ mod tests {
             a.cells[0].post_attack_accuracy,
             b.cells[0].post_attack_accuracy
         );
+    }
+
+    #[test]
+    fn sweep_grouping_is_report_invariant() {
+        // The matrix-level grouping law: a run with cross-cell sweep
+        // grouping on is byte-identical to the same run with every cell
+        // solo. The roster mixes groupable defenses with a tapped one
+        // (DNN-Defender), which the scheduler must route down the
+        // per-cell path even when grouping is on.
+        let build = |sweep: bool| {
+            quick_matrix()
+                .budget(6)
+                .background(BackgroundLoad::Light)
+                .defense_kind(DefenseKind::Undefended)
+                .defense_kind(DefenseKind::Rrs)
+                .defense_kind(DefenseKind::Shadow)
+                .defense_kind(DefenseKind::DnnDefender)
+                .sweep_groups(sweep)
+                .run()
+                .expect("matrix")
+        };
+        let grouped = build(true);
+        let solo = build(false);
+        assert_eq!(grouped.cells.len(), solo.cells.len());
+        for (g, s) in grouped.cells.iter().zip(&solo.cells) {
+            assert_eq!(g.scenario, s.scenario);
+            assert_eq!(g.clean_accuracy, s.clean_accuracy, "{}", g.scenario.defense);
+            assert_eq!(
+                g.post_attack_accuracy, s.post_attack_accuracy,
+                "{}",
+                g.scenario.defense
+            );
+            assert_eq!(g.attempts, s.attempts, "{}", g.scenario.defense);
+            assert_eq!(g.landed, s.landed, "{}", g.scenario.defense);
+            assert_eq!(g.stats, s.stats, "{}", g.scenario.defense);
+            assert_eq!(g.benign, s.benign, "{}", g.scenario.defense);
+        }
     }
 
     #[test]

@@ -27,7 +27,7 @@ use std::process::ExitCode;
 
 use dd_bench::cache::{load_cell_cache, save_cell_cache};
 use dd_bench::experiments::{print_artifact, ExperimentId, RunContext};
-use dd_bench::kernel::{run_kernel_bench, KernelBench, KERNEL_SPEEDUP_FLOOR};
+use dd_bench::kernel::{run_kernel_bench, KernelBench, KERNEL_SPEEDUP_FLOOR, SWEEP_SPEEDUP_FLOOR};
 use dd_bench::report::{render_duration, splice_section, Artifact};
 use dd_bench::serve::{run_serve, run_submit, ServeOptions, SubmitOptions};
 use dnn_defender::Json;
@@ -38,6 +38,7 @@ struct Options {
     force: bool,
     check: bool,
     quiet: bool,
+    sweep_cells: Option<usize>,
     artifacts_dir: PathBuf,
     commands: Vec<String>,
 }
@@ -49,8 +50,9 @@ fn usage(code: u8) -> ExitCode {
          commands:\n\
          \x20 all            run every experiment\n\
          \x20 report         regenerate the marked sections of EXPERIMENTS.md from artifacts\n\
-         \x20 kernel         benchmark the batched kernel vs the per-command reference path,\n\
-         \x20                write BENCH_kernel.json, and fail below the committed speedup floor\n\
+         \x20 kernel         benchmark the batched kernel vs the per-command reference path\n\
+         \x20                and the cross-cell sweep kernel vs N per-cell batched replays,\n\
+         \x20                write BENCH_kernel.json, and fail below either committed floor\n\
          \x20 serve          resident sweep server (line-delimited JSON on stdio, or\n\
          \x20                --socket <S>; budget-accounted, work-stealing, cell-cached)\n\
          \x20 submit         submit cell specs (defense:attacker:device:load[:priority])\n\
@@ -61,6 +63,7 @@ fn usage(code: u8) -> ExitCode {
          options:\n\
          \x20 --smoke              smoke-sized experiments (sets DD_QUICK=1)\n\
          \x20 --jobs <N>           cap scenario-matrix worker threads\n\
+         \x20 --sweep-cells <N>    with `kernel`: cells in the cross-cell sweep (default 12, min 2)\n\
          \x20 --force              ignore artifact and cell caches, recompute\n\
          \x20 --check              with `report`: fail instead of writing on drift\n\
          \x20 --quiet              suppress table output (summary lines only)\n\
@@ -76,6 +79,7 @@ fn parse_args() -> Result<Options, ExitCode> {
         force: false,
         check: false,
         quiet: false,
+        sweep_cells: None,
         artifacts_dir: PathBuf::from("artifacts"),
         commands: Vec::new(),
     };
@@ -92,6 +96,16 @@ fn parse_args() -> Result<Options, ExitCode> {
                     Some(n) if n > 0 => opts.jobs = Some(n),
                     _ => {
                         eprintln!("repro: --jobs needs a positive integer");
+                        return Err(usage(1));
+                    }
+                }
+            }
+            "--sweep-cells" => {
+                let value = args.next().and_then(|v| v.parse::<usize>().ok());
+                match value {
+                    Some(n) if n >= 2 => opts.sweep_cells = Some(n),
+                    _ => {
+                        eprintln!("repro: --sweep-cells needs an integer of at least 2");
                         return Err(usage(1));
                     }
                 }
@@ -183,24 +197,26 @@ fn run_kernel(opts: &Options) -> Result<(), ExitCode> {
         return Err(ExitCode::FAILURE);
     }
     let path = opts.artifacts_dir.join("BENCH_kernel.json");
-    // The floor travels in the committed artifact: prefer the target
+    // The floors travel in the committed artifact: prefer the target
     // dir's copy, fall back to the repo's committed one, then to the
-    // built-in default.
-    let floor = [path.clone(), PathBuf::from("artifacts/BENCH_kernel.json")]
+    // built-in defaults.
+    let (floor, sweep_floor) = [path.clone(), PathBuf::from("artifacts/BENCH_kernel.json")]
         .iter()
         .find_map(|p| {
             let text = std::fs::read_to_string(p).ok()?;
-            Some(KernelBench::parse(&text).ok()?.floor)
+            let committed = KernelBench::parse(&text).ok()?;
+            Some((committed.floor, committed.sweep_floor))
         })
-        .unwrap_or(KERNEL_SPEEDUP_FLOOR);
+        .unwrap_or((KERNEL_SPEEDUP_FLOOR, SWEEP_SPEEDUP_FLOOR));
 
     let quick = dd_bench::quick_mode();
     println!(
-        "[kernel] racing the batched kernel against the per-command reference path \
+        "[kernel] racing the batched kernel against the per-command reference path, and \
+         the cross-cell sweep kernel against per-cell batched replays \
          ({} sizing; equivalence is asserted before timing)...",
         if quick { "smoke" } else { "full" }
     );
-    let bench = run_kernel_bench(quick, floor);
+    let bench = run_kernel_bench(quick, floor, sweep_floor, opts.sweep_cells);
     if let Err(e) = std::fs::write(&path, bench.to_json().render_pretty()) {
         eprintln!("repro: cannot write {}: {e}", path.display());
         return Err(ExitCode::FAILURE);
@@ -214,11 +230,29 @@ fn run_kernel(opts: &Options) -> Result<(), ExitCode> {
         bench.floor,
         path.display(),
     );
+    println!(
+        "[kernel] {} cells: per-cell batch {:.1}M cmd/s vs sweep {:.1}M cmd/s -> {:.2}x \
+         matrix-throughput speedup (floor {:.2}x)",
+        bench.sweep_cells,
+        bench.cell_batch.commands_per_sec / 1e6,
+        bench.sweep.commands_per_sec / 1e6,
+        bench.sweep_speedup,
+        bench.sweep_floor,
+    );
     if bench.speedup < bench.floor {
         eprintln!(
             "repro: kernel speedup {:.2}x regressed below the committed floor {:.2}x — \
              the batched fast path lost its advantage (see docs/perf.md)",
             bench.speedup, bench.floor
+        );
+        return Err(ExitCode::FAILURE);
+    }
+    if bench.sweep_speedup < bench.sweep_floor {
+        eprintln!(
+            "repro: cross-cell sweep speedup {:.2}x regressed below the committed floor \
+             {:.2}x — the sweep kernel lost its advantage over per-cell replay \
+             (see docs/perf.md)",
+            bench.sweep_speedup, bench.sweep_floor
         );
         return Err(ExitCode::FAILURE);
     }

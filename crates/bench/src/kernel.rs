@@ -1,31 +1,46 @@
 //! The `kernel` perf benchmark: the batched simulation fast path
 //! ([`MemoryController::issue_batch`]) raced against the per-command
-//! reference path over one fixed seeded trace, with the end states
-//! asserted bit-identical before any timing is reported.
+//! reference path over one fixed seeded trace, and the cross-cell sweep
+//! kernel ([`CellSweep`]) raced against N per-cell batched replays of
+//! the same trace — with every end state asserted bit-identical before
+//! any timing is reported.
 //!
 //! `repro kernel` runs it and writes `artifacts/BENCH_kernel.json`
-//! (schema v1) — the repo's first *comparative* perf baseline: both
-//! paths' commands/sec plus their ratio. The committed artifact carries
-//! a `floor`; a rerun whose measured speedup falls below that floor
-//! exits non-zero, which is the CI perf-regression gate (the floor is
-//! deliberately well under the ≥3× target so CI noise cannot flake it).
-//! See `docs/perf.md` for how to read the numbers.
+//! (schema v2): both single-cell paths' commands/sec plus their ratio,
+//! and the N-cell matrix throughput (total commands across cells per
+//! wall second) of the sweep kernel against the per-cell batched
+//! baseline. The committed artifact carries a `floor` and a
+//! `sweep_floor`; a rerun whose measured speedup falls below either
+//! exits non-zero, which is the CI perf-regression gate (the floors are
+//! deliberately well under the ≥3×/≥4× targets so CI noise cannot flake
+//! them). See `docs/perf.md` for how to read the numbers.
 
 use std::time::Instant;
 
-use dd_dram::{BatchOpKind, DecodedBatch, DramConfig, GlobalRowId, MemoryController, TraceMode};
+use dd_dram::{
+    BatchOpKind, CellSweep, DecodedBatch, DramConfig, GlobalRowId, MemoryController, Nanos,
+    TraceMode,
+};
 use dd_workload::{
     all_data_rows, OpKind, StreamingScan, WorkloadGenerator, WorkloadOp, ZipfianServing,
 };
 use dnn_defender::{Json, JsonError};
 
 /// Schema version of `BENCH_kernel.json`.
-pub const KERNEL_BENCH_SCHEMA_VERSION: u64 = 1;
+pub const KERNEL_BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// Default speedup floor when no committed artifact provides one: the
 /// regression gate trips below this batch/reference ratio. Generously
 /// below the ≥3× target so shared-CI timing noise cannot flake the gate.
 pub const KERNEL_SPEEDUP_FLOOR: f64 = 2.0;
+
+/// Default cross-cell floor: the gate trips when the sweep kernel's
+/// matrix throughput falls below this multiple of the per-cell batched
+/// baseline. Generously below the ≥4× target for the same reason.
+pub const SWEEP_SPEEDUP_FLOOR: f64 = 2.0;
+
+/// Default cell count for the cross-cell sweep measurement.
+pub const SWEEP_CELLS_DEFAULT: usize = 12;
 
 /// Sizing of one kernel benchmark run.
 #[derive(Debug, Clone, Copy)]
@@ -41,6 +56,8 @@ pub struct KernelParams {
     /// Timed repetitions per path (best run wins, to shed scheduler
     /// noise).
     pub rounds: usize,
+    /// Cells in the cross-cell sweep measurement.
+    pub sweep_cells: usize,
 }
 
 impl KernelParams {
@@ -52,6 +69,7 @@ impl KernelParams {
             seed: 20240606,
             chunk: 512,
             rounds: if quick { 2 } else { 3 },
+            sweep_cells: SWEEP_CELLS_DEFAULT,
         }
     }
 }
@@ -84,8 +102,9 @@ impl PathMeasure {
     }
 }
 
-/// The `BENCH_kernel.json` payload: both paths, their ratio, and the
-/// committed regression floor.
+/// The `BENCH_kernel.json` payload: both single-cell paths and their
+/// ratio, the cross-cell sweep measurement and its ratio, and the
+/// committed regression floors.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelBench {
     /// Schema version ([`KERNEL_BENCH_SCHEMA_VERSION`]).
@@ -108,6 +127,19 @@ pub struct KernelBench {
     pub speedup: f64,
     /// The regression gate: a rerun measuring below this fails.
     pub floor: f64,
+    /// Cells in the cross-cell measurement (`commands` in the two
+    /// measures below are totals across all of them).
+    pub sweep_cells: u64,
+    /// N per-cell batched replays, one device at a time (the matrix
+    /// scheduler's fallback path).
+    pub cell_batch: PathMeasure,
+    /// The same N cells through one [`CellSweep`] session.
+    pub sweep: PathMeasure,
+    /// `sweep.commands_per_sec / cell_batch.commands_per_sec` — the
+    /// matrix-throughput gain of decoding and replaying once.
+    pub sweep_speedup: f64,
+    /// The cross-cell regression gate.
+    pub sweep_floor: f64,
 }
 
 impl KernelBench {
@@ -125,6 +157,11 @@ impl KernelBench {
             .with("batch", self.batch.to_json())
             .with("speedup", Json::num(self.speedup))
             .with("floor", Json::num(self.floor))
+            .with("sweep_cells", Json::uint(self.sweep_cells))
+            .with("cell_batch", self.cell_batch.to_json())
+            .with("sweep", self.sweep.to_json())
+            .with("sweep_speedup", Json::num(self.sweep_speedup))
+            .with("sweep_floor", Json::num(self.sweep_floor))
     }
 
     /// Parse a `BENCH_kernel.json` document.
@@ -155,6 +192,11 @@ impl KernelBench {
             batch: PathMeasure::from_json(json.field("batch")?)?,
             speedup: json.field_f64("speedup")?,
             floor: json.field_f64("floor")?,
+            sweep_cells: json.field_u64("sweep_cells")?,
+            cell_batch: PathMeasure::from_json(json.field("cell_batch")?)?,
+            sweep: PathMeasure::from_json(json.field("sweep")?)?,
+            sweep_speedup: json.field_f64("sweep_speedup")?,
+            sweep_floor: json.field_f64("sweep_floor")?,
         })
     }
 }
@@ -243,6 +285,106 @@ fn run_batched(
     mem
 }
 
+/// Give cell `i` of a sweep roster a distinct pre-existing counter
+/// state (the matrix's cells never start identical: each defense has
+/// hammered and relocated differently by warmup), then both cross-cell
+/// paths start from the same staggered baseline.
+fn pre_seed(mem: &mut MemoryController, config: &DramConfig, cell: usize) {
+    let rows = all_data_rows(config);
+    for j in 0..=cell {
+        let row = rows[(j * 97 + cell * 13) % rows.len()];
+        mem.hammer(row, 40 * (j as u64 + 1) + cell as u64)
+            .expect("seed rows are valid");
+    }
+}
+
+/// Build an N-cell roster with staggered counter states on a shared
+/// clock (the sweep session requires lockstep cells).
+fn sweep_roster(config: &DramConfig, cells: usize) -> Vec<MemoryController> {
+    let mut mems: Vec<MemoryController> = (0..cells)
+        .map(|i| {
+            let mut mem = counters_only_device(config);
+            pre_seed(&mut mem, config, i);
+            mem
+        })
+        .collect();
+    let latest = mems
+        .iter()
+        .map(|m| m.now())
+        .max()
+        .expect("roster not empty");
+    for mem in &mut mems {
+        let dt = latest - mem.now();
+        if dt > Nanos(0) {
+            mem.advance(dt);
+        }
+    }
+    mems
+}
+
+/// Replay the trace into every cell one at a time through the batched
+/// kernel — the matrix scheduler's per-cell fallback, and the baseline
+/// the sweep kernel is measured against.
+fn run_cells_batched(
+    config: &DramConfig,
+    ops: &[WorkloadOp],
+    batch_factor: u64,
+    chunk: usize,
+    cells: usize,
+) -> Vec<MemoryController> {
+    let mut mems = sweep_roster(config, cells);
+    let mut kernel = DecodedBatch::new(config);
+    for mem in &mut mems {
+        for piece in ops.chunks(chunk.max(1)) {
+            for op in piece {
+                let kind = match op.kind {
+                    OpKind::Read => BatchOpKind::Read,
+                    OpKind::Write => BatchOpKind::Write(dd_workload::tenant_fill(op.row.row)),
+                };
+                kernel
+                    .push(op.row, kind, batch_factor - 1, None)
+                    .expect("trace rows are valid");
+            }
+            mem.issue_batch(&mut kernel).expect("matching geometry");
+        }
+    }
+    mems
+}
+
+/// Replay the trace once against all N cells through the cross-cell
+/// sweep kernel: decode each chunk once, one [`CellSweep::issue`] pass
+/// per chunk, counters resolved at [`CellSweep::finish`].
+fn run_swept(
+    config: &DramConfig,
+    ops: &[WorkloadOp],
+    batch_factor: u64,
+    chunk: usize,
+    cells: usize,
+) -> Vec<MemoryController> {
+    let mut mems = sweep_roster(config, cells);
+    let mut sweep = CellSweep::new(config, cells);
+    let mut kernel = DecodedBatch::new(config);
+    {
+        let mut refs: Vec<&mut MemoryController> = mems.iter_mut().collect();
+        for piece in ops.chunks(chunk.max(1)) {
+            for op in piece {
+                let kind = match op.kind {
+                    OpKind::Read => BatchOpKind::Read,
+                    OpKind::Write => BatchOpKind::Write(dd_workload::tenant_fill(op.row.row)),
+                };
+                kernel
+                    .push(op.row, kind, batch_factor - 1, None)
+                    .expect("trace rows are valid");
+            }
+            sweep
+                .issue(&mut refs, &mut kernel)
+                .expect("lockstep roster");
+        }
+        sweep.finish(&mut refs).expect("session settles");
+    }
+    mems
+}
+
 /// Assert the two paths produced the identical device end state — the
 /// benchmark refuses to report a speedup for a kernel that diverged.
 fn assert_equivalent(fast: &MemoryController, reference: &MemoryController, trace: &[WorkloadOp]) {
@@ -270,22 +412,52 @@ fn assert_equivalent(fast: &MemoryController, reference: &MemoryController, trac
     }
 }
 
-/// Run the benchmark: time both paths over the shared trace (best of
-/// [`KernelParams::rounds`]), verify equivalence, and assemble the
-/// artifact with the given regression `floor`.
-pub fn run_kernel_bench(quick: bool, floor: f64) -> KernelBench {
-    let p = KernelParams::new(quick);
+/// Run the benchmark: time both single-cell paths and both cross-cell
+/// paths over the shared trace (best of [`KernelParams::rounds`]),
+/// verify equivalence, and assemble the artifact with the given
+/// regression floors. `sweep_cells` overrides the cross-cell roster
+/// size ([`SWEEP_CELLS_DEFAULT`]); callers must pass at least 2.
+pub fn run_kernel_bench(
+    quick: bool,
+    floor: f64,
+    sweep_floor: f64,
+    sweep_cells: Option<usize>,
+) -> KernelBench {
+    let mut p = KernelParams::new(quick);
+    if let Some(n) = sweep_cells {
+        assert!(n >= 2, "a sweep needs at least 2 cells");
+        p.sweep_cells = n;
+    }
     let config = DramConfig::lpddr4_small();
     let trace = kernel_trace(&config, p.ops, p.seed);
+    // The cross-cell measurement replays a shorter trace (its baseline
+    // costs N single-cell replays per round), but never so short that
+    // the fixed per-round costs both paths share — building the N-cell
+    // roster, resolving counters at finish — drown the per-op advantage
+    // the floor is gating. 120k ops keeps smoke mode honest.
+    let sweep_trace = &trace[..(p.ops / 4).max(120_000).min(p.ops)];
 
-    // Warm-up + equivalence check (untimed).
+    // Warm-up + equivalence checks (untimed). Single-cell batched vs
+    // per-command reference first, then every sweep cell against its
+    // per-cell batched twin.
     let warm_fast = run_batched(&config, &trace, p.batch_factor, p.chunk);
     let warm_ref = run_reference(&config, &trace, p.batch_factor);
     assert_equivalent(&warm_fast, &warm_ref, &trace);
     let commands = total_commands(&warm_ref);
 
+    let warm_swept = run_swept(&config, sweep_trace, p.batch_factor, p.chunk, p.sweep_cells);
+    let warm_cells =
+        run_cells_batched(&config, sweep_trace, p.batch_factor, p.chunk, p.sweep_cells);
+    let mut sweep_commands = 0u64;
+    for (swept, cell) in warm_swept.iter().zip(&warm_cells) {
+        assert_equivalent(swept, cell, sweep_trace);
+        sweep_commands += total_commands(cell);
+    }
+
     let mut best_ref = u128::MAX;
     let mut best_fast = u128::MAX;
+    let mut best_cells = u128::MAX;
+    let mut best_swept = u128::MAX;
     for _ in 0..p.rounds.max(1) {
         let started = Instant::now();
         let mem = run_reference(&config, &trace, p.batch_factor);
@@ -296,20 +468,25 @@ pub fn run_kernel_bench(quick: bool, floor: f64) -> KernelBench {
         let mem = run_batched(&config, &trace, p.batch_factor, p.chunk);
         best_fast = best_fast.min(started.elapsed().as_micros().max(1));
         std::hint::black_box(mem.stats());
+
+        let started = Instant::now();
+        let mems = run_cells_batched(&config, sweep_trace, p.batch_factor, p.chunk, p.sweep_cells);
+        best_cells = best_cells.min(started.elapsed().as_micros().max(1));
+        std::hint::black_box(mems.len());
+
+        let started = Instant::now();
+        let mems = run_swept(&config, sweep_trace, p.batch_factor, p.chunk, p.sweep_cells);
+        best_swept = best_swept.min(started.elapsed().as_micros().max(1));
+        std::hint::black_box(mems.len());
     }
 
-    let cps = |micros: u128| commands as f64 / (micros as f64 / 1e6);
-    let reference = PathMeasure {
-        wall_millis: (best_ref / 1000) as u64,
-        commands,
-        commands_per_sec: cps(best_ref).round(),
+    let cps = |total: u64, micros: u128| total as f64 / (micros as f64 / 1e6);
+    let measure = |total: u64, micros: u128| PathMeasure {
+        wall_millis: (micros / 1000) as u64,
+        commands: total,
+        commands_per_sec: cps(total, micros).round(),
     };
-    let batch = PathMeasure {
-        wall_millis: (best_fast / 1000) as u64,
-        commands,
-        commands_per_sec: cps(best_fast).round(),
-    };
-    let speedup = (best_ref as f64 / best_fast as f64 * 100.0).round() / 100.0;
+    let ratio = |slow: u128, fast: u128| (slow as f64 / fast as f64 * 100.0).round() / 100.0;
     KernelBench {
         schema_version: KERNEL_BENCH_SCHEMA_VERSION,
         experiment: "kernel".to_string(),
@@ -317,10 +494,15 @@ pub fn run_kernel_bench(quick: bool, floor: f64) -> KernelBench {
         trace_ops: p.ops as u64,
         batch_factor: p.batch_factor,
         seed: p.seed,
-        reference,
-        batch,
-        speedup,
+        reference: measure(commands, best_ref),
+        batch: measure(commands, best_fast),
+        speedup: ratio(best_ref, best_fast),
         floor,
+        sweep_cells: p.sweep_cells as u64,
+        cell_batch: measure(sweep_commands, best_cells),
+        sweep: measure(sweep_commands, best_swept),
+        sweep_speedup: ratio(best_cells, best_swept),
+        sweep_floor,
     }
 }
 
@@ -350,8 +532,22 @@ mod tests {
     }
 
     #[test]
-    fn kernel_bench_json_round_trips() {
-        let bench = KernelBench {
+    fn sweep_paths_agree_on_small_rosters() {
+        let config = DramConfig::lpddr4_small();
+        let trace = kernel_trace(&config, 1_500, 23);
+        let swept = run_swept(&config, &trace, 16, 128, 5);
+        let cells = run_cells_batched(&config, &trace, 16, 128, 5);
+        assert_eq!(swept.len(), 5);
+        for (fast, reference) in swept.iter().zip(&cells) {
+            assert_equivalent(fast, reference, &trace);
+        }
+        // The staggered pre-seed must actually stagger, or the N-cell
+        // measurement degenerates into one cell copied N times.
+        assert_ne!(cells[0].stats(), cells[4].stats());
+    }
+
+    fn sample_bench() -> KernelBench {
+        KernelBench {
             schema_version: KERNEL_BENCH_SCHEMA_VERSION,
             experiment: "kernel".into(),
             quick: true,
@@ -370,7 +566,25 @@ mod tests {
             },
             speedup: 5.0,
             floor: KERNEL_SPEEDUP_FLOOR,
-        };
+            sweep_cells: 8,
+            cell_batch: PathMeasure {
+                wall_millis: 100,
+                commands: 7_920_000,
+                commands_per_sec: 79_200_000.0,
+            },
+            sweep: PathMeasure {
+                wall_millis: 20,
+                commands: 7_920_000,
+                commands_per_sec: 396_000_000.0,
+            },
+            sweep_speedup: 5.0,
+            sweep_floor: SWEEP_SPEEDUP_FLOOR,
+        }
+    }
+
+    #[test]
+    fn kernel_bench_json_round_trips() {
+        let bench = sample_bench();
         let text = bench.to_json().render_pretty();
         let back = KernelBench::parse(&text).expect("parse back");
         assert_eq!(back, bench);
@@ -380,26 +594,7 @@ mod tests {
 
     #[test]
     fn parse_rejects_foreign_schema() {
-        let mut bad = KernelBench {
-            schema_version: 99,
-            experiment: "kernel".into(),
-            quick: false,
-            trace_ops: 1,
-            batch_factor: 1,
-            seed: 0,
-            reference: PathMeasure {
-                wall_millis: 1,
-                commands: 1,
-                commands_per_sec: 1.0,
-            },
-            batch: PathMeasure {
-                wall_millis: 1,
-                commands: 1,
-                commands_per_sec: 1.0,
-            },
-            speedup: 1.0,
-            floor: 1.0,
-        };
+        let mut bad = sample_bench();
         bad.schema_version = 99;
         assert!(KernelBench::parse(&bad.to_json().render_pretty()).is_err());
     }

@@ -13,6 +13,8 @@ use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 use dd_baselines::{CellReport, MatrixReport};
 use dd_server::{CellSpec, ServerConfig, SweepBase, SweepServer};
@@ -108,23 +110,43 @@ pub fn run_serve(opts: &ServeOptions) -> Result<(), String> {
             let listener = UnixListener::bind(path)
                 .map_err(|e| format!("cannot bind {}: {e}", path.display()))?;
             eprintln!("repro serve: listening on {}", path.display());
-            for stream in listener.incoming() {
-                let stream = stream.map_err(|e| format!("accept: {e}"))?;
-                if let Err(e) = serve_connection(&mut server, stream) {
-                    // A broken client must not take the server down.
-                    eprintln!("repro serve: connection error: {e}");
+            // Connections multiplex: each one gets its own thread, and
+            // requests serialize per line at the server mutex — an idle
+            // or slow client no longer blocks everyone else's accept
+            // (the one-connection-at-a-time limit noted in ROADMAP).
+            let server = Mutex::new(server);
+            let shutdown = AtomicBool::new(false);
+            std::thread::scope(|scope| -> Result<(), String> {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let stream = stream.map_err(|e| format!("accept: {e}"))?;
+                    let server = &server;
+                    let shutdown = &shutdown;
+                    scope.spawn(move || {
+                        if let Err(e) = serve_connection(server, stream) {
+                            // A broken client must not take the server down.
+                            eprintln!("repro serve: connection error: {e}");
+                        }
+                        if server.lock().expect("server poisoned").is_shutdown() {
+                            shutdown.store(true, Ordering::Release);
+                            // The acceptor is parked in `accept`; a
+                            // throwaway connection wakes it to observe
+                            // the flag and exit.
+                            let _ = UnixStream::connect(path);
+                        }
+                    });
                 }
-                if server.is_shutdown() {
-                    break;
-                }
-            }
+                Ok(())
+            })?;
             let _ = std::fs::remove_file(path);
             Ok(())
         }
     }
 }
 
-fn serve_connection(server: &mut SweepServer, stream: UnixStream) -> Result<(), String> {
+fn serve_connection(server: &Mutex<SweepServer>, stream: UnixStream) -> Result<(), String> {
     let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
     let reader = BufReader::new(stream);
     for line in reader.lines() {
@@ -132,10 +154,16 @@ fn serve_connection(server: &mut SweepServer, stream: UnixStream) -> Result<(), 
         if line.trim().is_empty() {
             continue;
         }
-        let response = server.handle_line(&line);
+        // Lock per request line, not per connection: long-lived clients
+        // interleave fairly, and the response is written outside the
+        // critical section.
+        let (response, done) = {
+            let mut server = server.lock().expect("server poisoned");
+            (server.handle_line(&line), server.is_shutdown())
+        };
         writeln!(writer, "{response}").map_err(|e| format!("write: {e}"))?;
         writer.flush().map_err(|e| format!("flush: {e}"))?;
-        if server.is_shutdown() {
+        if done {
             break;
         }
     }

@@ -8,6 +8,7 @@ use dd_baselines::{CellReport, MatrixRunSummary};
 use dd_bench::experiments::{table3_matrix, ExperimentId, RunContext};
 use dd_bench::kernel::{
     KernelBench, PathMeasure, KERNEL_BENCH_SCHEMA_VERSION, KERNEL_SPEEDUP_FLOOR,
+    SWEEP_SPEEDUP_FLOOR,
 };
 use dd_bench::report::{splice_section, Artifact, TableArtifact, ARTIFACT_SCHEMA_VERSION};
 use dnn_defender::Json;
@@ -124,13 +125,33 @@ fn golden_kernel_bench() -> KernelBench {
         },
         speedup: 5.5,
         floor: KERNEL_SPEEDUP_FLOOR,
+        sweep_cells: 8,
+        cell_batch: PathMeasure {
+            wall_millis: 100,
+            commands: 7_920_000,
+            commands_per_sec: 79_200_000.0,
+        },
+        sweep: PathMeasure {
+            wall_millis: 20,
+            commands: 7_920_000,
+            commands_per_sec: 396_000_000.0,
+        },
+        sweep_speedup: 5.0,
+        sweep_floor: SWEEP_SPEEDUP_FLOOR,
     }
 }
 
 #[test]
 fn kernel_bench_render_matches_golden_file() {
-    let expected = include_str!("golden/bench_kernel.json");
     let bench = golden_kernel_bench();
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/bench_kernel.json"
+        );
+        std::fs::write(path, bench.to_json().render_pretty()).expect("regen golden");
+    }
+    let expected = include_str!("golden/bench_kernel.json");
     assert_eq!(
         bench.to_json().render_pretty(),
         expected,
@@ -170,6 +191,26 @@ fn committed_kernel_bench_is_a_valid_baseline() {
     assert_eq!(
         bench.reference.commands, bench.batch.commands,
         "both paths must replay the identical trace"
+    );
+    // The cross-cell section: same self-consistency, plus the ISSUE's
+    // >= 4x matrix-throughput target for the sweep kernel.
+    assert!(bench.sweep_cells >= 2, "a sweep needs at least 2 cells");
+    assert!(
+        bench.sweep_floor >= 1.0,
+        "sweep floor must gate a real speedup"
+    );
+    assert!(
+        bench.sweep_speedup >= bench.sweep_floor,
+        "committed baseline violates its own sweep floor"
+    );
+    assert!(
+        bench.sweep_speedup >= 4.0,
+        "committed baseline lost the 4x cross-cell target: {}",
+        bench.sweep_speedup
+    );
+    assert_eq!(
+        bench.cell_batch.commands, bench.sweep.commands,
+        "both cross-cell paths must replay the identical roster"
     );
     // Cold/warm byte stability: rerunning `repro kernel` rewrites the
     // file through this exact renderer, so parse -> render must

@@ -137,6 +137,69 @@ fn exhausted_budget_is_a_structured_rejection() {
     assert!(results[0].field_u64("estimate_micros").expect("priced") > 1);
 }
 
+/// The socket front end multiplexes connections: an idle client holding
+/// a connection open must not block another client's accept + request
+/// (the one-connection-at-a-time limit called out in ROADMAP).
+#[test]
+fn socket_serves_second_client_while_first_holds_connection_open() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+    use std::time::Duration;
+
+    let socket = std::env::temp_dir().join(format!("dd-serve-e2e-{}.sock", std::process::id()));
+    let opts = dd_bench::serve::ServeOptions {
+        artifacts_dir: std::env::temp_dir().join("dd-serve-e2e-no-artifacts"),
+        socket: Some(socket.clone()),
+        jobs: Some(1),
+        capacity_micros: None,
+        grant_micros: None,
+        quick: true,
+    };
+    let server = std::thread::spawn(move || dd_bench::serve::run_serve(&opts));
+
+    // Wait for the listener to come up.
+    let mut tries = 0;
+    let connect = loop {
+        match UnixStream::connect(&socket) {
+            Ok(stream) => break stream,
+            Err(_) if tries < 200 => {
+                tries += 1;
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => panic!("server socket never came up: {e}"),
+        }
+    };
+
+    // Client A connects and says nothing — under the old single-threaded
+    // accept loop this parks the server forever.
+    let idle = connect;
+
+    // Client B must still get served, promptly.
+    let stream = UnixStream::connect(&socket).expect("second client connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "{{\"op\":\"hello\"}}").expect("write hello");
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .expect("hello answered while another connection is open");
+    let hello = Json::parse(line.trim_end()).expect("hello parses");
+    assert_eq!(hello.field_bool("ok"), Ok(true));
+
+    writeln!(writer, "{{\"op\":\"shutdown\"}}").expect("write shutdown");
+    line.clear();
+    reader.read_line(&mut line).expect("shutdown answered");
+    drop(idle);
+    server
+        .join()
+        .expect("server thread exits")
+        .expect("serve loop exits cleanly");
+    assert!(!socket.exists(), "socket file cleaned up on shutdown");
+}
+
 /// The `server` experiment's artifact round-trips through the schema and
 /// its session cells land in the shared cell cache under keys the cache
 /// file format preserves.

@@ -1,0 +1,902 @@
+//! Cross-cell sweep kernel: one decoded command stream replayed against
+//! N defense/counter states in a single pass.
+//!
+//! The batched kernel ([`crate::batch::DecodedBatch`] +
+//! [`MemoryController::issue_batch`]) went structure-of-arrays *within*
+//! one device. This module goes SoA *across* matrix cells: scenario
+//! cells that share a device geometry and a trace stream differ only in
+//! their per-cell counter state (the defense refreshed different rows,
+//! earlier windows left different residues), so the expensive part of a
+//! replay — walking the op schedule, advancing the clock, rolling
+//! refresh epochs, accumulating stats — is identical for every cell and
+//! needs to run once, not N times.
+//!
+//! [`CellSweep`] exploits a stronger fact: for cells advancing in
+//! lockstep, the *sequence of counter events* per row (`refresh`,
+//! `disturb n @ epoch`) is also identical, so the whole chunk can be
+//! executed **symbolically** once. Each touched row ends the session in
+//! one of three outcome classes:
+//!
+//! * **removed** — the last event was a refresh; every cell drops the
+//!   row's entry (prior state is irrelevant);
+//! * **absolute** `(epoch, count)` — the stream reset the row mid-chunk
+//!   (a refresh or an epoch rollover restart happened before the final
+//!   accumulation run), erasing the prior; every cell gets the same
+//!   final entry;
+//! * **delta** `(epoch, n)` — the row only ever accumulated within one
+//!   epoch; each cell's final count is `n` plus its own prior count
+//!   when that prior carries the same epoch.
+//!
+//! Only the *delta* class depends on per-cell state at all, and only
+//! through one prior lookup per touched row — per-cell work collapses
+//! from `O(ops)` to `O(touched rows)`. At [`CellSweep::finish`] the
+//! symbolic outcomes are resolved into a flat `[cell][row]` SoA arena
+//! (each cell's slice contiguous, so the per-cell flush is a linear
+//! sweep) and written back to each cell's tracker, payloads and
+//! precharge state.
+//!
+//! Cells that cannot join the lockstep pass — a [`TraceMode::Full`]
+//! controller that must keep an exact command ring, a cell whose clock
+//! or timing parameters diverged — fall back to an ordinary per-cell
+//! [`MemoryController::issue_batch`] of the same ops, which *is* the
+//! reference the contract is stated against: a sweep over N cells must
+//! be bit-identical to N independent `issue_batch` runs. The N-way
+//! differential oracle in `tests/kernel_differential.rs` and the
+//! grouping-invariance law in `tests/trait_conformance.rs` enforce
+//! exactly that, and `repro kernel` measures the matrix-throughput win
+//! (see `docs/perf.md`).
+
+use crate::batch::{BatchOpKind, DecodedBatch};
+use crate::command::{CommandKind, TraceMode};
+use crate::controller::MemoryController;
+use crate::error::DramError;
+use crate::geometry::{BankId, DramConfig, GlobalRowId, RowInSubarray, SubarrayId};
+use crate::timing::Nanos;
+
+/// Symbolic per-row outcome class (low two bits of `sym_state`).
+const SYM_MASK: u8 = 0b11;
+/// No counter event touched the row this session.
+const SYM_UNTOUCHED: u8 = 0;
+/// Accumulating onto an unknown prior within one epoch.
+const SYM_DELTA: u8 = 1;
+/// Final entry fully determined by the stream.
+const SYM_ABS: u8 = 2;
+/// Final event was a refresh; the entry is dropped.
+const SYM_REMOVED: u8 = 3;
+/// The row's payload was overwritten (last fill wins).
+const SYM_WRITTEN: u8 = 4;
+
+/// Arena flag: the resolved entry is present in the cell's tracker.
+const ARENA_PRESENT: u8 = 1;
+
+/// Per-session lockstep bookkeeping, captured at the first
+/// [`CellSweep::issue`] and retired by [`CellSweep::finish`].
+struct Session {
+    /// Shared simulated clock of the lockstep cells.
+    now: u128,
+    /// Current refresh epoch at `now`.
+    epoch: u64,
+    /// First instant past the current epoch.
+    epoch_end: u128,
+    /// Which cells run through the symbolic pass (the rest fall back to
+    /// per-cell [`MemoryController::issue_batch`]).
+    lockstep: Vec<bool>,
+    /// Which lockstep cells keep [`TraceMode::CountersOnly`] counters.
+    counting: Vec<bool>,
+    /// Timing parameters shared by the lockstep set.
+    t_act: u128,
+    t_pre: u128,
+    t_rd: u128,
+    t_wr: u128,
+    t_ref: u128,
+}
+
+/// The cross-cell sweep kernel: a symbolic session over one decoded op
+/// stream plus the `[cell][row]` resolve arena.
+///
+/// Build one per (device geometry, cell count) with [`CellSweep::new`],
+/// then per session: any number of [`CellSweep::issue`] calls followed
+/// by one [`CellSweep::finish`]. Between `issue` and `finish` the
+/// lockstep cells' clocks and stats are current but their disturbance
+/// trackers, row payloads and precharge state are *deferred* — do not
+/// read or mutate them until the session is finished. (The workload
+/// layer's grouped drive upholds this by finishing before every
+/// disturbance sample; see `dd_workload`.)
+///
+/// # Example
+///
+/// ```
+/// use dd_dram::{BatchOpKind, CellSweep, DecodedBatch, DramConfig, GlobalRowId,
+///               MemoryController, TraceMode};
+///
+/// # fn main() -> Result<(), dd_dram::DramError> {
+/// let config = DramConfig::lpddr4_small();
+/// let mut a = MemoryController::try_new(config.clone())?;
+/// let mut b = MemoryController::try_new(config.clone())?;
+/// a.set_trace_mode(TraceMode::CountersOnly);
+/// b.set_trace_mode(TraceMode::CountersOnly);
+/// // The cells differ in prior counter state…
+/// b.hammer(GlobalRowId::new(0, 0, 20), 7)?;
+/// a.advance(b.now() - a.now()); // …but advance in lockstep.
+///
+/// let mut batch = DecodedBatch::new(&config);
+/// batch.push(GlobalRowId::new(0, 0, 10), BatchOpKind::Read, 3, None)?;
+/// let mut sweep = CellSweep::new(&config, 2);
+/// sweep.issue(&mut [&mut a, &mut b], &mut batch)?;
+/// sweep.finish(&mut [&mut a, &mut b])?;
+/// assert_eq!(a.stats().reads, 1);
+/// assert_eq!(b.stats().reads, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct CellSweep {
+    banks: usize,
+    subarrays_per_bank: usize,
+    rows_per_subarray: usize,
+    cells: usize,
+    /// Shared symbolic outcome class per flat row (`SYM_*`).
+    sym_state: Vec<u8>,
+    /// Epoch of the symbolic entry (valid for `SYM_DELTA`/`SYM_ABS`).
+    sym_epoch: Vec<u64>,
+    /// Count of the symbolic entry (valid for `SYM_DELTA`/`SYM_ABS`).
+    sym_count: Vec<u64>,
+    /// Flat rows touched by counter events this session.
+    touched: Vec<u32>,
+    /// Last payload fill per flat row (valid when `SYM_WRITTEN`).
+    fill: Vec<u8>,
+    /// Flat rows carrying a deferred payload fill.
+    written: Vec<u32>,
+    /// Whether a data op touched the (global) subarray this session.
+    sub_touched: Vec<bool>,
+    /// Global subarray indices with a deferred precharge.
+    subs: Vec<u32>,
+    /// `[cell][row]` resolved counter state: each cell's contiguous
+    /// slice holds the final `(epoch, count, present)` of every row the
+    /// last finished session touched.
+    cell_epoch: Vec<u64>,
+    cell_count: Vec<u64>,
+    cell_flags: Vec<u8>,
+    session: Option<Session>,
+}
+
+impl CellSweep {
+    /// Kernel scratch for `cells` controllers of `config`'s geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cells` is zero.
+    pub fn new(config: &DramConfig, cells: usize) -> Self {
+        assert!(cells > 0, "a sweep needs at least one cell");
+        let total = config.total_rows();
+        CellSweep {
+            banks: config.banks,
+            subarrays_per_bank: config.subarrays_per_bank,
+            rows_per_subarray: config.rows_per_subarray,
+            cells,
+            sym_state: vec![0; total],
+            sym_epoch: vec![0; total],
+            sym_count: vec![0; total],
+            touched: Vec::new(),
+            fill: vec![0; total],
+            written: Vec::new(),
+            sub_touched: vec![false; config.banks * config.subarrays_per_bank],
+            subs: Vec::new(),
+            cell_epoch: vec![0; total * cells],
+            cell_count: vec![0; total * cells],
+            cell_flags: vec![0; total * cells],
+            session: None,
+        }
+    }
+
+    /// Number of cells this kernel sweeps per pass.
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// Whether a session is open (issued but not yet finished).
+    pub fn active(&self) -> bool {
+        self.session.is_some()
+    }
+
+    /// Whether this kernel was sized for `config`'s geometry.
+    pub fn matches(&self, config: &DramConfig) -> bool {
+        self.banks == config.banks
+            && self.subarrays_per_bank == config.subarrays_per_bank
+            && self.rows_per_subarray == config.rows_per_subarray
+    }
+
+    /// The last finished session's resolved counter state of `row` in
+    /// `cell`: `Some((epoch, count))` when the cell's tracker holds an
+    /// entry for the row, `None` when it does not (or the row was not
+    /// touched). Mirrors what the flush wrote back — tests assert the
+    /// arena and the trackers agree.
+    pub fn resolved(&self, cell: usize, row: GlobalRowId) -> Option<(u64, u64)> {
+        let flat = self.flat_of(row);
+        let slot = cell * self.total_rows() + flat;
+        if self.cell_flags[slot] & ARENA_PRESENT != 0 {
+            Some((self.cell_epoch[slot], self.cell_count[slot]))
+        } else {
+            None
+        }
+    }
+
+    fn total_rows(&self) -> usize {
+        self.banks * self.subarrays_per_bank * self.rows_per_subarray
+    }
+
+    fn flat_of(&self, row: GlobalRowId) -> usize {
+        (row.bank.0 * self.subarrays_per_bank + row.subarray.0) * self.rows_per_subarray + row.row.0
+    }
+
+    fn row_of(&self, flat: usize) -> GlobalRowId {
+        let rows = self.rows_per_subarray;
+        let sub = flat / rows;
+        GlobalRowId {
+            bank: BankId(sub / self.subarrays_per_bank),
+            subarray: SubarrayId(sub % self.subarrays_per_bank),
+            row: RowInSubarray(flat % rows),
+        }
+    }
+
+    /// Symbolic [`crate::rowhammer::HammerTracker::disturb`]: compose
+    /// one disturbance event onto the row's outcome class.
+    #[inline]
+    fn sym_disturb(&mut self, flat: usize, n: u64, epoch: u64) {
+        let s = self.sym_state[flat];
+        match s & SYM_MASK {
+            SYM_UNTOUCHED => {
+                self.touched.push(flat as u32);
+                self.sym_state[flat] = s | SYM_DELTA;
+                self.sym_epoch[flat] = epoch;
+                self.sym_count[flat] = n;
+            }
+            // After any first disturb the entry's epoch is pinned in
+            // every cell, so an epoch mismatch restarts absolutely.
+            SYM_DELTA | SYM_ABS if self.sym_epoch[flat] != epoch => {
+                self.sym_state[flat] = (s & !SYM_MASK) | SYM_ABS;
+                self.sym_epoch[flat] = epoch;
+                self.sym_count[flat] = n;
+            }
+            SYM_DELTA | SYM_ABS => self.sym_count[flat] += n,
+            _ => {
+                // SYM_REMOVED: the refresh erased the prior; the entry
+                // restarts absolutely from this event.
+                self.sym_state[flat] = (s & !SYM_MASK) | SYM_ABS;
+                self.sym_epoch[flat] = epoch;
+                self.sym_count[flat] = n;
+            }
+        }
+    }
+
+    /// Symbolic [`crate::rowhammer::HammerTracker::refresh`].
+    #[inline]
+    fn sym_refresh(&mut self, flat: usize) {
+        let s = self.sym_state[flat];
+        if s & SYM_MASK == SYM_UNTOUCHED {
+            self.touched.push(flat as u32);
+        }
+        self.sym_state[flat] = (s & !SYM_MASK) | SYM_REMOVED;
+    }
+
+    fn begin(&mut self, mems: &[&mut MemoryController]) -> Session {
+        let reference = mems
+            .iter()
+            .find(|m| m.trace_mode() != TraceMode::Full)
+            .map(|m| (m.now().0, m.config().timing));
+        let (now, timing) = match reference {
+            Some(r) => r,
+            // Every cell keeps a full trace: the whole sweep is
+            // per-cell fallback and the shared clock is unused.
+            None => (0, mems[0].config().timing),
+        };
+        let lockstep: Vec<bool> = mems
+            .iter()
+            .map(|m| {
+                m.trace_mode() != TraceMode::Full && m.now().0 == now && m.config().timing == timing
+            })
+            .collect();
+        let counting = mems
+            .iter()
+            .map(|m| m.trace_mode() == TraceMode::CountersOnly)
+            .collect();
+        let t_ref = timing.t_ref.0;
+        Session {
+            now,
+            epoch: (now / t_ref) as u64,
+            epoch_end: (now / t_ref + 1) * t_ref,
+            lockstep,
+            counting,
+            t_act: timing.t_act.0,
+            t_pre: timing.t_pre.0,
+            t_rd: timing.t_rd.0,
+            t_wr: timing.t_wr.0,
+            t_ref,
+        }
+    }
+
+    fn validate(
+        &self,
+        mems: &[&mut MemoryController],
+        batch: &DecodedBatch,
+    ) -> Result<(), DramError> {
+        if mems.len() != self.cells {
+            return Err(DramError::InvalidConfig(format!(
+                "sweep sized for {} cells, got {}",
+                self.cells,
+                mems.len()
+            )));
+        }
+        if !(batch.matches(mems[0].config()) && self.matches(mems[0].config())) {
+            return Err(DramError::InvalidConfig(
+                "sweep/batch decoded for a different device geometry".into(),
+            ));
+        }
+        for m in mems.iter() {
+            if !batch.matches(m.config()) {
+                return Err(DramError::InvalidConfig(
+                    "sweep cell has a different device geometry".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_session(session: &Session, mems: &[&mut MemoryController]) -> Result<(), DramError> {
+        for (c, m) in mems.iter().enumerate() {
+            if session.lockstep[c]
+                && (m.now().0 != session.now || m.trace_mode() == TraceMode::Full)
+            {
+                return Err(DramError::InvalidConfig(
+                    "sweep session invariant violated: a lockstep cell's clock or \
+                     trace mode changed between issues"
+                        .into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute one chunk of pre-decoded commands against every cell,
+    /// draining `batch`'s op queue — equivalent to restoring the same
+    /// ops and calling [`MemoryController::issue_batch`] on each cell
+    /// independently, which is exactly what non-lockstep cells do.
+    /// Opens a session on first use; the lockstep membership is fixed
+    /// until [`CellSweep::finish`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::InvalidConfig`] on a geometry or cell-count
+    /// mismatch, or when a lockstep cell's clock or trace mode was
+    /// changed mid-session; propagates per-cell errors from fallback
+    /// replays.
+    pub fn issue(
+        &mut self,
+        mems: &mut [&mut MemoryController],
+        batch: &mut DecodedBatch,
+    ) -> Result<(), DramError> {
+        self.validate(mems, batch)?;
+        match &self.session {
+            None => self.session = Some(self.begin(mems)),
+            Some(session) => Self::check_session(session, mems)?,
+        }
+        let mut session = self.session.take().expect("session open");
+        let ops = std::mem::take(&mut batch.ops);
+
+        // Per-cell fallback replays: full-trace or clock-diverged cells
+        // issue the same ops through the ordinary batched entry point.
+        let result = (|| -> Result<(), DramError> {
+            if session.lockstep.iter().any(|&l| !l) {
+                for (c, lock) in session.lockstep.iter().enumerate() {
+                    if !lock {
+                        batch.ops.clear();
+                        batch.ops.extend_from_slice(&ops);
+                        mems[c].issue_batch(batch)?;
+                    }
+                }
+            }
+            self.symbolic_pass(&mut session, mems, &ops);
+            Ok(())
+        })();
+
+        batch.ops = ops;
+        batch.ops.clear();
+        self.session = Some(session);
+        result
+    }
+
+    /// The shared symbolic chunk execution: one walk over the ops
+    /// computes the lockstep cells' common clock/epoch trajectory, stats
+    /// and per-row outcome classes. Mirrors the single-cell fast path
+    /// (`MemoryController::issue_batch_fast`) event for event.
+    fn symbolic_pass(
+        &mut self,
+        session: &mut Session,
+        mems: &mut [&mut MemoryController],
+        ops: &[crate::batch::BatchOp],
+    ) {
+        if !session.lockstep.iter().any(|&l| l) {
+            return;
+        }
+        let rows_per = self.rows_per_subarray;
+        let (t_act, t_pre, t_rd, t_wr) = (session.t_act, session.t_pre, session.t_rd, session.t_wr);
+        let t_ref = session.t_ref;
+        let mut now = session.now;
+        let mut epoch = session.epoch;
+        let mut epoch_end = session.epoch_end;
+        let (mut acts, mut pres, mut reads, mut writes) = (0u64, 0u64, 0u64, 0u64);
+        let (mut c_act, mut c_rd, mut c_wr, mut c_pre) = (0u64, 0u64, 0u64, 0u64);
+        let mut busy = 0u128;
+        let mut events = 0u64;
+
+        for op in ops {
+            if op.advance_to > now {
+                now = op.advance_to;
+            }
+            let flat = op.flat as usize;
+            let in_row = flat % rows_per;
+            if op.kind != BatchOpKind::Hammer {
+                now += t_act;
+                if now >= epoch_end {
+                    epoch = (now / t_ref) as u64;
+                    epoch_end = (now / t_ref + 1) * t_ref;
+                }
+                self.sym_refresh(flat);
+                if in_row > 0 {
+                    self.sym_disturb(flat - 1, 1, epoch);
+                    events += 1;
+                }
+                if in_row + 1 < rows_per {
+                    self.sym_disturb(flat + 1, 1, epoch);
+                    events += 1;
+                }
+                match op.kind {
+                    BatchOpKind::Read => {
+                        now += t_rd;
+                        reads += 1;
+                        c_rd += 1;
+                        busy += t_act + t_rd + t_pre;
+                    }
+                    BatchOpKind::Write(fill) => {
+                        // Mid-chunk payloads are unobservable: only the
+                        // last fill per row survives to the flush.
+                        if self.sym_state[flat] & SYM_WRITTEN == 0 {
+                            self.sym_state[flat] |= SYM_WRITTEN;
+                            self.written.push(flat as u32);
+                        }
+                        self.fill[flat] = fill;
+                        now += t_wr;
+                        writes += 1;
+                        c_wr += 1;
+                        busy += t_act + t_wr + t_pre;
+                    }
+                    BatchOpKind::Hammer => unreachable!("guarded above"),
+                }
+                // The closing PRE: deferred to one precharge per data-op
+                // subarray at finish (end state is identical).
+                let sub_global = flat / rows_per;
+                if !self.sub_touched[sub_global] {
+                    self.sub_touched[sub_global] = true;
+                    self.subs.push(sub_global as u32);
+                }
+                now += t_pre;
+                acts += 1;
+                pres += 1;
+                c_act += 1;
+                c_pre += 1;
+            }
+            if op.extra > 0 {
+                now += t_act * u128::from(op.extra);
+                if now >= epoch_end {
+                    epoch = (now / t_ref) as u64;
+                    epoch_end = (now / t_ref + 1) * t_ref;
+                }
+                self.sym_refresh(flat);
+                if in_row > 0 {
+                    self.sym_disturb(flat - 1, op.extra, epoch);
+                    events += op.extra;
+                }
+                if in_row + 1 < rows_per {
+                    self.sym_disturb(flat + 1, op.extra, epoch);
+                    events += op.extra;
+                }
+                acts += op.extra;
+                pres += op.extra;
+                busy += t_act * u128::from(op.extra);
+                c_act += 1;
+            }
+        }
+
+        session.now = now;
+        session.epoch = epoch;
+        session.epoch_end = epoch_end;
+
+        // The shared chunk outcome lands on every lockstep cell: O(cells)
+        // per chunk, independent of the op count.
+        for (c, m) in mems.iter_mut().enumerate() {
+            if !session.lockstep[c] {
+                continue;
+            }
+            let p = m.raw_parts();
+            *p.now = Nanos(now);
+            p.stats.acts += acts;
+            p.stats.pres += pres;
+            p.stats.reads += reads;
+            p.stats.writes += writes;
+            p.stats.busy += Nanos(busy);
+            if session.counting[c] {
+                p.trace.count_n(CommandKind::Act, c_act);
+                p.trace.count_n(CommandKind::Rd, c_rd);
+                p.trace.count_n(CommandKind::Wr, c_wr);
+                p.trace.count_n(CommandKind::Pre, c_pre);
+            }
+            p.hammer.raw_add_events(events);
+        }
+    }
+
+    /// Close the session: resolve every touched row's symbolic outcome
+    /// against each lockstep cell's prior state — materialized through
+    /// the `[cell][row]` arena, one contiguous per-cell sweep — and
+    /// write trackers, deferred payload fills and subarray precharges
+    /// back. After `finish` every cell's state is settled and
+    /// bit-identical to N independent [`MemoryController::issue_batch`]
+    /// runs of the same chunks. No-op when no session is open.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::InvalidConfig`] on a cell-count mismatch or
+    /// when a lockstep cell's clock was changed since the last issue.
+    pub fn finish(&mut self, mems: &mut [&mut MemoryController]) -> Result<(), DramError> {
+        let Some(session) = self.session.take() else {
+            return Ok(());
+        };
+        if mems.len() != self.cells {
+            self.session = Some(session);
+            return Err(DramError::InvalidConfig(format!(
+                "sweep sized for {} cells, got {}",
+                self.cells,
+                mems.len()
+            )));
+        }
+        if let Err(e) = Self::check_session(&session, mems) {
+            self.session = Some(session);
+            return Err(e);
+        }
+
+        let total = self.total_rows();
+        let rows_per = self.rows_per_subarray;
+        let spb = self.subarrays_per_bank;
+        for (c, m) in mems.iter_mut().enumerate() {
+            if !session.lockstep[c] {
+                continue;
+            }
+            let base = c * total;
+            let p = m.raw_parts();
+            for i in 0..self.touched.len() {
+                let flat = self.touched[i] as usize;
+                let row = self.row_of(flat);
+                let slot = base + flat;
+                match self.sym_state[flat] & SYM_MASK {
+                    SYM_REMOVED => {
+                        self.cell_flags[slot] = 0;
+                        p.hammer.raw_remove(row);
+                    }
+                    SYM_ABS => {
+                        self.cell_epoch[slot] = self.sym_epoch[flat];
+                        self.cell_count[slot] = self.sym_count[flat];
+                        self.cell_flags[slot] = ARENA_PRESENT;
+                        p.hammer
+                            .raw_set(row, self.sym_epoch[flat], self.sym_count[flat]);
+                    }
+                    SYM_DELTA => {
+                        let e = self.sym_epoch[flat];
+                        let mut n = self.sym_count[flat];
+                        if let Some((pe, pc)) = p.hammer.raw_get(row) {
+                            if pe == e {
+                                n += pc;
+                            }
+                        }
+                        self.cell_epoch[slot] = e;
+                        self.cell_count[slot] = n;
+                        self.cell_flags[slot] = ARENA_PRESENT;
+                        p.hammer.raw_set(row, e, n);
+                    }
+                    _ => unreachable!("touched rows are never untouched"),
+                }
+            }
+            for &flat32 in &self.written {
+                let flat = flat32 as usize;
+                let sub =
+                    p.banks[flat / (spb * rows_per)].subarray_raw_mut((flat / rows_per) % spb);
+                sub.fill_row_raw(flat % rows_per, self.fill[flat]);
+            }
+            for &sub32 in &self.subs {
+                let sub_global = sub32 as usize;
+                p.banks[sub_global / spb]
+                    .subarray_raw_mut(sub_global % spb)
+                    .precharge();
+            }
+        }
+
+        // Reset the shared scratch for the next session.
+        for &flat32 in &self.touched {
+            self.sym_state[flat32 as usize] = 0;
+        }
+        self.touched.clear();
+        self.written.clear();
+        for &sub32 in &self.subs {
+            self.sub_touched[sub32 as usize] = false;
+        }
+        self.subs.clear();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::DecodedBatch;
+
+    fn config() -> DramConfig {
+        DramConfig::lpddr4_small()
+    }
+
+    fn cell(history: u64) -> MemoryController {
+        let mut m = MemoryController::try_new(config()).expect("valid config");
+        m.set_trace_mode(TraceMode::CountersOnly);
+        // Distinct prior counter state per cell, then clocks re-aligned.
+        for k in 0..history {
+            m.hammer(GlobalRowId::new(0, 0, (3 + 7 * k as usize) % 120), 5 + k)
+                .expect("hammer");
+        }
+        m
+    }
+
+    fn align(cells: &mut [MemoryController]) {
+        let latest = cells.iter().map(|m| m.now()).max().expect("cells");
+        for m in cells.iter_mut() {
+            let gap = latest - m.now();
+            m.advance(gap);
+        }
+    }
+
+    /// A deterministic op mix: reads/writes/hammers over several banks,
+    /// subarray edges (rows 0 and last), idle gaps, and an epoch-crossing
+    /// hammer storm.
+    fn push_mix(batch: &mut DecodedBatch, seed: u64, base_now: u128) {
+        let mut x = seed | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for i in 0..200u64 {
+            let r = next();
+            let row = GlobalRowId::new(
+                (r % 4) as usize,
+                ((r >> 8) % 2) as usize,
+                ((r >> 16) % 128) as usize,
+            );
+            let advance_to = if i % 31 == 0 {
+                Some(Nanos(base_now + u128::from(i) * 90_000))
+            } else {
+                None
+            };
+            match r % 5 {
+                0 => batch.push(row, BatchOpKind::Write((r >> 3) as u8), 3, advance_to),
+                1 => batch.push(row, BatchOpKind::Hammer, 1 + r % 700, advance_to),
+                2 => batch.push(
+                    GlobalRowId::new(0, 0, if r % 2 == 0 { 0 } else { 127 }),
+                    BatchOpKind::Read,
+                    0,
+                    advance_to,
+                ),
+                _ => batch.push(row, BatchOpKind::Read, 2, advance_to),
+            }
+            .expect("valid op");
+        }
+        // A storm long enough to cross a refresh-epoch boundary.
+        batch
+            .push(
+                GlobalRowId::new(1, 0, 64),
+                BatchOpKind::Hammer,
+                500_000,
+                None,
+            )
+            .expect("valid op");
+    }
+
+    fn assert_cells_identical(a: &mut MemoryController, b: &mut MemoryController, tag: &str) {
+        assert_eq!(a.now(), b.now(), "{tag}: clock");
+        assert_eq!(a.stats(), b.stats(), "{tag}: stats");
+        for kind in [
+            CommandKind::Act,
+            CommandKind::Rd,
+            CommandKind::Wr,
+            CommandKind::Pre,
+        ] {
+            assert_eq!(
+                a.trace().issued_of(kind),
+                b.trace().issued_of(kind),
+                "{tag}: {kind:?} counter"
+            );
+        }
+        let (pa, pb) = (a.raw_parts(), b.raw_parts());
+        assert_eq!(
+            pa.hammer.total_events(),
+            pb.hammer.total_events(),
+            "{tag}: events"
+        );
+        let cfg = config();
+        for bank in 0..cfg.banks {
+            for sub in 0..cfg.subarrays_per_bank {
+                for row in 0..cfg.rows_per_subarray {
+                    let gid = GlobalRowId::new(bank, sub, row);
+                    assert_eq!(
+                        pa.hammer.raw_get(gid),
+                        pb.hammer.raw_get(gid),
+                        "{tag}: tracker entry {gid:?}"
+                    );
+                }
+            }
+        }
+        // Payload + precharge end state: raw row bytes, open-row latch.
+        for bank in 0..cfg.banks {
+            for sub in 0..cfg.subarrays_per_bank {
+                let sa = pa.banks[bank].subarray_raw_mut(sub);
+                let sb = pb.banks[bank].subarray_raw_mut(sub);
+                assert_eq!(sa.open_row(), sb.open_row(), "{tag}: open row");
+                for row in 0..cfg.rows_per_subarray {
+                    let rid = RowInSubarray(row);
+                    assert_eq!(
+                        sa.row(rid).expect("row").as_bytes(),
+                        sb.row(rid).expect("row").as_bytes(),
+                        "{tag}: payload"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_is_bit_identical_to_independent_issue_batch_runs() {
+        const N: usize = 4;
+        let mut swept: Vec<MemoryController> = (0..N as u64).map(cell).collect();
+        let mut solo: Vec<MemoryController> = (0..N as u64).map(cell).collect();
+        align(&mut swept);
+        align(&mut solo);
+
+        let mut sweep = CellSweep::new(&config(), N);
+        let mut batch = DecodedBatch::new(&config());
+        let mut solo_batch = DecodedBatch::new(&config());
+        // Three chunks per session, two sessions.
+        for session in 0..2u64 {
+            for chunk in 0..3u64 {
+                let base = swept[0].now().0;
+                push_mix(&mut batch, 1 + session * 10 + chunk, base);
+                push_mix(&mut solo_batch, 1 + session * 10 + chunk, base);
+                {
+                    let mut mems: Vec<&mut MemoryController> = swept.iter_mut().collect();
+                    sweep.issue(&mut mems, &mut batch).expect("sweep issue");
+                }
+                for m in solo.iter_mut() {
+                    let mut fresh = DecodedBatch::new(&config());
+                    fresh.ops.extend_from_slice(&solo_batch.ops);
+                    m.issue_batch(&mut fresh).expect("solo issue");
+                }
+                solo_batch.ops.clear();
+            }
+            let mut mems: Vec<&mut MemoryController> = swept.iter_mut().collect();
+            sweep.finish(&mut mems).expect("sweep finish");
+        }
+        for (i, (a, b)) in swept.iter_mut().zip(solo.iter_mut()).enumerate() {
+            assert_cells_identical(a, b, &format!("cell {i}"));
+        }
+        // The resolve arena mirrors the trackers it flushed.
+        for (c, m) in swept.iter_mut().enumerate() {
+            let p = m.raw_parts();
+            for row in [
+                GlobalRowId::new(1, 0, 63),
+                GlobalRowId::new(1, 0, 65),
+                GlobalRowId::new(0, 0, 1),
+            ] {
+                if let Some(r) = sweep.resolved(c, row) {
+                    assert_eq!(p.hammer.raw_get(row), Some(r), "arena/tracker drift");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_trace_and_diverged_cells_fall_back_per_cell() {
+        // Cell 1 keeps a full command ring; cell 2's clock diverges.
+        let build = || {
+            let mut cells = vec![cell(1), cell(2), cell(3)];
+            align(&mut cells);
+            cells[1].set_trace_mode(TraceMode::Full);
+            cells[2].advance(Nanos(5));
+            cells
+        };
+        let mut swept = build();
+        let mut solo = build();
+        let base = swept[0].now().0;
+
+        let mut sweep = CellSweep::new(&config(), 3);
+        let mut batch = DecodedBatch::new(&config());
+        push_mix(&mut batch, 99, base);
+        {
+            let mut mems: Vec<&mut MemoryController> = swept.iter_mut().collect();
+            sweep.issue(&mut mems, &mut batch).expect("issue");
+            sweep.finish(&mut mems).expect("finish");
+        }
+        for m in solo.iter_mut() {
+            let mut b = DecodedBatch::new(&config());
+            push_mix(&mut b, 99, base);
+            m.issue_batch(&mut b).expect("solo issue");
+        }
+        for (i, (a, b)) in swept.iter_mut().zip(solo.iter_mut()).enumerate() {
+            if i == 1 {
+                // Full-trace cells also retain identical command rings.
+                assert_eq!(a.trace().len(), b.trace().len(), "ring length");
+            }
+            assert_cells_identical(a, b, &format!("fallback cell {i}"));
+        }
+    }
+
+    #[test]
+    fn session_invariant_violation_is_an_error() {
+        let mut cells = vec![cell(0), cell(1)];
+        align(&mut cells);
+        let mut sweep = CellSweep::new(&config(), 2);
+        let mut batch = DecodedBatch::new(&config());
+        push_mix(&mut batch, 7, cells[0].now().0);
+        {
+            let mut mems: Vec<&mut MemoryController> = cells.iter_mut().collect();
+            sweep.issue(&mut mems, &mut batch).expect("first issue");
+        }
+        // Touching a lockstep cell's clock mid-session breaks the
+        // contract and must be caught.
+        cells[0].advance(Nanos(3));
+        push_mix(&mut batch, 8, cells[1].now().0);
+        let mut mems: Vec<&mut MemoryController> = cells.iter_mut().collect();
+        assert!(matches!(
+            sweep.issue(&mut mems, &mut batch),
+            Err(DramError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_mismatched_rosters_and_geometry() {
+        let mut a = cell(0);
+        let mut sweep = CellSweep::new(&config(), 2);
+        let mut batch = DecodedBatch::new(&config());
+        batch
+            .push(GlobalRowId::new(0, 0, 1), BatchOpKind::Read, 0, None)
+            .expect("push");
+        let mut mems: Vec<&mut MemoryController> = vec![&mut a];
+        assert!(matches!(
+            sweep.issue(&mut mems, &mut batch),
+            Err(DramError::InvalidConfig(_))
+        ));
+
+        let other = config().with_rows_per_subarray(64);
+        let mut c = MemoryController::try_new(other.clone()).expect("valid");
+        c.set_trace_mode(TraceMode::CountersOnly);
+        let mut d = cell(0);
+        let mut sweep2 = CellSweep::new(&config(), 2);
+        let mut mems2: Vec<&mut MemoryController> = vec![&mut d, &mut c];
+        assert!(matches!(
+            sweep2.issue(&mut mems2, &mut batch),
+            Err(DramError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn finish_without_session_is_a_no_op() {
+        let mut a = cell(0);
+        let mut sweep = CellSweep::new(&config(), 1);
+        let mut mems: Vec<&mut MemoryController> = vec![&mut a];
+        sweep.finish(&mut mems).expect("no-op finish");
+        assert!(!sweep.active());
+    }
+}

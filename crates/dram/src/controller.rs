@@ -538,6 +538,20 @@ impl MemoryController {
         outcome
     }
 
+    /// Split borrows of the controller's mutable internals for the
+    /// cross-cell sweep kernel (see [`crate::batch_sweep`]), which
+    /// advances N controllers through one decoded op stream and needs
+    /// simultaneous access to clock, stats, trace, tracker and banks.
+    pub(crate) fn raw_parts(&mut self) -> RawParts<'_> {
+        RawParts {
+            now: &mut self.now,
+            stats: &mut self.stats,
+            trace: &mut self.trace,
+            hammer: &mut self.hammer,
+            banks: &mut self.banks,
+        }
+    }
+
     /// The batched kernel: dense counters, amortized epoch checks, one
     /// stats/trace flush per chunk. Infallible — ops were validated when
     /// pushed and the geometry was checked by the caller.
@@ -651,6 +665,16 @@ impl MemoryController {
         batch.ops = ops;
         batch.ops.clear();
     }
+}
+
+/// Split mutable borrows of one controller's internals, handed to the
+/// cross-cell sweep kernel ([`crate::batch_sweep::CellSweep`]).
+pub(crate) struct RawParts<'a> {
+    pub now: &'a mut Nanos,
+    pub stats: &'a mut MemStats,
+    pub trace: &'a mut CommandTrace,
+    pub hammer: &'a mut HammerTracker,
+    pub banks: &'a mut Vec<Bank>,
 }
 
 #[cfg(test)]

@@ -1,8 +1,10 @@
-//! Work-stealing threaded executor.
+//! Work-stealing threaded executor with geometry affinity.
 //!
-//! Admitted jobs are dealt round-robin into per-worker deques; each worker
-//! pops from the *front* of its own deque and, when empty, steals from the
-//! *back* of the others. The pool runs on `std::thread::scope`, so
+//! Admitted jobs are dealt into per-worker deques — round-robin
+//! ([`run_work_stealing`]) or grouped by an affinity key so same-geometry
+//! cells run back to back on one worker ([`run_work_stealing_grouped`]);
+//! each worker pops from the *front* of its own deque and, when empty,
+//! steals from the *back* of the others. The pool runs on `std::thread::scope`, so
 //! borrowed job data needs no `'static` bound and the pool can never
 //! outlive a request. Every job is executed exactly once: a job index
 //! exists in exactly one deque, and popping happens under that deque's
@@ -47,14 +49,64 @@ where
         return Vec::new();
     }
     let workers = workers.clamp(1, jobs);
-    let deques: Vec<Mutex<VecDeque<usize>>> =
-        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    let mut deal: Vec<VecDeque<usize>> = vec![VecDeque::new(); workers];
     for index in 0..jobs {
-        deques[index % workers]
-            .lock()
-            .expect("deque poisoned")
-            .push_back(index);
+        deal[index % workers].push_back(index);
     }
+    execute(deal, run)
+}
+
+/// Like [`run_work_stealing`], but jobs sharing an affinity key are dealt
+/// to the same worker's deque, back to back. A worker then runs a whole
+/// same-geometry run of cells consecutively — warm device tables, and the
+/// natural seam for handing a contiguous run to the cross-cell sweep
+/// kernel. Work stealing still rebalances when a group turns out slow, so
+/// affinity is a hint, never a stall.
+pub fn run_work_stealing_grouped<T, F>(keys: &[u64], workers: usize, run: F) -> Vec<JobRun<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if keys.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, keys.len());
+    execute(deal_grouped(keys, workers), run)
+}
+
+/// Deal job indices into `workers` deques: one contiguous run per
+/// distinct key, largest groups placed first onto the least-loaded deque
+/// (greedy LPT by job count), groups in first-seen key order for
+/// determinism.
+fn deal_grouped(keys: &[u64], workers: usize) -> Vec<VecDeque<usize>> {
+    let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
+    for (index, &key) in keys.iter().enumerate() {
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, members)) => members.push(index),
+            None => groups.push((key, vec![index])),
+        }
+    }
+    // Stable: size descending, then first appearance.
+    groups.sort_by_key(|(_, members)| std::cmp::Reverse(members.len()));
+    let mut deal: Vec<VecDeque<usize>> = vec![VecDeque::new(); workers];
+    for (_, members) in groups {
+        let lightest = (0..workers)
+            .min_by_key(|&w| deal[w].len())
+            .expect("at least one worker");
+        deal[lightest].extend(members);
+    }
+    deal
+}
+
+/// The shared worker pool behind both dealing strategies.
+fn execute<T, F>(deal: Vec<VecDeque<usize>>, run: F) -> Vec<JobRun<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = deal.len();
+    let jobs: usize = deal.iter().map(VecDeque::len).sum();
+    let deques: Vec<Mutex<VecDeque<usize>>> = deal.into_iter().map(Mutex::new).collect();
     // Count of jobs not yet popped; decremented under the owning deque's
     // pop, so `remaining == 0` means every job has (at least started) its
     // one execution and idle workers can exit.
@@ -69,15 +121,19 @@ where
             let remaining = &remaining;
             let run = &run;
             scope.spawn(move || loop {
-                let mut grabbed = None;
-                if let Some(index) = deques[w].lock().expect("deque poisoned").pop_front() {
-                    grabbed = Some((index, false));
-                } else {
+                // Bind each pop as its own statement: an `if let` on the
+                // locked deque would keep the guard alive through the
+                // else branch (edition-2021 scrutinee lifetimes), and a
+                // worker that scans for steal victims while holding its
+                // own deque's lock deadlocks the pool the moment the
+                // scans form a cycle.
+                let own = deques[w].lock().expect("deque poisoned").pop_front();
+                let mut grabbed = own.map(|index| (index, false));
+                if grabbed.is_none() {
                     for step in 1..workers {
                         let victim = (w + step) % workers;
-                        if let Some(index) =
-                            deques[victim].lock().expect("deque poisoned").pop_back()
-                        {
+                        let stolen = deques[victim].lock().expect("deque poisoned").pop_back();
+                        if let Some(index) = stolen {
                             grabbed = Some((index, true));
                             break;
                         }
@@ -150,6 +206,62 @@ mod tests {
         assert_eq!(one.len(), 1);
         assert_eq!(one[0].worker, 0);
         assert!(!one[0].stolen);
+    }
+
+    #[test]
+    fn grouped_dealing_keeps_same_key_jobs_contiguous_on_one_worker() {
+        // Three geometries, interleaved in submission order. Each key's
+        // jobs must land in one deque, back to back, in index order.
+        let keys = [7u64, 3, 7, 9, 3, 7, 9, 3];
+        let deal = deal_grouped(&keys, 3);
+        assert_eq!(deal.iter().map(VecDeque::len).sum::<usize>(), keys.len());
+        for key in [7u64, 3, 9] {
+            let members: Vec<usize> = (0..keys.len()).filter(|&i| keys[i] == key).collect();
+            let home: Vec<usize> = deal
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.iter().any(|i| keys[*i] == key))
+                .map(|(w, _)| w)
+                .collect();
+            assert_eq!(home.len(), 1, "key {key} split across deques {home:?}");
+            let deque = &deal[home[0]];
+            let run: Vec<usize> = deque.iter().copied().filter(|&i| keys[i] == key).collect();
+            assert_eq!(run, members, "key {key} not in index order");
+            // Contiguity: the group's positions inside the deque form a
+            // single run.
+            let positions: Vec<usize> = deque
+                .iter()
+                .enumerate()
+                .filter(|(_, &i)| keys[i] == key)
+                .map(|(p, _)| p)
+                .collect();
+            assert!(
+                positions.windows(2).all(|p| p[1] == p[0] + 1),
+                "key {key} fragmented at {positions:?}"
+            );
+        }
+        // Balance: no deque holds everything when three keys meet three
+        // workers.
+        assert!(deal.iter().all(|d| !d.is_empty()));
+    }
+
+    #[test]
+    fn grouped_executor_runs_every_job_exactly_once_in_index_order() {
+        let keys: Vec<u64> = (0..60).map(|i| (i % 5) as u64).collect();
+        let hits: Vec<AtomicU64> = (0..60).map(|_| AtomicU64::new(0)).collect();
+        let runs = run_work_stealing_grouped(&keys, 4, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+            i * 3
+        });
+        assert_eq!(runs.len(), 60);
+        for (i, run) in runs.iter().enumerate() {
+            assert_eq!(run.index, i);
+            assert_eq!(run.output, i * 3);
+        }
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+        assert!(run_work_stealing_grouped(&[], 4, |i| i).is_empty());
     }
 
     #[test]

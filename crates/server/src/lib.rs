@@ -33,7 +33,7 @@ pub mod metrics;
 pub mod server;
 pub mod spec;
 
-pub use executor::{run_work_stealing, JobRun};
+pub use executor::{run_work_stealing, run_work_stealing_grouped, JobRun};
 pub use metrics::{ClientLedger, ServerStats};
 pub use server::{ServerConfig, SweepServer};
 pub use spec::{CellSpec, DeviceBase, DeviceSpec, SweepBase};

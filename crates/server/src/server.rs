@@ -30,7 +30,7 @@ use std::collections::{BTreeMap, HashMap};
 use dd_baselines::{dram_label, CellReport, Scenario};
 use dnn_defender::{CostModel, Json, Regime};
 
-use crate::executor::run_work_stealing;
+use crate::executor::run_work_stealing_grouped;
 use crate::metrics::{ClientLedger, ServerStats};
 use crate::spec::{CellSpec, DeviceSpec, SweepBase};
 use crate::SERVER_PROTOCOL_VERSION;
@@ -454,7 +454,9 @@ impl SweepServer {
             Regime::Storm => self.stats.storm_requests += 1,
         }
 
-        // Pass 3 — execute the surviving pending cells.
+        // Pass 3 — execute the surviving pending cells, co-scheduling
+        // same-geometry jobs onto one worker (warm device tables, and the
+        // seam the cross-cell sweep kernel batches across).
         let jobs: Vec<(usize, CellSpec)> = slots
             .iter()
             .enumerate()
@@ -463,8 +465,23 @@ impl SweepServer {
                 _ => None,
             })
             .collect();
+        let mut geometries: Vec<String> = Vec::new();
+        let affinity: Vec<u64> = jobs
+            .iter()
+            .map(|(_, spec)| {
+                let label = spec.device.label();
+                let key = match geometries.iter().position(|g| *g == label) {
+                    Some(i) => i,
+                    None => {
+                        geometries.push(label);
+                        geometries.len() - 1
+                    }
+                };
+                key as u64
+            })
+            .collect();
         let base = self.base;
-        let runs = run_work_stealing(jobs.len(), self.config.workers, |j| {
+        let runs = run_work_stealing_grouped(&affinity, self.config.workers, |j| {
             let matrix = base.matrix_for(&jobs[j].1);
             matrix
                 .run()

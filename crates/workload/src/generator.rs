@@ -50,8 +50,10 @@ pub fn tenant_fill(row: dd_dram::RowInSubarray) -> u8 {
 /// A deterministic source of benign traffic.
 ///
 /// Generators never touch the device themselves; the driver executes the
-/// ops they emit, which is what makes record/replay exact.
-pub trait WorkloadGenerator {
+/// ops they emit, which is what makes record/replay exact. Generators are
+/// `Send` so a paused cell (traffic included) can migrate between the
+/// scenario matrix's worker threads for cross-cell sweep grouping.
+pub trait WorkloadGenerator: Send {
     /// Short label for reports and traces.
     fn label(&self) -> &str;
 

@@ -58,8 +58,8 @@ pub mod trace;
 pub const WORKLOAD_PROTOCOL_VERSION: u64 = 1;
 
 pub use driver::{
-    next_window_boundary, run_workload, BenignTraffic, DriverConfig, DriverReport, IssuePath,
-    SpanTraffic,
+    drive_benign_window_sweep, next_window_boundary, run_workload, BenignTraffic, DriverConfig,
+    DriverReport, IssuePath, SpanTraffic, SweepCell,
 };
 pub use generator::{
     all_data_rows, tenant_fill, tenant_rows, BackgroundLoad, OpKind, PointerChase, StreamingScan,
