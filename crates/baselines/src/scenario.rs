@@ -160,7 +160,7 @@ impl StableHash for AttackerKind {
 /// campaign replay, `Scenario.workload`, `CellReport.benign`).
 ///
 /// v3: benign traffic is seeded from the non-defense axes only
-/// ([`ScenarioMatrix::traffic_seed`]), so cells sharing (attacker,
+/// (`ScenarioMatrix::traffic_seed`), so cells sharing (attacker,
 /// device, load) carry byte-identical traffic and can be replayed as one
 /// cross-cell sweep group ([`dd_dram::CellSweep`]). Every cell that runs
 /// background traffic computes different numbers than v2.
@@ -1064,6 +1064,7 @@ impl ScenarioMatrix {
             match cache.get(&key) {
                 Some(hit) => {
                     cache_hits += 1;
+                    dd_obs::add("matrix.cache_hits", 1);
                     *slots[i].lock().expect("cell slot") = Some(Ok(hit.clone()));
                     let n = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if let Some(observe) = progress {
@@ -1124,6 +1125,7 @@ impl ScenarioMatrix {
                         groups.push(members);
                     }
                 }
+                dd_obs::add("matrix.sweep_groups", groups.len() as u64);
             }
 
             enum Job {
@@ -1193,7 +1195,13 @@ impl ScenarioMatrix {
                                 let i = pending[p];
                                 let (d, a, m, l) = cells[i];
                                 let started = Instant::now();
-                                let setup = self.cell_setup(d, &attackers[a], &drams[m], loads[l]);
+                                let setup = {
+                                    let name: &str = &self.defenses[d].0;
+                                    let _span = dd_obs::span_with("matrix.cell_setup", || {
+                                        format!("defense={name} cell={i}")
+                                    });
+                                    self.cell_setup(d, &attackers[a], &drams[m], loads[l])
+                                };
                                 let mut ready: Vec<(usize, Box<CellState>)> = Vec::new();
                                 match (setup, group_of[p]) {
                                     (Ok(mut state), None) => match self.warmup_solo(&mut state) {
@@ -1269,6 +1277,11 @@ impl ScenarioMatrix {
                             Job::Attack { i, state } => {
                                 let started = Instant::now();
                                 let base_ms = state.millis;
+                                let (d, _, _, _) = cells[i];
+                                let name: &str = &self.defenses[d].0;
+                                let _span = dd_obs::span_with("matrix.cell_attack", || {
+                                    format!("defense={name} cell={i}")
+                                });
                                 let result = self.cell_attack(*state);
                                 finish_cell(
                                     i,
@@ -1451,6 +1464,7 @@ impl ScenarioMatrix {
     /// under attack yet). The window protocol (rollover notification,
     /// budget, boundary-minus-1 sampling point) is the workload driver's.
     fn warmup_solo(&self, state: &mut CellState) -> Result<(), DramError> {
+        let _span = dd_obs::span("matrix.warmup_solo");
         if state.traffic.is_some() {
             for _ in 0..2 {
                 let span = {
@@ -1484,6 +1498,8 @@ impl ScenarioMatrix {
         if states.len() == 1 {
             return self.warmup_solo(&mut states[0]);
         }
+        let cells = states.len();
+        let _span = dd_obs::span_with("matrix.warmup_group", || format!("cells={cells}"));
         let config = states[0].dram.clone();
         let mut sweep = CellSweep::new(&config, states.len());
         for _ in 0..2 {

@@ -27,9 +27,13 @@ use std::process::ExitCode;
 
 use dd_bench::cache::{load_cell_cache, save_cell_cache};
 use dd_bench::experiments::{print_artifact, ExperimentId, RunContext};
-use dd_bench::kernel::{run_kernel_bench, KernelBench, KERNEL_SPEEDUP_FLOOR, SWEEP_SPEEDUP_FLOOR};
+use dd_bench::kernel::{
+    run_kernel_bench, KernelBench, KERNEL_SPEEDUP_FLOOR, OBS_OVERHEAD_CEILING_PCT,
+    SWEEP_SPEEDUP_FLOOR,
+};
 use dd_bench::report::{render_duration, splice_section, Artifact};
 use dd_bench::serve::{run_serve, run_submit, ServeOptions, SubmitOptions};
+use dd_bench::trace::{run_trace, TraceSummary};
 use dnn_defender::Json;
 
 struct Options {
@@ -53,6 +57,9 @@ fn usage(code: u8) -> ExitCode {
          \x20 kernel         benchmark the batched kernel vs the per-command reference path\n\
          \x20                and the cross-cell sweep kernel vs N per-cell batched replays,\n\
          \x20                write BENCH_kernel.json, and fail below either committed floor\n\
+         \x20 trace          run an observed smoke scenario (matrix slice + driver run +\n\
+         \x20                server session) under dd-obs; write TRACE_summary.json and a\n\
+         \x20                Perfetto-loadable TRACE_perfetto.json timeline\n\
          \x20 serve          resident sweep server (line-delimited JSON on stdio, or\n\
          \x20                --socket <S>; budget-accounted, work-stealing, cell-cached)\n\
          \x20 submit         submit cell specs (defense:attacker:device:load[:priority])\n\
@@ -152,11 +159,13 @@ fn main() -> ExitCode {
     let mut experiments = Vec::new();
     let mut want_report = false;
     let mut want_kernel = false;
+    let mut want_trace = false;
     for command in &opts.commands {
         match command.as_str() {
             "all" => experiments.extend(ExperimentId::ALL),
             "report" => want_report = true,
             "kernel" => want_kernel = true,
+            "trace" => want_trace = true,
             name => match ExperimentId::parse(name) {
                 Some(id) => experiments.push(id),
                 None => {
@@ -181,10 +190,61 @@ fn main() -> ExitCode {
             return code;
         }
     }
+    if want_trace {
+        if let Err(code) = run_trace_cmd(&opts) {
+            return code;
+        }
+    }
     if want_report {
         return run_report(&opts);
     }
     ExitCode::SUCCESS
+}
+
+/// The `trace` subcommand: one observed smoke scenario through every
+/// instrumented layer, exported as the deterministic summary artifact
+/// and a Perfetto-loadable timeline.
+fn run_trace_cmd(opts: &Options) -> Result<(), ExitCode> {
+    if let Err(e) = std::fs::create_dir_all(&opts.artifacts_dir) {
+        eprintln!("repro: cannot create {}: {e}", opts.artifacts_dir.display());
+        return Err(ExitCode::FAILURE);
+    }
+    let quick = dd_bench::quick_mode();
+    println!(
+        "[trace] observed run ({} sizing): matrix slice + solo driver run + scripted \
+         server session under dd-obs...",
+        if quick { "smoke" } else { "full" }
+    );
+    let outcome = match run_trace(quick, opts.jobs) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("repro: trace scenario failed: {e:?}");
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    let summary_path = opts.artifacts_dir.join("TRACE_summary.json");
+    let perfetto_path = opts.artifacts_dir.join("TRACE_perfetto.json");
+    if let Err(e) = std::fs::write(&summary_path, outcome.summary.to_json().render_pretty()) {
+        eprintln!("repro: cannot write {}: {e}", summary_path.display());
+        return Err(ExitCode::FAILURE);
+    }
+    if let Err(e) = std::fs::write(&perfetto_path, &outcome.perfetto) {
+        eprintln!("repro: cannot write {}: {e}", perfetto_path.display());
+        return Err(ExitCode::FAILURE);
+    }
+    println!(
+        "[trace] {} spans, {} events, {} counters, {} histograms across the session -> {}",
+        outcome.snapshot.spans.len(),
+        outcome.snapshot.events.len(),
+        outcome.snapshot.counters.len(),
+        outcome.snapshot.hists.len(),
+        summary_path.display(),
+    );
+    println!(
+        "[trace] timeline -> {} (load at https://ui.perfetto.dev)",
+        perfetto_path.display(),
+    );
+    Ok(())
 }
 
 /// The `kernel` perf gate: benchmark the batched kernel against the
@@ -197,17 +257,26 @@ fn run_kernel(opts: &Options) -> Result<(), ExitCode> {
         return Err(ExitCode::FAILURE);
     }
     let path = opts.artifacts_dir.join("BENCH_kernel.json");
-    // The floors travel in the committed artifact: prefer the target
-    // dir's copy, fall back to the repo's committed one, then to the
-    // built-in defaults.
-    let (floor, sweep_floor) = [path.clone(), PathBuf::from("artifacts/BENCH_kernel.json")]
-        .iter()
-        .find_map(|p| {
-            let text = std::fs::read_to_string(p).ok()?;
-            let committed = KernelBench::parse(&text).ok()?;
-            Some((committed.floor, committed.sweep_floor))
-        })
-        .unwrap_or((KERNEL_SPEEDUP_FLOOR, SWEEP_SPEEDUP_FLOOR));
+    // The floors and the obs-overhead ceiling travel in the committed
+    // artifact: prefer the target dir's copy, fall back to the repo's
+    // committed one, then to the built-in defaults.
+    let (floor, sweep_floor, obs_ceiling) =
+        [path.clone(), PathBuf::from("artifacts/BENCH_kernel.json")]
+            .iter()
+            .find_map(|p| {
+                let text = std::fs::read_to_string(p).ok()?;
+                let committed = KernelBench::parse(&text).ok()?;
+                Some((
+                    committed.floor,
+                    committed.sweep_floor,
+                    committed.obs_overhead_ceiling_pct,
+                ))
+            })
+            .unwrap_or((
+                KERNEL_SPEEDUP_FLOOR,
+                SWEEP_SPEEDUP_FLOOR,
+                OBS_OVERHEAD_CEILING_PCT,
+            ));
 
     let quick = dd_bench::quick_mode();
     println!(
@@ -216,7 +285,7 @@ fn run_kernel(opts: &Options) -> Result<(), ExitCode> {
          ({} sizing; equivalence is asserted before timing)...",
         if quick { "smoke" } else { "full" }
     );
-    let bench = run_kernel_bench(quick, floor, sweep_floor, opts.sweep_cells);
+    let bench = run_kernel_bench(quick, floor, sweep_floor, obs_ceiling, opts.sweep_cells);
     if let Err(e) = std::fs::write(&path, bench.to_json().render_pretty()) {
         eprintln!("repro: cannot write {}: {e}", path.display());
         return Err(ExitCode::FAILURE);
@@ -253,6 +322,24 @@ fn run_kernel(opts: &Options) -> Result<(), ExitCode> {
              {:.2}x — the sweep kernel lost its advantage over per-cell replay \
              (see docs/perf.md)",
             bench.sweep_speedup, bench.sweep_floor
+        );
+        return Err(ExitCode::FAILURE);
+    }
+    println!(
+        "[kernel] dd-obs overhead: batch {:+.2}% / sweep {:+.2}% with recording enabled \
+         (ceiling {:.2}%)",
+        bench.obs_overhead_batch_pct, bench.obs_overhead_sweep_pct, bench.obs_overhead_ceiling_pct,
+    );
+    if bench.obs_overhead_batch_pct > bench.obs_overhead_ceiling_pct
+        || bench.obs_overhead_sweep_pct > bench.obs_overhead_ceiling_pct
+    {
+        eprintln!(
+            "repro: dd-obs instrumentation overhead (batch {:+.2}%, sweep {:+.2}%) exceeds \
+             the committed ceiling {:.2}% — the disabled-sink fast path is no longer cheap \
+             enough on a kernel hot loop (see docs/observability.md)",
+            bench.obs_overhead_batch_pct,
+            bench.obs_overhead_sweep_pct,
+            bench.obs_overhead_ceiling_pct,
         );
         return Err(ExitCode::FAILURE);
     }
@@ -450,6 +537,39 @@ fn run_report(opts: &Options) -> ExitCode {
                 eprintln!("repro: {} in {}", e, docs_path.display());
                 return ExitCode::FAILURE;
             }
+        }
+    }
+    // The observability trace section renders from TRACE_summary.json
+    // (deterministic aggregates only, so the splice is machine-independent
+    // like the experiment sections).
+    let trace_path = artifacts_dir.join("TRACE_summary.json");
+    match std::fs::read_to_string(&trace_path)
+        .ok()
+        .and_then(|text| TraceSummary::parse(&text).ok())
+    {
+        Some(summary) => match splice_section(&doc, "trace", &summary.render_markdown()) {
+            Ok(updated) => {
+                doc = updated;
+                spliced += 1;
+            }
+            Err(e) => {
+                eprintln!("repro: {} in {}", e, docs_path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None if opts.check => {
+            eprintln!(
+                "repro: cannot verify `trace`: {} missing or unreadable — \
+                 run `repro trace` and commit artifacts/",
+                trace_path.display(),
+            );
+            return ExitCode::FAILURE;
+        }
+        None => {
+            println!(
+                "[report] no artifact for `trace` ({} missing or unreadable) — section left as-is",
+                trace_path.display()
+            );
         }
     }
     if spliced == 0 {

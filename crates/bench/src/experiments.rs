@@ -1009,7 +1009,7 @@ fn power() -> Artifact {
 
 // ------------------------------------------------------------- workload
 
-struct WorkloadParams {
+pub(crate) struct WorkloadParams {
     seed: u64,
     /// Benign-only measurement windows per (mix, defense) run.
     benign_windows: u64,
@@ -1020,7 +1020,7 @@ struct WorkloadParams {
 }
 
 impl WorkloadParams {
-    fn new(quick: bool) -> Self {
+    pub(crate) fn new(quick: bool) -> Self {
         WorkloadParams {
             seed: 20240605,
             benign_windows: if quick { 4 } else { 12 },
@@ -1075,7 +1075,7 @@ fn workload_bits(model: &QModel, n: usize) -> Vec<BitAddr> {
 }
 
 /// One (mix, defense) driver run of the workload experiment.
-fn workload_run(
+pub(crate) fn workload_run(
     load: BackgroundLoad,
     kind: DefenseKind,
     p: &WorkloadParams,
@@ -1297,7 +1297,7 @@ fn workload(ctx: &mut RunContext<'_>) -> Result<Artifact, DramError> {
 /// (`repro serve` calibrates from the measured `BENCH_kernel.json`
 /// instead; the experiment pins the model so its prices — and therefore
 /// its admission, rejection, and shedding decisions — are deterministic.)
-fn server_cost_model() -> CostModel {
+pub(crate) fn server_cost_model() -> CostModel {
     CostModel::new(
         DEFAULT_COMMANDS_PER_SEC,
         crate::serve::REFERENCE_DEVICE_ROWS,
@@ -1308,15 +1308,15 @@ fn server_cost_model() -> CostModel {
 /// invalidated cache lifecycle, Bob the budget accounting, Carol the
 /// storm regime (four warm cells at priority 1 riding along with four
 /// expensive cold cells at priority 0).
-struct ServerScript {
-    alice: Vec<CellSpec>,
-    bob: Vec<CellSpec>,
-    carol: Vec<CellSpec>,
+pub(crate) struct ServerScript {
+    pub(crate) alice: Vec<CellSpec>,
+    pub(crate) bob: Vec<CellSpec>,
+    pub(crate) carol: Vec<CellSpec>,
 }
 
 impl ServerScript {
     /// Every scripted spec, in submission order.
-    fn all(&self) -> Vec<CellSpec> {
+    pub(crate) fn all(&self) -> Vec<CellSpec> {
         [&self.alice, &self.bob, &self.carol]
             .into_iter()
             .flatten()
@@ -1325,7 +1325,7 @@ impl ServerScript {
     }
 }
 
-fn server_script() -> ServerScript {
+pub(crate) fn server_script() -> ServerScript {
     let s = |text: &str| CellSpec::parse_compact(text).expect("scripted cell spec");
     ServerScript {
         alice: vec![
@@ -1380,7 +1380,7 @@ fn submit_counts(response: &Json) -> StepCounts {
     counts
 }
 
-fn server_roundtrip(server: &mut SweepServer, request: &Json) -> Json {
+pub(crate) fn server_roundtrip(server: &mut SweepServer, request: &Json) -> Json {
     let response = server.handle_line(&request.render_compact());
     let response = Json::parse(&response).expect("response parses");
     assert_eq!(
@@ -1391,7 +1391,7 @@ fn server_roundtrip(server: &mut SweepServer, request: &Json) -> Json {
     response
 }
 
-fn server_submit(server: &mut SweepServer, client: &str, specs: &[CellSpec]) -> Json {
+pub(crate) fn server_submit(server: &mut SweepServer, client: &str, specs: &[CellSpec]) -> Json {
     let request = Json::obj()
         .with("op", Json::str("submit"))
         .with("client", Json::str(client))

@@ -25,6 +25,7 @@ pub mod experiments;
 pub mod kernel;
 pub mod report;
 pub mod serve;
+pub mod trace;
 
 /// Whether quick (smoke-test) mode is active.
 pub fn quick_mode() -> bool {

@@ -8,7 +8,7 @@ use dd_baselines::{CellReport, MatrixRunSummary};
 use dd_bench::experiments::{table3_matrix, ExperimentId, RunContext};
 use dd_bench::kernel::{
     KernelBench, PathMeasure, KERNEL_BENCH_SCHEMA_VERSION, KERNEL_SPEEDUP_FLOOR,
-    SWEEP_SPEEDUP_FLOOR,
+    OBS_OVERHEAD_CEILING_PCT, SWEEP_SPEEDUP_FLOOR,
 };
 use dd_bench::report::{splice_section, Artifact, TableArtifact, ARTIFACT_SCHEMA_VERSION};
 use dnn_defender::Json;
@@ -138,6 +138,9 @@ fn golden_kernel_bench() -> KernelBench {
         },
         sweep_speedup: 5.0,
         sweep_floor: SWEEP_SPEEDUP_FLOOR,
+        obs_overhead_batch_pct: 0.4,
+        obs_overhead_sweep_pct: 0.6,
+        obs_overhead_ceiling_pct: OBS_OVERHEAD_CEILING_PCT,
     }
 }
 
@@ -211,6 +214,26 @@ fn committed_kernel_bench_is_a_valid_baseline() {
     assert_eq!(
         bench.cell_batch.commands, bench.sweep.commands,
         "both cross-cell paths must replay the identical roster"
+    );
+    // The dd-obs overhead gate: the committed baseline carries its own
+    // ceiling and satisfies it on both kernel fast paths.
+    assert!(
+        bench.obs_overhead_ceiling_pct > 0.0,
+        "overhead ceiling must gate something"
+    );
+    assert!(
+        bench.obs_overhead_batch_pct <= bench.obs_overhead_ceiling_pct,
+        "committed baseline violates its own obs-overhead ceiling on the batch path: \
+         {} > {}",
+        bench.obs_overhead_batch_pct,
+        bench.obs_overhead_ceiling_pct
+    );
+    assert!(
+        bench.obs_overhead_sweep_pct <= bench.obs_overhead_ceiling_pct,
+        "committed baseline violates its own obs-overhead ceiling on the sweep path: \
+         {} > {}",
+        bench.obs_overhead_sweep_pct,
+        bench.obs_overhead_ceiling_pct
     );
     // Cold/warm byte stability: rerunning `repro kernel` rewrites the
     // file through this exact renderer, so parse -> render must

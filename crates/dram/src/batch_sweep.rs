@@ -394,7 +394,12 @@ impl CellSweep {
                     }
                 }
             }
-            self.symbolic_pass(&mut session, mems, &ops);
+            {
+                let cells = mems.len();
+                let _span = dd_obs::span_with("sweep.classify", || format!("cells={cells}"));
+                dd_obs::observe("sweep.chunk_ops", ops.len() as u64);
+                self.symbolic_pass(&mut session, mems, &ops);
+            }
             Ok(())
         })();
 
@@ -561,6 +566,8 @@ impl CellSweep {
             self.session = Some(session);
             return Err(e);
         }
+        let cells = mems.len();
+        let _span = dd_obs::span_with("sweep.resolve", || format!("cells={cells}"));
 
         let total = self.total_rows();
         let rows_per = self.rows_per_subarray;

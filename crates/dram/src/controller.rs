@@ -482,6 +482,12 @@ impl MemoryController {
                 "batch was decoded for a different device geometry".into(),
             ));
         }
+        // Observability is amortized per chunk, never per command: one
+        // span plus one histogram sample here, and both are a single
+        // relaxed atomic load when the sink is disabled (the `repro
+        // kernel` overhead gate measures exactly this path).
+        let _span = dd_obs::span("chunk.issue");
+        dd_obs::observe("chunk.ops", batch.ops.len() as u64);
         match self.trace.mode() {
             TraceMode::Full => self.issue_batch_reference(batch),
             TraceMode::CountersOnly | TraceMode::Disabled => {

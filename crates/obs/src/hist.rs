@@ -1,0 +1,142 @@
+//! Fixed-bucket log2 histograms.
+
+/// A 64-bucket log2 histogram over `u64` samples.
+///
+/// Bucket `0` holds the value `0`; bucket `i > 0` holds values in
+/// `[2^(i-1), 2^i)`, with the top bucket absorbing everything from
+/// `2^62` up. Buckets are fixed so merging and serializing never
+/// allocates or rebins, and two histograms over the same samples are
+/// byte-identical regardless of arrival order — the property the
+/// deterministic trace summary leans on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist64 {
+    /// Per-bucket sample counts.
+    pub buckets: [u64; 64],
+    /// Total number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded samples (saturating).
+    pub sum: u64,
+    /// Largest recorded sample.
+    pub max: u64,
+}
+
+impl Default for Hist64 {
+    fn default() -> Self {
+        Hist64 {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Hist64 {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index a value lands in.
+    pub fn bucket_index(value: u64) -> usize {
+        ((64 - value.leading_zeros()) as usize).min(63)
+    }
+
+    /// Inclusive lower bound of bucket `index`.
+    pub fn bucket_floor(index: usize) -> u64 {
+        match index {
+            0 => 0,
+            i => 1u64 << (i - 1),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Hist64) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += *theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The non-empty buckets, as `(bucket_index, count)` pairs in
+    /// ascending bucket order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Hist64::bucket_index(0), 0);
+        assert_eq!(Hist64::bucket_index(1), 1);
+        assert_eq!(Hist64::bucket_index(2), 2);
+        assert_eq!(Hist64::bucket_index(3), 2);
+        assert_eq!(Hist64::bucket_index(4), 3);
+        assert_eq!(Hist64::bucket_index(u64::MAX), 63);
+        assert_eq!(Hist64::bucket_floor(0), 0);
+        assert_eq!(Hist64::bucket_floor(1), 1);
+        assert_eq!(Hist64::bucket_floor(2), 2);
+        assert_eq!(Hist64::bucket_floor(3), 4);
+        // Every value ≥ its bucket's floor and < the next bucket's floor
+        // (except the saturating top bucket).
+        for v in [0u64, 1, 2, 5, 100, 513, 1 << 40] {
+            let i = Hist64::bucket_index(v);
+            assert!(v >= Hist64::bucket_floor(i));
+            if i < 63 {
+                assert!(v < Hist64::bucket_floor(i + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn record_merge_and_order_independence() {
+        let samples = [0u64, 1, 7, 512, 512, 4096, u64::MAX];
+        let mut forward = Hist64::new();
+        let mut backward = Hist64::new();
+        for &s in &samples {
+            forward.record(s);
+        }
+        for &s in samples.iter().rev() {
+            backward.record(s);
+        }
+        assert_eq!(forward, backward);
+        assert_eq!(forward.count, 7);
+        assert_eq!(forward.max, u64::MAX);
+        assert_eq!(forward.sum, u64::MAX); // saturated
+        let mut merged = Hist64::new();
+        merged.merge(&forward);
+        merged.merge(&backward);
+        assert_eq!(merged.count, 14);
+        assert_eq!(
+            merged.nonzero_buckets().map(|(_, c)| c).sum::<u64>(),
+            merged.count
+        );
+    }
+}

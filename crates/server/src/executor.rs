@@ -151,7 +151,14 @@ where
                 remaining.fetch_sub(1, Ordering::AcqRel);
                 let queue_micros = micros(started);
                 let job_started = Instant::now();
+                // Per-job span: worker/steal attribution belongs in the
+                // label (timing view), never in deterministic aggregates
+                // — steal outcomes vary run to run.
+                let span = dd_obs::span_with("executor.job", || {
+                    format!("job={index} worker={w} stolen={stolen}")
+                });
                 let output = run(index);
+                drop(span);
                 let wall_micros = micros(job_started);
                 *slots[index].lock().expect("slot poisoned") = Some(JobRun {
                     index,

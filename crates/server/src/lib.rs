@@ -34,7 +34,7 @@ pub mod server;
 pub mod spec;
 
 pub use executor::{run_work_stealing, run_work_stealing_grouped, JobRun};
-pub use metrics::{ClientLedger, ServerStats};
+pub use metrics::{hist_to_json, ClientLedger, ExecutorSummary, ServerStats};
 pub use server::{ServerConfig, SweepServer};
 pub use spec::{CellSpec, DeviceBase, DeviceSpec, SweepBase};
 

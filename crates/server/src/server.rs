@@ -75,6 +75,7 @@ pub struct SweepServer {
     cache: HashMap<u64, CellReport>,
     clients: BTreeMap<String, ClientLedger>,
     stats: ServerStats,
+    last_regime: Option<Regime>,
     shutdown: bool,
 }
 
@@ -144,6 +145,7 @@ impl SweepServer {
             cache: HashMap::new(),
             clients: BTreeMap::new(),
             stats: ServerStats::default(),
+            last_regime: None,
             shutdown: false,
         }
     }
@@ -339,6 +341,7 @@ impl SweepServer {
         self.stats.jobs += cells.len() as u64;
 
         // Pass 1 — parse, key, price, admit.
+        let pass_span = dd_obs::span_with("server.parse", || format!("client={client}"));
         let mut slots: Vec<Slot> = Vec::with_capacity(cells.len());
         let mut pending_keys: HashMap<u64, usize> = HashMap::new();
         for cell in cells {
@@ -351,6 +354,7 @@ impl SweepServer {
             };
             let (_, key) = self.base.cell_key(&spec);
             let estimate_micros = self.price_micros(&spec);
+            self.stats.hist_estimate_micros.record(estimate_micros);
             let spec_label = spec.label();
             if let Some(hit) = self.cache.get(&key) {
                 slots.push(Slot::Done {
@@ -391,6 +395,8 @@ impl SweepServer {
         }
 
         // Pass 2 — classify the offered backlog, shed under storm.
+        drop(pass_span);
+        let pass_span = dd_obs::span("server.shed");
         let mut backlog: u64 = slots
             .iter()
             .filter_map(|s| match s {
@@ -401,6 +407,13 @@ impl SweepServer {
             })
             .sum();
         let regime = Regime::classify(backlog, self.config.capacity_micros);
+        if self.last_regime != Some(regime) {
+            let offered = backlog;
+            dd_obs::event("server.regime", || {
+                format!("regime={} backlog_micros={offered}", regime.label())
+            });
+            self.last_regime = Some(regime);
+        }
         if regime == Regime::Storm {
             loop {
                 let pending: Vec<(usize, i64, u64)> = slots
@@ -440,6 +453,12 @@ impl SweepServer {
                     unreachable!("victim index points at a pending slot");
                 };
                 pending_keys.remove(&key);
+                dd_obs::event("server.shed_cell", || {
+                    format!(
+                        "client={client} spec={spec_label} priority={} estimate_micros={estimate}",
+                        spec.priority
+                    )
+                });
                 slots[victim] = Slot::Shed {
                     spec_label,
                     key,
@@ -457,6 +476,8 @@ impl SweepServer {
         // Pass 3 — execute the surviving pending cells, co-scheduling
         // same-geometry jobs onto one worker (warm device tables, and the
         // seam the cross-cell sweep kernel batches across).
+        drop(pass_span);
+        let pass_span = dd_obs::span_with("server.execute", || format!("client={client}"));
         let jobs: Vec<(usize, CellSpec)> = slots
             .iter()
             .enumerate()
@@ -494,6 +515,11 @@ impl SweepServer {
                         .ok_or_else(|| "matrix produced no cell".to_string())
                 })
         });
+        self.stats.executor.absorb(&runs);
+        for run in &runs {
+            self.stats.hist_queue_micros.record(run.queue_micros);
+            self.stats.hist_wall_micros.record(run.wall_micros);
+        }
         for run in runs {
             let slot_index = jobs[run.index].0;
             let Slot::Pending {
@@ -528,6 +554,7 @@ impl SweepServer {
                 }
                 Err(message) => {
                     ledger.account.refund(estimate_micros);
+                    self.stats.record_refund(regime, estimate_micros);
                     slots[slot_index] = Slot::Error {
                         message: format!("cell `{spec_label}` failed: {message}"),
                     };
@@ -536,6 +563,8 @@ impl SweepServer {
         }
 
         // Pass 4 — resolve duplicates from the (now updated) cache.
+        drop(pass_span);
+        let pass_span = dd_obs::span("server.resolve");
         for slot in &mut slots {
             if let Slot::Duplicate { spec_label, key } = slot {
                 *slot = match self.cache.get(key) {
@@ -561,6 +590,8 @@ impl SweepServer {
         }
 
         // Pass 5 — tally and respond.
+        drop(pass_span);
+        let _pass_span = dd_obs::span("server.respond");
         let mut results = Vec::with_capacity(slots.len());
         for slot in &slots {
             results.push(match slot {
@@ -621,7 +652,7 @@ impl SweepServer {
                     priority,
                 } => {
                     ledger.shed += 1;
-                    self.stats.shed += 1;
+                    self.stats.record_shed(regime, *estimate_micros);
                     Json::obj()
                         .with("status", Json::str("shed"))
                         .with("reason", Json::str("storm_overload"))

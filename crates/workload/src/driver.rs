@@ -367,6 +367,13 @@ impl BenignTraffic {
         let mut vnow = mem.now().0;
         let mut failed: Option<DramError> = None;
 
+        // Per-chunk decode spans, re-armed after every flush. Tapped
+        // defenses flush every op, so a decode span there would be a
+        // per-op span — exactly what the overhead contract forbids; they
+        // run unobserved and are attributed at the matrix layer instead.
+        dd_obs::add("driver.ops", sched.ops);
+        let mut decode_span = (!tapped && dd_obs::enabled()).then(|| dd_obs::span("chunk.decode"));
+
         for _ in 0..sched.ops {
             let (at, idx) = sched.pop();
             let advance_to = if at > vnow && at < span_end.0 {
@@ -394,6 +401,7 @@ impl BenignTraffic {
             pending.push(op);
             sched.reschedule(at, idx, u64::from(self.streams[idx].1));
             if pending.len() >= chunk_cap {
+                drop(decode_span.take());
                 if let Err(e) =
                     self.flush_chunk(mem, defense, &mut map, &mut kernel, &mut pending, traffic)
                 {
@@ -405,8 +413,10 @@ impl BenignTraffic {
                     "batched clock prediction diverged"
                 );
                 vnow = mem.now().0;
+                decode_span = (!tapped && dd_obs::enabled()).then(|| dd_obs::span("chunk.decode"));
             }
         }
+        drop(decode_span.take());
         let last = self.flush_chunk(mem, defense, &mut map, &mut kernel, &mut pending, traffic);
         self.kernel = Some(kernel);
         match failed {
@@ -431,6 +441,10 @@ impl BenignTraffic {
             return Ok(());
         }
         mem.issue_batch(kernel)?;
+        // Deferred defense observations: spanned only for real chunks
+        // (len > 1). Tapped defenses flush one op at a time and must not
+        // pay a per-op span.
+        let _span = (pending.len() > 1).then(|| dd_obs::span("chunk.observe"));
         let bytes = self.scratch_row.len() as u64;
         for op in pending.drain(..) {
             traffic.ops += 1;
@@ -726,6 +740,11 @@ fn drive_span_sweep(
     let mut vnow = start.0;
     let mut failed: Option<DramError> = None;
 
+    // One decode pass feeds every lockstep cell, so the span is already
+    // amortized N ways; re-armed after each flush like the solo path.
+    dd_obs::add("driver.sweep_ops", ops);
+    let mut decode_span = dd_obs::enabled().then(|| dd_obs::span("chunk.decode"));
+
     for _ in 0..ops {
         let (at, idx) = scheds[0].pop();
         let advance_to = if at > vnow && at < span_end.0 {
@@ -756,6 +775,7 @@ fn drive_span_sweep(
         };
         pending.push(op);
         if pending.len() >= BATCH_CHUNK {
+            drop(decode_span.take());
             if let Err(e) = flush_sweep_chunk(sweep, cells, &mut kernel, &mut pending, &mut traffic)
             {
                 failed = Some(e);
@@ -766,8 +786,10 @@ fn drive_span_sweep(
                 "sweep clock prediction diverged"
             );
             vnow = cells[0].mem.now().0;
+            decode_span = dd_obs::enabled().then(|| dd_obs::span("chunk.decode"));
         }
     }
+    drop(decode_span.take());
     let last = flush_sweep_chunk(sweep, cells, &mut kernel, &mut pending, &mut traffic);
     let finished = {
         let mut mems: Vec<&mut MemoryController> = cells.iter_mut().map(|c| &mut *c.mem).collect();
@@ -814,6 +836,8 @@ fn flush_sweep_chunk(
         let mut mems: Vec<&mut MemoryController> = cells.iter_mut().map(|c| &mut *c.mem).collect();
         sweep.issue(&mut mems, kernel)?;
     }
+    let cell_count = cells.len();
+    let _span = dd_obs::span_with("chunk.observe", || format!("cells={cell_count}"));
     let batch = cells[0].traffic.batch;
     let bytes = cells[0].traffic.scratch_row.len() as u64;
     for cell in cells.iter_mut() {
