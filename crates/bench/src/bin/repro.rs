@@ -26,10 +26,11 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use dd_bench::cache::{load_cell_cache, save_cell_cache};
+use dd_bench::chaos::{run_chaos_campaign, ChaosCampaignReport};
 use dd_bench::experiments::{print_artifact, ExperimentId, RunContext};
 use dd_bench::kernel::{
-    run_kernel_bench, KernelBench, KERNEL_SPEEDUP_FLOOR, OBS_OVERHEAD_CEILING_PCT,
-    SWEEP_SPEEDUP_FLOOR,
+    run_kernel_bench, KernelBench, CHAOS_OVERHEAD_CEILING_PCT, KERNEL_SPEEDUP_FLOOR,
+    OBS_OVERHEAD_CEILING_PCT, SWEEP_SPEEDUP_FLOOR,
 };
 use dd_bench::report::{render_duration, splice_section, Artifact};
 use dd_bench::serve::{run_serve, run_submit, ServeOptions, SubmitOptions};
@@ -60,11 +61,17 @@ fn usage(code: u8) -> ExitCode {
          \x20 trace          run an observed smoke scenario (matrix slice + driver run +\n\
          \x20                server session) under dd-obs; write TRACE_summary.json and a\n\
          \x20                Perfetto-loadable TRACE_perfetto.json timeline\n\
-         \x20 serve          resident sweep server (line-delimited JSON on stdio, or\n\
-         \x20                --socket <S>; budget-accounted, work-stealing, cell-cached)\n\
+         \x20 chaos          scripted fault-injection campaign (seeded dd-chaos plans\n\
+         \x20                against executor, kernel, wire, cache, and client); asserts\n\
+         \x20                budget conservation, byte-identical cells, and survival;\n\
+         \x20                writes CHAOS_report.json and fails on any broken invariant\n\
+         \x20 serve          resident sweep server (line-delimited JSON on stdio,\n\
+         \x20                --socket <S>, or --tcp <host:port>; budget-accounted,\n\
+         \x20                work-stealing, cell-cached; --read-timeout-ms <N>)\n\
          \x20 submit         submit cell specs (defense:attacker:device:load[:priority])\n\
-         \x20                to a server (--socket <S>, else in-process); --client <C>,\n\
-         \x20                --grant-micros <N>, --out <F>, --check-batch\n\
+         \x20                to a server (--socket <S> / --tcp <A>, else in-process);\n\
+         \x20                --client <C>, --grant-micros <N>, --out <F>, --check-batch,\n\
+         \x20                --retries <N>, --retry-seed <N>\n\
          \x20 fig1a | fig1b | table2 | table3 | fig8a | fig8b | fig9 | power | workload | server\n\
          \n\
          options:\n\
@@ -160,12 +167,14 @@ fn main() -> ExitCode {
     let mut want_report = false;
     let mut want_kernel = false;
     let mut want_trace = false;
+    let mut want_chaos = false;
     for command in &opts.commands {
         match command.as_str() {
             "all" => experiments.extend(ExperimentId::ALL),
             "report" => want_report = true,
             "kernel" => want_kernel = true,
             "trace" => want_trace = true,
+            "chaos" => want_chaos = true,
             name => match ExperimentId::parse(name) {
                 Some(id) => experiments.push(id),
                 None => {
@@ -192,6 +201,11 @@ fn main() -> ExitCode {
     }
     if want_trace {
         if let Err(code) = run_trace_cmd(&opts) {
+            return code;
+        }
+    }
+    if want_chaos {
+        if let Err(code) = run_chaos_cmd(&opts) {
             return code;
         }
     }
@@ -247,6 +261,55 @@ fn run_trace_cmd(opts: &Options) -> Result<(), ExitCode> {
     Ok(())
 }
 
+/// The `chaos` subcommand: the scripted fault-injection campaign.
+/// Writes `CHAOS_report.json` and fails when any resilience invariant
+/// broke or any injection site never fired.
+fn run_chaos_cmd(opts: &Options) -> Result<(), ExitCode> {
+    if let Err(e) = std::fs::create_dir_all(&opts.artifacts_dir) {
+        eprintln!("repro: cannot create {}: {e}", opts.artifacts_dir.display());
+        return Err(ExitCode::FAILURE);
+    }
+    let smoke = dd_bench::quick_mode();
+    println!(
+        "[chaos] fault-injection campaign ({} sizing): executor, kernel, cache, \
+         wire, and client faults under seeded dd-chaos plans...",
+        if smoke { "smoke" } else { "full" }
+    );
+    let report = match run_chaos_campaign(smoke) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("repro: chaos campaign harness failed: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    let path = opts.artifacts_dir.join("CHAOS_report.json");
+    if let Err(e) = std::fs::write(&path, report.to_json().render_pretty()) {
+        eprintln!("repro: cannot write {}: {e}", path.display());
+        return Err(ExitCode::FAILURE);
+    }
+    let invariants: usize = report.phases.iter().map(|p| p.invariants.len()).sum();
+    println!(
+        "[chaos] {} phases, {} invariants, {}/{} sites fired -> {}",
+        report.phases.len(),
+        invariants,
+        report.sites_covered.len(),
+        dd_bench::chaos::CHAOS_SITES.len(),
+        path.display(),
+    );
+    if !report.all_pass() {
+        for (phase, invariant) in report.failed_invariants() {
+            eprintln!("repro: chaos invariant FAILED [{phase}] {invariant}");
+        }
+        for site in report.sites_missing() {
+            eprintln!("repro: chaos site never fired: {site}");
+        }
+        eprintln!("repro: chaos campaign FAILED — see {}", path.display());
+        return Err(ExitCode::FAILURE);
+    }
+    println!("[chaos] every invariant held; zero server deaths");
+    Ok(())
+}
+
 /// The `kernel` perf gate: benchmark the batched kernel against the
 /// per-command reference path (equivalence-checked first), write
 /// `BENCH_kernel.json`, and fail when the measured speedup regresses
@@ -257,10 +320,10 @@ fn run_kernel(opts: &Options) -> Result<(), ExitCode> {
         return Err(ExitCode::FAILURE);
     }
     let path = opts.artifacts_dir.join("BENCH_kernel.json");
-    // The floors and the obs-overhead ceiling travel in the committed
+    // The floors and the overhead ceilings travel in the committed
     // artifact: prefer the target dir's copy, fall back to the repo's
     // committed one, then to the built-in defaults.
-    let (floor, sweep_floor, obs_ceiling) =
+    let (floor, sweep_floor, obs_ceiling, chaos_ceiling) =
         [path.clone(), PathBuf::from("artifacts/BENCH_kernel.json")]
             .iter()
             .find_map(|p| {
@@ -270,12 +333,14 @@ fn run_kernel(opts: &Options) -> Result<(), ExitCode> {
                     committed.floor,
                     committed.sweep_floor,
                     committed.obs_overhead_ceiling_pct,
+                    committed.chaos_overhead_ceiling_pct,
                 ))
             })
             .unwrap_or((
                 KERNEL_SPEEDUP_FLOOR,
                 SWEEP_SPEEDUP_FLOOR,
                 OBS_OVERHEAD_CEILING_PCT,
+                CHAOS_OVERHEAD_CEILING_PCT,
             ));
 
     let quick = dd_bench::quick_mode();
@@ -285,7 +350,14 @@ fn run_kernel(opts: &Options) -> Result<(), ExitCode> {
          ({} sizing; equivalence is asserted before timing)...",
         if quick { "smoke" } else { "full" }
     );
-    let bench = run_kernel_bench(quick, floor, sweep_floor, obs_ceiling, opts.sweep_cells);
+    let bench = run_kernel_bench(
+        quick,
+        floor,
+        sweep_floor,
+        obs_ceiling,
+        chaos_ceiling,
+        opts.sweep_cells,
+    );
     if let Err(e) = std::fs::write(&path, bench.to_json().render_pretty()) {
         eprintln!("repro: cannot write {}: {e}", path.display());
         return Err(ExitCode::FAILURE);
@@ -340,6 +412,26 @@ fn run_kernel(opts: &Options) -> Result<(), ExitCode> {
             bench.obs_overhead_batch_pct,
             bench.obs_overhead_sweep_pct,
             bench.obs_overhead_ceiling_pct,
+        );
+        return Err(ExitCode::FAILURE);
+    }
+    println!(
+        "[kernel] dd-chaos fault-plane overhead: batch {:+.2}% / sweep {:+.2}% with an \
+         armed inert plan (ceiling {:.2}%)",
+        bench.chaos_overhead_batch_pct,
+        bench.chaos_overhead_sweep_pct,
+        bench.chaos_overhead_ceiling_pct,
+    );
+    if bench.chaos_overhead_batch_pct > bench.chaos_overhead_ceiling_pct
+        || bench.chaos_overhead_sweep_pct > bench.chaos_overhead_ceiling_pct
+    {
+        eprintln!(
+            "repro: dd-chaos fault-plane overhead (batch {:+.2}%, sweep {:+.2}%) exceeds \
+             the committed ceiling {:.2}% — the fault-injection probes are no longer cheap \
+             enough on a kernel hot loop (see docs/resilience.md)",
+            bench.chaos_overhead_batch_pct,
+            bench.chaos_overhead_sweep_pct,
+            bench.chaos_overhead_ceiling_pct,
         );
         return Err(ExitCode::FAILURE);
     }
@@ -572,6 +664,39 @@ fn run_report(opts: &Options) -> ExitCode {
             );
         }
     }
+    // The resilience section renders from CHAOS_report.json (run-stable
+    // fields only — rule sets, invariant outcomes, site coverage — so the
+    // splice is machine-independent).
+    let chaos_path = artifacts_dir.join("CHAOS_report.json");
+    match std::fs::read_to_string(&chaos_path)
+        .ok()
+        .and_then(|text| ChaosCampaignReport::parse(&text).ok())
+    {
+        Some(report) => match splice_section(&doc, "chaos", &report.render_markdown()) {
+            Ok(updated) => {
+                doc = updated;
+                spliced += 1;
+            }
+            Err(e) => {
+                eprintln!("repro: {} in {}", e, docs_path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None if opts.check => {
+            eprintln!(
+                "repro: cannot verify `chaos`: {} missing or unreadable — \
+                 run `repro chaos` and commit artifacts/",
+                chaos_path.display(),
+            );
+            return ExitCode::FAILURE;
+        }
+        None => {
+            println!(
+                "[report] no artifact for `chaos` ({} missing or unreadable) — section left as-is",
+                chaos_path.display()
+            );
+        }
+    }
     if spliced == 0 {
         // "Up to date" with nothing verified would be a lie — this is a
         // misconfiguration (wrong directory, no artifacts yet), not a
@@ -687,6 +812,8 @@ fn parse_service_args(command: &str) -> Result<(ServeOptions, SubmitOptions), Ex
     let mut serve = ServeOptions {
         artifacts_dir: PathBuf::from("artifacts"),
         socket: None,
+        tcp: None,
+        read_timeout_ms: None,
         jobs: None,
         capacity_micros: None,
         grant_micros: None,
@@ -695,8 +822,11 @@ fn parse_service_args(command: &str) -> Result<(ServeOptions, SubmitOptions), Ex
     let mut submit = SubmitOptions {
         artifacts_dir: PathBuf::from("artifacts"),
         socket: None,
+        tcp: None,
         client: "cli".to_string(),
         grant_micros: None,
+        retries: None,
+        retry_seed: None,
         out: None,
         check_batch: false,
         quick: false,
@@ -723,6 +853,32 @@ fn parse_service_args(command: &str) -> Result<(ServeOptions, SubmitOptions), Ex
                 serve.socket = Some(path.clone());
                 submit.socket = Some(path);
             }
+            "--tcp" => {
+                let addr = need("--tcp", args.next())?;
+                serve.tcp = Some(addr.clone());
+                submit.tcp = Some(addr);
+            }
+            "--read-timeout-ms" => match need("--read-timeout-ms", args.next())?.parse::<u64>() {
+                Ok(ms) => serve.read_timeout_ms = Some(ms),
+                Err(_) => {
+                    eprintln!("repro {command}: --read-timeout-ms needs an integer");
+                    return Err(usage(1));
+                }
+            },
+            "--retries" => match need("--retries", args.next())?.parse::<u32>() {
+                Ok(n) if n > 0 => submit.retries = Some(n),
+                _ => {
+                    eprintln!("repro {command}: --retries needs a positive integer");
+                    return Err(usage(1));
+                }
+            },
+            "--retry-seed" => match need("--retry-seed", args.next())?.parse::<u64>() {
+                Ok(seed) => submit.retry_seed = Some(seed),
+                Err(_) => {
+                    eprintln!("repro {command}: --retry-seed needs an integer");
+                    return Err(usage(1));
+                }
+            },
             "--artifacts-dir" => {
                 let dir = PathBuf::from(need("--artifacts-dir", args.next())?);
                 serve.artifacts_dir = dir.clone();

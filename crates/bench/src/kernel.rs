@@ -6,18 +6,22 @@
 //! any timing is reported.
 //!
 //! `repro kernel` runs it and writes `artifacts/BENCH_kernel.json`
-//! (schema v3): both single-cell paths' commands/sec plus their ratio,
+//! (schema v4): both single-cell paths' commands/sec plus their ratio,
 //! the N-cell matrix throughput (total commands across cells per
 //! wall second) of the sweep kernel against the per-cell batched
-//! baseline, and the `dd-obs` recording overhead — both timed fast
+//! baseline, the `dd-obs` recording overhead — both timed fast
 //! paths replayed with the sink enabled, as a percentage over the
-//! disabled baseline. The committed artifact carries a `floor`, a
-//! `sweep_floor`, and an `obs_overhead_ceiling_pct`; a rerun whose
-//! measured speedup falls below a floor, or whose recording overhead
-//! rises above the ceiling, exits non-zero — the CI perf-regression
-//! gate (the floors are deliberately well under the ≥3×/≥4× targets so
-//! CI noise cannot flake them). See `docs/perf.md` and
-//! `docs/observability.md` for how to read the numbers.
+//! disabled baseline — and the `dd-chaos` fault-plane overhead, the
+//! same two paths replayed with an armed-but-inert chaos plan (every
+//! `kernel.chunk_stall` probe consulted, nothing ever fires) over the
+//! disarmed baseline. The committed artifact carries a `floor`, a
+//! `sweep_floor`, an `obs_overhead_ceiling_pct`, and a
+//! `chaos_overhead_ceiling_pct`; a rerun whose measured speedup falls
+//! below a floor, or whose overhead rises above a ceiling, exits
+//! non-zero — the CI perf-regression gate (the floors are deliberately
+//! well under the ≥3×/≥4× targets so CI noise cannot flake them). See
+//! `docs/perf.md`, `docs/observability.md`, and `docs/resilience.md`
+//! for how to read the numbers.
 
 use std::time::Instant;
 
@@ -31,7 +35,7 @@ use dd_workload::{
 use dnn_defender::{Json, JsonError};
 
 /// Schema version of `BENCH_kernel.json`.
-pub const KERNEL_BENCH_SCHEMA_VERSION: u64 = 3;
+pub const KERNEL_BENCH_SCHEMA_VERSION: u64 = 4;
 
 /// Default speedup floor when no committed artifact provides one: the
 /// regression gate trips below this batch/reference ratio. Generously
@@ -52,6 +56,16 @@ pub const SWEEP_CELLS_DEFAULT: usize = 12;
 /// under 1%; 3% leaves room for shared-CI timing noise without letting a
 /// per-op probe regression slip through.
 pub const OBS_OVERHEAD_CEILING_PCT: f64 = 3.0;
+
+/// Default ceiling on the `dd-chaos` fault-plane overhead, in percent
+/// over the disarmed baseline on either kernel fast path. The measured
+/// configuration is the *worst* benign case — a plan armed for the
+/// whole replay so every `kernel.chunk_stall` probe pays the full
+/// hash-and-lookup check (the disarmed path is a single relaxed atomic
+/// load and costs strictly less). The probes are per chunk, never per
+/// command, so real overhead sits well under 1%; 3% absorbs shared-CI
+/// timing noise while still catching an accidental per-op probe.
+pub const CHAOS_OVERHEAD_CEILING_PCT: f64 = 3.0;
 
 /// Sizing of one kernel benchmark run.
 #[derive(Debug, Clone, Copy)]
@@ -160,6 +174,16 @@ pub struct KernelBench {
     /// The overhead gate: a rerun measuring above this on either path
     /// fails ([`OBS_OVERHEAD_CEILING_PCT`] when no artifact provides one).
     pub obs_overhead_ceiling_pct: f64,
+    /// Fault-plane overhead on the batched path: armed-but-inert chaos
+    /// plan over the disarmed baseline, same paired-median estimator as
+    /// the `dd-obs` measurement (negative = noise).
+    pub chaos_overhead_batch_pct: f64,
+    /// Fault-plane overhead on the cross-cell sweep path, same
+    /// definition.
+    pub chaos_overhead_sweep_pct: f64,
+    /// The fault-plane overhead gate ([`CHAOS_OVERHEAD_CEILING_PCT`]
+    /// when no artifact provides one).
+    pub chaos_overhead_ceiling_pct: f64,
 }
 
 impl KernelBench {
@@ -193,6 +217,18 @@ impl KernelBench {
             .with(
                 "obs_overhead_ceiling_pct",
                 Json::num(self.obs_overhead_ceiling_pct),
+            )
+            .with(
+                "chaos_overhead_batch_pct",
+                Json::num(self.chaos_overhead_batch_pct),
+            )
+            .with(
+                "chaos_overhead_sweep_pct",
+                Json::num(self.chaos_overhead_sweep_pct),
+            )
+            .with(
+                "chaos_overhead_ceiling_pct",
+                Json::num(self.chaos_overhead_ceiling_pct),
             )
     }
 
@@ -232,6 +268,9 @@ impl KernelBench {
             obs_overhead_batch_pct: json.field_f64("obs_overhead_batch_pct")?,
             obs_overhead_sweep_pct: json.field_f64("obs_overhead_sweep_pct")?,
             obs_overhead_ceiling_pct: json.field_f64("obs_overhead_ceiling_pct")?,
+            chaos_overhead_batch_pct: json.field_f64("chaos_overhead_batch_pct")?,
+            chaos_overhead_sweep_pct: json.field_f64("chaos_overhead_sweep_pct")?,
+            chaos_overhead_ceiling_pct: json.field_f64("chaos_overhead_ceiling_pct")?,
         })
     }
 }
@@ -450,15 +489,17 @@ fn assert_equivalent(fast: &MemoryController, reference: &MemoryController, trac
 /// Run the benchmark: time both single-cell paths and both cross-cell
 /// paths over the shared trace (best of [`KernelParams::rounds`]),
 /// verify equivalence, replay both fast paths with `dd-obs` recording
-/// enabled to measure the instrumentation overhead, and assemble the
-/// artifact with the given regression floors and overhead ceiling.
-/// `sweep_cells` overrides the cross-cell roster size
-/// ([`SWEEP_CELLS_DEFAULT`]); callers must pass at least 2.
+/// enabled to measure the instrumentation overhead, replay them again
+/// with an armed-but-inert `dd-chaos` plan to measure the fault-plane
+/// overhead, and assemble the artifact with the given regression floors
+/// and overhead ceilings. `sweep_cells` overrides the cross-cell roster
+/// size ([`SWEEP_CELLS_DEFAULT`]); callers must pass at least 2.
 pub fn run_kernel_bench(
     quick: bool,
     floor: f64,
     sweep_floor: f64,
     obs_ceiling: f64,
+    chaos_ceiling: f64,
     sweep_cells: Option<usize>,
 ) -> KernelBench {
     let mut p = KernelParams::new(quick);
@@ -531,6 +572,8 @@ pub fn run_kernel_bench(
     // would.
     let mut fast_ratios = Vec::new();
     let mut swept_ratios = Vec::new();
+    let mut chaos_fast_ratios = Vec::new();
+    let mut chaos_swept_ratios = Vec::new();
     // One smoke replay is preemption-slice sized (~10ms — one scheduler
     // slice can eat 30% of a sample), so each timed sample aggregates
     // enough back-to-back replays to span ~25ms: long enough to average
@@ -567,30 +610,55 @@ pub fn run_kernel_bench(
         }
         micros
     };
+    // The fault-plane twins: the same timed fast paths with a chaos plan
+    // armed for the whole sample. The plan is *inert* — it names no
+    // rules, so no fault ever fires and the replay stays bit-identical —
+    // but arming it forces every `kernel.chunk_stall` probe down the
+    // armed slow path (site hash + rule lookup + check counting), which
+    // strictly upper-bounds what the disarmed single-atomic-load check
+    // can cost.
+    let time_fast_chaos = |armed: bool| {
+        let session = armed.then(|| dd_chaos::arm(dd_chaos::ChaosPlan::inert(p.seed)));
+        let started = Instant::now();
+        for _ in 0..reps_fast {
+            let mem = run_batched(&config, &trace, p.batch_factor, p.chunk);
+            std::hint::black_box(mem.stats());
+        }
+        let micros = started.elapsed().as_micros().max(1);
+        if let Some(session) = session {
+            let _ = session.finish();
+        }
+        micros
+    };
+    let time_swept_chaos = |armed: bool| {
+        let session = armed.then(|| dd_chaos::arm(dd_chaos::ChaosPlan::inert(p.seed)));
+        let started = Instant::now();
+        for _ in 0..reps_swept {
+            let mems = run_swept(&config, sweep_trace, p.batch_factor, p.chunk, p.sweep_cells);
+            std::hint::black_box(mems.len());
+        }
+        let micros = started.elapsed().as_micros().max(1);
+        if let Some(session) = session {
+            let _ = session.finish();
+        }
+        micros
+    };
     // The gated statistic is the median of per-pair ratios, not a ratio
     // of global bests: adjacent samples in a pair share frequency and
     // allocator state (drift cancels inside each ratio), the order
     // alternates each round so neither side systematically runs second,
     // and the median discards the outlier pairs a shared machine
     // inevitably produces.
-    let collect_pairs = |pairs: usize, fast: &mut Vec<f64>, swept: &mut Vec<f64>| {
+    let collect_pairs = |pairs: usize, timer: &dyn Fn(bool) -> u128, ratios: &mut Vec<f64>| {
         for round in 0..pairs {
-            let obs_first = round.is_multiple_of(2);
-            let (first, second) = (time_fast(obs_first), time_fast(!obs_first));
-            let (obs, plain) = if obs_first {
+            let on_first = round.is_multiple_of(2);
+            let (first, second) = (timer(on_first), timer(!on_first));
+            let (on, plain) = if on_first {
                 (first, second)
             } else {
                 (second, first)
             };
-            fast.push(obs as f64 / plain as f64);
-
-            let (first, second) = (time_swept(obs_first), time_swept(!obs_first));
-            let (obs, plain) = if obs_first {
-                (first, second)
-            } else {
-                (second, first)
-            };
-            swept.push(obs as f64 / plain as f64);
+            ratios.push(on as f64 / plain as f64);
         }
     };
     let median = |ratios: &[f64]| {
@@ -604,7 +672,8 @@ pub fn run_kernel_bench(
         }
     };
     let overhead_pct = |ratio: f64| ((ratio - 1.0) * 10_000.0).round() / 100.0;
-    collect_pairs(24, &mut fast_ratios, &mut swept_ratios);
+    collect_pairs(24, &time_fast, &mut fast_ratios);
+    collect_pairs(24, &time_swept, &mut swept_ratios);
     // Adaptive confirmation: the true recording cost is well under 1%,
     // so a first-round median anywhere near the ceiling is far more
     // likely an unlucky stretch of machine noise than a regression.
@@ -614,11 +683,22 @@ pub fn run_kernel_bench(
     if overhead_pct(median(&fast_ratios)) > obs_ceiling / 2.0
         || overhead_pct(median(&swept_ratios)) > obs_ceiling / 2.0
     {
-        collect_pairs(72, &mut fast_ratios, &mut swept_ratios);
+        collect_pairs(72, &time_fast, &mut fast_ratios);
+        collect_pairs(72, &time_swept, &mut swept_ratios);
+    }
+    collect_pairs(24, &time_fast_chaos, &mut chaos_fast_ratios);
+    collect_pairs(24, &time_swept_chaos, &mut chaos_swept_ratios);
+    if overhead_pct(median(&chaos_fast_ratios)) > chaos_ceiling / 2.0
+        || overhead_pct(median(&chaos_swept_ratios)) > chaos_ceiling / 2.0
+    {
+        collect_pairs(72, &time_fast_chaos, &mut chaos_fast_ratios);
+        collect_pairs(72, &time_swept_chaos, &mut chaos_swept_ratios);
     }
     if std::env::var_os("DD_KERNEL_DEBUG").is_some() {
         eprintln!("fast_ratios: {fast_ratios:.4?}");
         eprintln!("swept_ratios: {swept_ratios:.4?}");
+        eprintln!("chaos_fast_ratios: {chaos_fast_ratios:.4?}");
+        eprintln!("chaos_swept_ratios: {chaos_swept_ratios:.4?}");
     }
 
     let cps = |total: u64, micros: u128| total as f64 / (micros as f64 / 1e6);
@@ -647,6 +727,9 @@ pub fn run_kernel_bench(
         obs_overhead_batch_pct: overhead_pct(median(&fast_ratios)),
         obs_overhead_sweep_pct: overhead_pct(median(&swept_ratios)),
         obs_overhead_ceiling_pct: obs_ceiling,
+        chaos_overhead_batch_pct: overhead_pct(median(&chaos_fast_ratios)),
+        chaos_overhead_sweep_pct: overhead_pct(median(&chaos_swept_ratios)),
+        chaos_overhead_ceiling_pct: chaos_ceiling,
     }
 }
 
@@ -726,6 +809,9 @@ mod tests {
             obs_overhead_batch_pct: 0.4,
             obs_overhead_sweep_pct: 0.6,
             obs_overhead_ceiling_pct: OBS_OVERHEAD_CEILING_PCT,
+            chaos_overhead_batch_pct: 0.2,
+            chaos_overhead_sweep_pct: 0.3,
+            chaos_overhead_ceiling_pct: CHAOS_OVERHEAD_CEILING_PCT,
         }
     }
 

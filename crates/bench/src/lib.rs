@@ -21,6 +21,7 @@ use dd_nn::train::{train, TrainConfig};
 use dd_qnn::{build_model, Architecture, ModelConfig, QModel};
 
 pub mod cache;
+pub mod chaos;
 pub mod experiments;
 pub mod kernel;
 pub mod report;

@@ -1,23 +1,47 @@
 //! The `repro serve` / `repro submit` front ends over [`dd_server`].
 //!
 //! `serve` runs a resident [`SweepServer`] speaking the line-delimited
-//! JSON protocol on stdin/stdout (default) or a Unix socket, warm-started
-//! from the artifact directory's cell cache and calibrated from its
-//! `BENCH_kernel.json`. `submit` is the matching client: it prices and
-//! runs a list of cell specs through a server (over the socket, or an
-//! in-process server when none is given), optionally writing the returned
-//! cells as a canonical `MatrixReport` document and cross-checking them
-//! byte-for-byte against a fresh batch run of the same specs.
+//! JSON protocol on stdin/stdout (default), a Unix socket, or a TCP
+//! listener, warm-started from the artifact directory's cell cache and
+//! calibrated from its `BENCH_kernel.json`. `submit` is the matching
+//! client: it prices and runs a list of cell specs through a server
+//! (over either socket transport, or an in-process server when none is
+//! given), optionally writing the returned cells as a canonical
+//! `MatrixReport` document and cross-checking them byte-for-byte against
+//! a fresh batch run of the same specs.
+//!
+//! Resilience posture (see `docs/resilience.md`):
+//!
+//! * connections read through [`FrameReader`] under a per-connection
+//!   read deadline — oversized frames get a structured error and the
+//!   stream resyncs, garbage bytes fail JSON parsing as a structured
+//!   error, a deadline or mid-frame disconnect closes only that
+//!   connection;
+//! * submit requests run admit → execute → complete: the server lock is
+//!   held for admission and completion only, never while cells simulate;
+//! * the client retries transient transport failures (connect/write
+//!   errors, dropped or corrupted response frames) with seeded
+//!   exponential backoff, reconnecting each time — safe because submits
+//!   are idempotent through content-addressed admission and budget
+//!   grants carry a `txn` token;
+//! * the `server.conn_drop` / `server.frame_corrupt` /
+//!   `client.submit_transient` dd-chaos sites inject exactly those
+//!   failures deterministically when a chaos plan is armed.
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufReader, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
 
 use dd_baselines::{CellReport, MatrixReport};
-use dd_server::{CellSpec, ServerConfig, SweepBase, SweepServer};
+use dd_server::{
+    CellSpec, Frame, FrameReader, LineOutcome, ServerConfig, SweepBase, SweepServer,
+    MAX_FRAME_BYTES,
+};
 use dnn_defender::budget::DEFAULT_COMMANDS_PER_SEC;
 use dnn_defender::{CostModel, Json};
 
@@ -27,6 +51,14 @@ use crate::kernel::KernelBench;
 /// Row count of the device the kernel benchmark calibrates on
 /// (`DramConfig::lpddr4_small`): 16 banks × 8 subarrays × 128 rows.
 pub const REFERENCE_DEVICE_ROWS: u64 = 16 * 8 * 128;
+
+/// Default per-connection read deadline: generous enough for a human at
+/// a terminal, bounded enough that a wedged peer cannot pin a connection
+/// thread forever.
+pub const DEFAULT_READ_TIMEOUT_MS: u64 = 120_000;
+
+/// Client-side read deadline while waiting for a response line.
+const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Build the admission cost model: calibrated from the artifact
 /// directory's `BENCH_kernel.json` batched-kernel throughput when present
@@ -48,6 +80,12 @@ pub struct ServeOptions {
     pub artifacts_dir: PathBuf,
     /// Listen on this Unix socket instead of stdin/stdout.
     pub socket: Option<PathBuf>,
+    /// Listen on this TCP address (e.g. `127.0.0.1:7979`) instead of
+    /// stdin/stdout. Mutually exclusive with `socket`.
+    pub tcp: Option<String>,
+    /// Per-connection read deadline override, in milliseconds
+    /// (default [`DEFAULT_READ_TIMEOUT_MS`]; 0 disables).
+    pub read_timeout_ms: Option<u64>,
     /// Executor worker threads (default: one per core).
     pub jobs: Option<usize>,
     /// Regime planning capacity override, in estimated microseconds.
@@ -56,6 +94,351 @@ pub struct ServeOptions {
     pub grant_micros: Option<u64>,
     /// Quick (smoke) mode.
     pub quick: bool,
+}
+
+impl ServeOptions {
+    fn read_timeout(&self) -> Option<Duration> {
+        match self.read_timeout_ms.unwrap_or(DEFAULT_READ_TIMEOUT_MS) {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        }
+    }
+}
+
+/// Where a server listens (or a client connects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// Line-delimited JSON on stdin/stdout (server only).
+    Stdio,
+    /// A Unix-domain socket at this path.
+    Unix(PathBuf),
+    /// A TCP address (`host:port`; port 0 binds an ephemeral port).
+    Tcp(String),
+}
+
+fn serve_endpoint(opts: &ServeOptions) -> Result<Endpoint, String> {
+    match (&opts.socket, &opts.tcp) {
+        (Some(_), Some(_)) => Err("--socket and --tcp are mutually exclusive".to_string()),
+        (Some(path), None) => Ok(Endpoint::Unix(path.clone())),
+        (None, Some(addr)) => Ok(Endpoint::Tcp(addr.clone())),
+        (None, None) => Ok(Endpoint::Stdio),
+    }
+}
+
+/// The common surface of the two socket stream types.
+trait Stream: Read + Write + Send + Sized {
+    fn try_clone_stream(&self) -> std::io::Result<Self>;
+    fn set_read_deadline(&self, timeout: Option<Duration>) -> std::io::Result<()>;
+    fn close_both(&self) -> std::io::Result<()>;
+}
+
+impl Stream for UnixStream {
+    fn try_clone_stream(&self) -> std::io::Result<Self> {
+        self.try_clone()
+    }
+    fn set_read_deadline(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+    fn close_both(&self) -> std::io::Result<()> {
+        self.shutdown(std::net::Shutdown::Both)
+    }
+}
+
+impl Stream for TcpStream {
+    fn try_clone_stream(&self) -> std::io::Result<Self> {
+        self.try_clone()
+    }
+    fn set_read_deadline(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+    fn close_both(&self) -> std::io::Result<()> {
+        self.shutdown(std::net::Shutdown::Both)
+    }
+}
+
+enum ListenerKind {
+    Unix {
+        listener: UnixListener,
+        path: PathBuf,
+    },
+    Tcp {
+        listener: TcpListener,
+    },
+}
+
+/// A bound (but not yet serving) listener. Binding and serving are
+/// separate so harnesses can bind an ephemeral TCP port, read the
+/// address, and only then hand the listener to a server thread.
+pub struct BoundListener {
+    kind: ListenerKind,
+}
+
+impl BoundListener {
+    /// Bind the endpoint ([`Endpoint::Stdio`] is not bindable).
+    pub fn bind(endpoint: &Endpoint) -> Result<Self, String> {
+        match endpoint {
+            Endpoint::Stdio => Err("stdio endpoint cannot be bound".to_string()),
+            Endpoint::Unix(path) => {
+                // A stale socket file from a previous run would make bind
+                // fail.
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path)
+                    .map_err(|e| format!("cannot bind {}: {e}", path.display()))?;
+                Ok(BoundListener {
+                    kind: ListenerKind::Unix {
+                        listener,
+                        path: path.clone(),
+                    },
+                })
+            }
+            Endpoint::Tcp(addr) => {
+                let listener = TcpListener::bind(addr.as_str())
+                    .map_err(|e| format!("cannot bind tcp {addr}: {e}"))?;
+                Ok(BoundListener {
+                    kind: ListenerKind::Tcp { listener },
+                })
+            }
+        }
+    }
+
+    /// Human-readable bound address.
+    pub fn describe(&self) -> String {
+        match &self.kind {
+            ListenerKind::Unix { path, .. } => format!("unix {}", path.display()),
+            ListenerKind::Tcp { listener } => match listener.local_addr() {
+                Ok(addr) => format!("tcp {addr}"),
+                Err(_) => "tcp ?".to_string(),
+            },
+        }
+    }
+
+    /// The actual TCP address (resolves port 0 to the bound port).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        match &self.kind {
+            ListenerKind::Tcp { listener } => listener.local_addr().ok(),
+            ListenerKind::Unix { .. } => None,
+        }
+    }
+
+    /// Serve connections until a `shutdown` op. Connections multiplex:
+    /// each one gets its own thread; requests admit and complete at the
+    /// server mutex but execute outside it, so a long submit does not
+    /// block other clients' requests — and an idle or slow client never
+    /// blocks accept. On shutdown, in-flight requests drain and every
+    /// open connection is closed.
+    pub fn serve(self, server: SweepServer, read_timeout: Option<Duration>) -> Result<(), String> {
+        match self.kind {
+            ListenerKind::Unix { listener, path } => {
+                let wake_path = path.clone();
+                let wake = move || {
+                    let _ = UnixStream::connect(&wake_path);
+                };
+                let result = drive(server, listener.incoming(), wake, read_timeout);
+                let _ = std::fs::remove_file(&path);
+                result
+            }
+            ListenerKind::Tcp { listener } => {
+                let addr = listener
+                    .local_addr()
+                    .map_err(|e| format!("local_addr: {e}"))?;
+                let wake = move || {
+                    let _ = TcpStream::connect(addr);
+                };
+                drive(server, listener.incoming(), wake, read_timeout)
+            }
+        }
+    }
+}
+
+fn lock(server: &Mutex<SweepServer>) -> MutexGuard<'_, SweepServer> {
+    // Worker panics are caught per job in the executor, so a poisoned
+    // lock means a panic in bookkeeping code; the state is still the
+    // best copy there is, and dying here would turn one bad request
+    // into a dead service.
+    server.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The shared accept loop of both socket transports.
+fn drive<S, I, W>(
+    server: SweepServer,
+    incoming: I,
+    wake: W,
+    read_timeout: Option<Duration>,
+) -> Result<(), String>
+where
+    S: Stream,
+    I: Iterator<Item = std::io::Result<S>>,
+    W: Fn() + Sync,
+{
+    let server = Mutex::new(server);
+    let shutdown = AtomicBool::new(false);
+    // Stream clones of every live connection, so shutdown can unblock
+    // readers parked inside their deadline instead of waiting it out.
+    let open: Mutex<HashMap<u64, S>> = Mutex::new(HashMap::new());
+    let mut next_conn = 0u64;
+    std::thread::scope(|scope| -> Result<(), String> {
+        for stream in incoming {
+            if shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = stream.map_err(|e| format!("accept: {e}"))?;
+            next_conn += 1;
+            let conn_id = next_conn;
+            if let Ok(clone) = stream.try_clone_stream() {
+                if let Ok(mut open) = open.lock() {
+                    open.insert(conn_id, clone);
+                }
+            }
+            let server = &server;
+            let shutdown = &shutdown;
+            let open = &open;
+            let wake = &wake;
+            scope.spawn(move || {
+                if let Err(e) = serve_connection(server, stream, conn_id, read_timeout) {
+                    // A broken client must not take the server down.
+                    eprintln!("repro serve: connection {conn_id}: {e}");
+                }
+                if let Ok(mut open) = open.lock() {
+                    open.remove(&conn_id);
+                }
+                if lock(server).is_shutdown() {
+                    shutdown.store(true, Ordering::Release);
+                    // Drain: close every other open connection (readers
+                    // parked in their deadline wake with EOF) and nudge
+                    // the acceptor so it observes the flag and exits.
+                    if let Ok(open) = open.lock() {
+                        for stream in open.values() {
+                            let _ = stream.close_both();
+                        }
+                    }
+                    wake();
+                }
+            });
+        }
+        Ok(())
+    })
+}
+
+/// One connection: framed reads under the deadline, three-phase request
+/// handling, chaos-injected drops/corruption on the write side.
+fn serve_connection<S: Stream>(
+    server: &Mutex<SweepServer>,
+    stream: S,
+    conn_id: u64,
+    read_timeout: Option<Duration>,
+) -> Result<(), String> {
+    stream
+        .set_read_deadline(read_timeout)
+        .map_err(|e| format!("set read deadline: {e}"))?;
+    let mut writer = stream
+        .try_clone_stream()
+        .map_err(|e| format!("clone: {e}"))?;
+    let mut frames = FrameReader::new(BufReader::new(stream), MAX_FRAME_BYTES);
+    let mut line_idx = 0u64;
+    loop {
+        let frame = match frames.next_frame() {
+            Ok(frame) => frame,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // Read deadline elapsed: a polite close, not an error.
+                eprintln!("repro serve: connection {conn_id}: read deadline elapsed, closing");
+                return Ok(());
+            }
+            Err(e) => return Err(format!("read: {e}")),
+        };
+        let line = match frame {
+            Frame::Eof => return Ok(()),
+            Frame::Line {
+                terminated: false, ..
+            } => {
+                // Mid-frame disconnect: the partial request was never
+                // admitted; drop it with the connection.
+                return Ok(());
+            }
+            Frame::Oversized { drained } => {
+                let response = oversized_response(drained);
+                write_response(&mut writer, response.as_bytes())?;
+                continue;
+            }
+            Frame::Line { text, .. } => text,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        // One deterministic fault key per (connection, request line).
+        let fault_key = (conn_id << 20) | (line_idx & 0xF_FFFF);
+        line_idx += 1;
+        let (response, done) = handle_framed(server, &line);
+        if dd_chaos::fires("server.conn_drop", fault_key) {
+            // The request was fully handled (charged, executed, cached);
+            // dropping before the response forces the client's retry
+            // path to prove idempotency: resubmits hit the cell cache,
+            // grants carry txn tokens.
+            return Ok(());
+        }
+        let mut bytes = response.into_bytes();
+        if dd_chaos::fires("server.frame_corrupt", fault_key) {
+            corrupt_frame(
+                &mut bytes,
+                dd_chaos::payload("server.frame_corrupt", fault_key),
+            );
+        }
+        write_response(&mut writer, &bytes)?;
+        if done {
+            return Ok(());
+        }
+    }
+}
+
+/// Admit under the lock, execute outside it, complete under the lock.
+fn handle_framed(server: &Mutex<SweepServer>, line: &str) -> (String, bool) {
+    let prepared = {
+        let mut guard = lock(server);
+        match guard.begin_line(line) {
+            LineOutcome::Response(response) => return (response, guard.is_shutdown()),
+            LineOutcome::Submit(prepared) => prepared,
+        }
+    };
+    let executed = SweepServer::execute_prepared(*prepared);
+    let mut guard = lock(server);
+    let response = guard.complete_submit(executed).render_compact();
+    (response, guard.is_shutdown())
+}
+
+fn write_response<W: Write>(writer: &mut W, bytes: &[u8]) -> Result<(), String> {
+    writer
+        .write_all(bytes)
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("write: {e}"))
+}
+
+fn oversized_response(drained: usize) -> String {
+    Json::obj()
+        .with("ok", Json::Bool(false))
+        .with("op", Json::str("?"))
+        .with("protocol", Json::uint(dd_server::SERVER_PROTOCOL_VERSION))
+        .with(
+            "error",
+            Json::str(format!(
+                "request frame exceeds {MAX_FRAME_BYTES} bytes ({drained} discarded)"
+            )),
+        )
+        .with("kind", Json::str("oversized_frame"))
+        .render_compact()
+}
+
+/// Shape a response frame into garbage, steered by the chaos payload:
+/// an invalid-UTF-8 byte, a truncation, or a mid-token replacement. The
+/// trailing newline is written separately, so the stream stays framed.
+fn corrupt_frame(bytes: &mut Vec<u8>, payload: u64) {
+    match payload % 3 {
+        0 if !bytes.is_empty() => {
+            let index = (payload as usize / 3) % bytes.len();
+            bytes[index] = 0xFF;
+        }
+        1 => bytes.truncate(bytes.len() / 2),
+        _ => *bytes = b"{\"ok\":tr".to_vec(),
+    }
 }
 
 fn build_server(opts: &ServeOptions) -> SweepServer {
@@ -84,102 +467,278 @@ fn build_server(opts: &ServeOptions) -> SweepServer {
 
 /// Run the resident server until a `shutdown` op (or EOF on stdio).
 pub fn run_serve(opts: &ServeOptions) -> Result<(), String> {
-    let mut server = build_server(opts);
-    match &opts.socket {
-        None => {
-            let stdin = std::io::stdin();
-            let stdout = std::io::stdout();
-            for line in stdin.lock().lines() {
-                let line = line.map_err(|e| format!("stdin: {e}"))?;
-                if line.trim().is_empty() {
-                    continue;
-                }
-                let response = server.handle_line(&line);
-                let mut out = stdout.lock();
-                writeln!(out, "{response}").map_err(|e| format!("stdout: {e}"))?;
-                out.flush().map_err(|e| format!("stdout: {e}"))?;
-                if server.is_shutdown() {
-                    break;
-                }
-            }
-            Ok(())
-        }
-        Some(path) => {
-            // A stale socket file from a previous run would make bind fail.
-            let _ = std::fs::remove_file(path);
-            let listener = UnixListener::bind(path)
-                .map_err(|e| format!("cannot bind {}: {e}", path.display()))?;
-            eprintln!("repro serve: listening on {}", path.display());
-            // Connections multiplex: each one gets its own thread, and
-            // requests serialize per line at the server mutex — an idle
-            // or slow client no longer blocks everyone else's accept
-            // (the one-connection-at-a-time limit noted in ROADMAP).
-            let server = Mutex::new(server);
-            let shutdown = AtomicBool::new(false);
-            std::thread::scope(|scope| -> Result<(), String> {
-                for stream in listener.incoming() {
-                    if shutdown.load(Ordering::Acquire) {
-                        break;
-                    }
-                    let stream = stream.map_err(|e| format!("accept: {e}"))?;
-                    let server = &server;
-                    let shutdown = &shutdown;
-                    scope.spawn(move || {
-                        if let Err(e) = serve_connection(server, stream) {
-                            // A broken client must not take the server down.
-                            eprintln!("repro serve: connection error: {e}");
-                        }
-                        if server.lock().expect("server poisoned").is_shutdown() {
-                            shutdown.store(true, Ordering::Release);
-                            // The acceptor is parked in `accept`; a
-                            // throwaway connection wakes it to observe
-                            // the flag and exit.
-                            let _ = UnixStream::connect(path);
-                        }
-                    });
-                }
-                Ok(())
-            })?;
-            let _ = std::fs::remove_file(path);
-            Ok(())
+    let server = build_server(opts);
+    match serve_endpoint(opts)? {
+        Endpoint::Stdio => serve_stdio(server),
+        endpoint => {
+            let bound = BoundListener::bind(&endpoint)?;
+            eprintln!("repro serve: listening on {}", bound.describe());
+            bound.serve(server, opts.read_timeout())
         }
     }
 }
 
-fn serve_connection(server: &Mutex<SweepServer>, stream: UnixStream) -> Result<(), String> {
-    let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line.map_err(|e| format!("read: {e}"))?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        // Lock per request line, not per connection: long-lived clients
-        // interleave fairly, and the response is written outside the
-        // critical section.
-        let (response, done) = {
-            let mut server = server.lock().expect("server poisoned");
-            (server.handle_line(&line), server.is_shutdown())
+fn serve_stdio(mut server: SweepServer) -> Result<(), String> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut frames = FrameReader::new(stdin.lock(), MAX_FRAME_BYTES);
+    loop {
+        let response = match frames.next_frame().map_err(|e| format!("stdin: {e}"))? {
+            Frame::Eof => return Ok(()),
+            Frame::Line {
+                terminated: false, ..
+            } => return Ok(()),
+            Frame::Oversized { drained } => oversized_response(drained),
+            Frame::Line { text, .. } => {
+                if text.trim().is_empty() {
+                    continue;
+                }
+                server.handle_line(&text)
+            }
         };
-        writeln!(writer, "{response}").map_err(|e| format!("write: {e}"))?;
-        writer.flush().map_err(|e| format!("flush: {e}"))?;
-        if done {
-            break;
+        let mut out = stdout.lock();
+        writeln!(out, "{response}").map_err(|e| format!("stdout: {e}"))?;
+        out.flush().map_err(|e| format!("stdout: {e}"))?;
+        if server.is_shutdown() {
+            return Ok(());
         }
     }
-    Ok(())
+}
+
+/// Where `repro submit` (or a harness client) connects.
+#[derive(Debug, Clone)]
+pub enum Remote {
+    /// A Unix-domain socket at this path.
+    Unix(PathBuf),
+    /// A TCP address (`host:port`).
+    Tcp(String),
+}
+
+/// Seeded retry policy for transient transport failures.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts per request (first try included).
+    pub attempts: u32,
+    /// Base backoff before the first retry; doubles per retry.
+    pub base_delay_ms: u64,
+    /// Seed of the deterministic backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 5,
+            base_delay_ms: 10,
+            seed: 0x5eed_ba5e,
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `retry` (1-based): exponential with
+    /// deterministic jitter, capped at 500 ms.
+    pub fn delay_ms(&self, retry: u32) -> u64 {
+        let base = self
+            .base_delay_ms
+            .saturating_mul(1u64 << retry.saturating_sub(1).min(16))
+            .min(500);
+        let jitter = splitmix64(self.seed ^ u64::from(retry)) % (base / 2 + 1);
+        base + jitter
+    }
+}
+
+struct SocketConn<S: Stream> {
+    frames: FrameReader<BufReader<S>>,
+    writer: S,
+}
+
+impl<S: Stream> SocketConn<S> {
+    fn new(stream: S) -> std::io::Result<Self> {
+        stream.set_read_deadline(Some(CLIENT_READ_TIMEOUT))?;
+        let writer = stream.try_clone_stream()?;
+        Ok(SocketConn {
+            frames: FrameReader::new(BufReader::new(stream), MAX_FRAME_BYTES),
+            writer,
+        })
+    }
+
+    fn send(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// One response line, or a transient-failure description.
+    fn recv(&mut self) -> std::io::Result<Result<String, String>> {
+        Ok(match self.frames.next_frame()? {
+            Frame::Line {
+                text,
+                terminated: true,
+            } => Ok(text),
+            Frame::Line {
+                terminated: false, ..
+            } => Err("connection dropped mid-response".to_string()),
+            Frame::Oversized { drained } => Err(format!("oversized response ({drained} bytes)")),
+            Frame::Eof => Err("server closed the connection before responding".to_string()),
+        })
+    }
+}
+
+enum ClientConn {
+    Unix(SocketConn<UnixStream>),
+    Tcp(SocketConn<TcpStream>),
+}
+
+impl ClientConn {
+    fn send(&mut self, line: &str) -> std::io::Result<()> {
+        match self {
+            ClientConn::Unix(conn) => conn.send(line),
+            ClientConn::Tcp(conn) => conn.send(line),
+        }
+    }
+    fn recv(&mut self) -> std::io::Result<Result<String, String>> {
+        match self {
+            ClientConn::Unix(conn) => conn.recv(),
+            ClientConn::Tcp(conn) => conn.recv(),
+        }
+    }
+}
+
+impl Remote {
+    fn connect(&self) -> std::io::Result<ClientConn> {
+        match self {
+            Remote::Unix(path) => Ok(ClientConn::Unix(SocketConn::new(UnixStream::connect(
+                path,
+            )?)?)),
+            Remote::Tcp(addr) => Ok(ClientConn::Tcp(SocketConn::new(TcpStream::connect(
+                addr.as_str(),
+            )?)?)),
+        }
+    }
+}
+
+/// A protocol client that survives transient transport failures: any
+/// connect/write error, dropped connection, or unparsable response
+/// frame triggers a reconnect and a bounded, seeded-backoff retry of
+/// the same request line. Safe because the protocol is idempotent at
+/// the retry grain: resubmitted cells hit the content-addressed cache
+/// (charged once), budget grants carry a `txn` token, and every other
+/// op is read-only or naturally idempotent.
+pub struct ServiceClient {
+    remote: Option<Remote>,
+    local: Option<Box<SweepServer>>,
+    conn: Option<ClientConn>,
+    policy: RetryPolicy,
+    requests: u64,
+}
+
+impl ServiceClient {
+    /// Connect lazily to a socket server.
+    pub fn remote(remote: Remote, policy: RetryPolicy) -> Self {
+        ServiceClient {
+            remote: Some(remote),
+            local: None,
+            conn: None,
+            policy,
+            requests: 0,
+        }
+    }
+
+    /// Drive an in-process server (no sockets).
+    pub fn local(server: SweepServer, policy: RetryPolicy) -> Self {
+        ServiceClient {
+            remote: None,
+            local: Some(Box::new(server)),
+            conn: None,
+            policy,
+            requests: 0,
+        }
+    }
+
+    /// Recover the in-process server (e.g. to merge its cache).
+    pub fn into_local_server(self) -> Option<SweepServer> {
+        self.local.map(|server| *server)
+    }
+
+    /// Send one request line and return the parsed response, retrying
+    /// transient transport failures per the policy.
+    pub fn request(&mut self, line: &str) -> Result<Json, String> {
+        let request_idx = self.requests;
+        self.requests += 1;
+        let attempts = self.policy.attempts.max(1);
+        let mut last = String::new();
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(Duration::from_millis(self.policy.delay_ms(attempt)));
+            }
+            match self.try_once(line, request_idx, attempt) {
+                Ok(response) => return Ok(response),
+                Err(transient) => {
+                    // The stream state is unknown after a transport
+                    // fault; reconnect on the next attempt.
+                    self.conn = None;
+                    last = transient;
+                }
+            }
+        }
+        Err(format!(
+            "request failed after {attempts} attempt(s): {last}"
+        ))
+    }
+
+    /// Convenience: send a JSON request object.
+    pub fn request_json(&mut self, request: &Json) -> Result<Json, String> {
+        self.request(&request.render_compact())
+    }
+
+    fn try_once(&mut self, line: &str, request_idx: u64, attempt: u32) -> Result<Json, String> {
+        let fault_key = (request_idx << 8) | u64::from(attempt);
+        if dd_chaos::fires("client.submit_transient", fault_key) {
+            return Err("injected transient submit failure".to_string());
+        }
+        if let Some(server) = self.local.as_mut() {
+            // In-process: no transport to fail.
+            return Json::parse(&server.handle_line(line))
+                .map_err(|e| format!("bad response line: {}", e.message));
+        }
+        let remote = self.remote.as_ref().ok_or("client has no endpoint")?;
+        if self.conn.is_none() {
+            self.conn = Some(remote.connect().map_err(|e| format!("connect: {e}"))?);
+        }
+        let conn = self.conn.as_mut().ok_or("client has no connection")?;
+        conn.send(line).map_err(|e| format!("write: {e}"))?;
+        let response = conn.recv().map_err(|e| format!("read: {e}"))??;
+        // A corrupted frame fails to parse — that is a transport fault
+        // (retry), not a server answer.
+        Json::parse(&response).map_err(|e| format!("bad response line: {}", e.message))
+    }
 }
 
 /// Options of `repro submit`.
 pub struct SubmitOptions {
     /// Artifact directory (for the in-process server and batch check).
     pub artifacts_dir: PathBuf,
-    /// Connect to a `repro serve --socket` server; in-process otherwise.
+    /// Connect to a `repro serve --socket` server.
     pub socket: Option<PathBuf>,
+    /// Connect to a `repro serve --tcp` server. Mutually exclusive with
+    /// `socket`; in-process when neither is given.
+    pub tcp: Option<String>,
     /// Client name for budget accounting.
     pub client: String,
     /// Grant this many estimated microseconds before submitting.
     pub grant_micros: Option<u64>,
+    /// Retry attempts per request (default 5).
+    pub retries: Option<u32>,
+    /// Seed of the retry backoff jitter.
+    pub retry_seed: Option<u64>,
     /// Write the returned cells as a canonical `MatrixReport` document.
     pub out: Option<PathBuf>,
     /// Re-run the same specs through the batch path and require
@@ -193,28 +752,16 @@ pub struct SubmitOptions {
     pub specs: Vec<String>,
 }
 
-enum Transport {
-    Socket(BufReader<UnixStream>, UnixStream),
-    Local(Box<SweepServer>),
-}
-
-impl Transport {
-    fn roundtrip(&mut self, line: &str) -> Result<String, String> {
-        match self {
-            Transport::Socket(reader, writer) => {
-                writeln!(writer, "{line}").map_err(|e| format!("write: {e}"))?;
-                writer.flush().map_err(|e| format!("flush: {e}"))?;
-                let mut response = String::new();
-                let n = reader
-                    .read_line(&mut response)
-                    .map_err(|e| format!("read: {e}"))?;
-                if n == 0 {
-                    return Err("server closed the connection".to_string());
-                }
-                Ok(response.trim_end().to_string())
-            }
-            Transport::Local(server) => Ok(server.handle_line(line)),
+impl SubmitOptions {
+    fn policy(&self) -> RetryPolicy {
+        let mut policy = RetryPolicy::default();
+        if let Some(attempts) = self.retries {
+            policy.attempts = attempts.max(1);
         }
+        if let Some(seed) = self.retry_seed {
+            policy.seed = seed;
+        }
+        policy
     }
 }
 
@@ -230,29 +777,42 @@ pub fn run_submit(opts: &SubmitOptions) -> Result<(), String> {
         .map(|text| CellSpec::parse_compact(text))
         .collect::<Result<_, _>>()?;
 
-    let mut transport = match &opts.socket {
-        Some(path) => {
-            let stream = UnixStream::connect(path)
-                .map_err(|e| format!("cannot connect to {}: {e}", path.display()))?;
-            let reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
-            Transport::Socket(reader, stream)
+    let policy = opts.policy();
+    let mut client = match (&opts.socket, &opts.tcp) {
+        (Some(_), Some(_)) => {
+            return Err("--socket and --tcp are mutually exclusive".to_string());
         }
-        None => Transport::Local(Box::new(build_server(&ServeOptions {
-            artifacts_dir: opts.artifacts_dir.clone(),
-            socket: None,
-            jobs: None,
-            capacity_micros: None,
-            grant_micros: None,
-            quick: opts.quick,
-        }))),
+        (Some(path), None) => ServiceClient::remote(Remote::Unix(path.clone()), policy),
+        (None, Some(addr)) => ServiceClient::remote(Remote::Tcp(addr.clone()), policy),
+        (None, None) => ServiceClient::local(
+            build_server(&ServeOptions {
+                artifacts_dir: opts.artifacts_dir.clone(),
+                socket: None,
+                tcp: None,
+                read_timeout_ms: None,
+                jobs: None,
+                capacity_micros: None,
+                grant_micros: None,
+                quick: opts.quick,
+            }),
+            policy,
+        ),
     };
 
     if let Some(grant) = opts.grant_micros {
+        // The txn token makes a retried grant (response lost to a
+        // transport fault) apply exactly once.
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let txn = format!("{}-{}-{:x}", opts.client, std::process::id(), nanos);
         let budget = Json::obj()
             .with("op", Json::str("budget"))
             .with("client", Json::str(opts.client.clone()))
-            .with("grant_micros", Json::uint(grant));
-        let response = parse_response(&transport.roundtrip(&budget.render_compact())?)?;
+            .with("grant_micros", Json::uint(grant))
+            .with("txn", Json::str(txn));
+        let response = client.request_json(&budget)?;
         expect_ok(&response)?;
     }
 
@@ -264,7 +824,7 @@ pub fn run_submit(opts: &SubmitOptions) -> Result<(), String> {
             "cells",
             Json::Arr(specs.iter().map(CellSpec::to_json).collect()),
         );
-    let response = parse_response(&transport.roundtrip(&request.render_compact())?)?;
+    let response = client.request_json(&request)?;
     expect_ok(&response)?;
 
     let regime = response.field_str("regime").unwrap_or("?").to_string();
@@ -352,7 +912,7 @@ pub fn run_submit(opts: &SubmitOptions) -> Result<(), String> {
 /// cell (no server, no cache) under the shared [`SweepBase`] constants.
 ///
 /// [`ScenarioMatrix`]: dd_baselines::ScenarioMatrix
-fn batch_report(specs: &[CellSpec], quick: bool) -> Result<MatrixReport, String> {
+pub fn batch_report(specs: &[CellSpec], quick: bool) -> Result<MatrixReport, String> {
     let base = SweepBase::standard(quick);
     let mut cells = Vec::with_capacity(specs.len());
     for spec in specs {

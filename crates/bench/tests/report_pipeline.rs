@@ -7,8 +7,8 @@ use std::collections::HashMap;
 use dd_baselines::{CellReport, MatrixRunSummary};
 use dd_bench::experiments::{table3_matrix, ExperimentId, RunContext};
 use dd_bench::kernel::{
-    KernelBench, PathMeasure, KERNEL_BENCH_SCHEMA_VERSION, KERNEL_SPEEDUP_FLOOR,
-    OBS_OVERHEAD_CEILING_PCT, SWEEP_SPEEDUP_FLOOR,
+    KernelBench, PathMeasure, CHAOS_OVERHEAD_CEILING_PCT, KERNEL_BENCH_SCHEMA_VERSION,
+    KERNEL_SPEEDUP_FLOOR, OBS_OVERHEAD_CEILING_PCT, SWEEP_SPEEDUP_FLOOR,
 };
 use dd_bench::report::{splice_section, Artifact, TableArtifact, ARTIFACT_SCHEMA_VERSION};
 use dnn_defender::Json;
@@ -141,6 +141,9 @@ fn golden_kernel_bench() -> KernelBench {
         obs_overhead_batch_pct: 0.4,
         obs_overhead_sweep_pct: 0.6,
         obs_overhead_ceiling_pct: OBS_OVERHEAD_CEILING_PCT,
+        chaos_overhead_batch_pct: 0.2,
+        chaos_overhead_sweep_pct: 0.3,
+        chaos_overhead_ceiling_pct: CHAOS_OVERHEAD_CEILING_PCT,
     }
 }
 

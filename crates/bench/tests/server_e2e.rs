@@ -12,9 +12,12 @@ use dd_baselines::{BackgroundLoad, DefenseKind, MatrixReport};
 use dd_bench::cache::{parse_cell_cache, render_cell_cache};
 use dd_bench::experiments::{workload_matrix, ExperimentId, RunContext};
 use dd_bench::report::Artifact;
-use dd_bench::serve::{response_cells, submit_specs};
+use dd_bench::serve::{
+    response_cells, submit_specs, BoundListener, Endpoint, Remote, RetryPolicy, ServiceClient,
+};
 use dd_server::{CellSpec, DeviceSpec, ServerConfig, SweepBase, SweepServer};
 use dnn_defender::{CostModel, Json};
+use std::io::{Read, Write};
 
 fn quick_server() -> SweepServer {
     let config = ServerConfig {
@@ -137,67 +140,123 @@ fn exhausted_budget_is_a_structured_rejection() {
     assert!(results[0].field_u64("estimate_micros").expect("priced") > 1);
 }
 
-/// The socket front end multiplexes connections: an idle client holding
-/// a connection open must not block another client's accept + request
-/// (the one-connection-at-a-time limit called out in ROADMAP).
-#[test]
-fn socket_serves_second_client_while_first_holds_connection_open() {
-    use std::io::{BufRead, BufReader, Write};
-    use std::os::unix::net::UnixStream;
+/// Spawn a quick server on the given transport, returning the join
+/// handle and the client-side address. Binding happens before the
+/// thread starts, so connects never race the listener.
+fn spawn_server(
+    transport: &str,
+) -> (
+    std::thread::JoinHandle<Result<(), String>>,
+    Remote,
+    Option<std::path::PathBuf>,
+) {
     use std::time::Duration;
-
-    let socket = std::env::temp_dir().join(format!("dd-serve-e2e-{}.sock", std::process::id()));
-    let opts = dd_bench::serve::ServeOptions {
-        artifacts_dir: std::env::temp_dir().join("dd-serve-e2e-no-artifacts"),
-        socket: Some(socket.clone()),
-        jobs: Some(1),
-        capacity_micros: None,
-        grant_micros: None,
-        quick: true,
-    };
-    let server = std::thread::spawn(move || dd_bench::serve::run_serve(&opts));
-
-    // Wait for the listener to come up.
-    let mut tries = 0;
-    let connect = loop {
-        match UnixStream::connect(&socket) {
-            Ok(stream) => break stream,
-            Err(_) if tries < 200 => {
-                tries += 1;
-                std::thread::sleep(Duration::from_millis(10));
-            }
-            Err(e) => panic!("server socket never came up: {e}"),
+    let (endpoint, socket_path) = match transport {
+        "unix" => {
+            let socket = std::env::temp_dir().join(format!(
+                "dd-serve-e2e-{}-{:?}.sock",
+                std::process::id(),
+                std::thread::current().id(),
+            ));
+            (Endpoint::Unix(socket.clone()), Some(socket))
         }
+        _ => (Endpoint::Tcp("127.0.0.1:0".to_string()), None),
     };
+    let bound = BoundListener::bind(&endpoint).expect("bind");
+    let remote = match &endpoint {
+        Endpoint::Unix(path) => Remote::Unix(path.clone()),
+        Endpoint::Tcp(_) => Remote::Tcp(bound.tcp_addr().expect("tcp addr").to_string()),
+        Endpoint::Stdio => unreachable!(),
+    };
+    let handle =
+        std::thread::spawn(move || bound.serve(quick_server(), Some(Duration::from_secs(30))));
+    (handle, remote, socket_path)
+}
 
-    // Client A connects and says nothing — under the old single-threaded
-    // accept loop this parks the server forever.
-    let idle = connect;
+fn raw_connect(remote: &Remote) -> (Box<dyn std::io::Write>, Box<dyn std::io::Read>) {
+    match remote {
+        Remote::Unix(path) => {
+            let stream = std::os::unix::net::UnixStream::connect(path).expect("connect");
+            (
+                Box::new(stream.try_clone().expect("clone")),
+                Box::new(stream),
+            )
+        }
+        Remote::Tcp(addr) => {
+            let stream = std::net::TcpStream::connect(addr.as_str()).expect("connect");
+            (
+                Box::new(stream.try_clone().expect("clone")),
+                Box::new(stream),
+            )
+        }
+    }
+}
 
-    // Client B must still get served, promptly.
-    let stream = UnixStream::connect(&socket).expect("second client connects");
-    stream
-        .set_read_timeout(Some(Duration::from_secs(30)))
-        .expect("read timeout");
-    let mut writer = stream.try_clone().expect("clone");
-    let mut reader = BufReader::new(stream);
-    writeln!(writer, "{{\"op\":\"hello\"}}").expect("write hello");
-    let mut line = String::new();
-    reader
-        .read_line(&mut line)
-        .expect("hello answered while another connection is open");
-    let hello = Json::parse(line.trim_end()).expect("hello parses");
-    assert_eq!(hello.field_bool("ok"), Ok(true));
+/// Both socket front ends multiplex connections: an idle client holding
+/// a connection open must not block another client's accept + request
+/// (the one-connection-at-a-time limit called out in ROADMAP), and
+/// shutdown drains the idle connection instead of waiting out its
+/// deadline.
+#[test]
+fn serves_second_client_while_first_holds_connection_open() {
+    for transport in ["unix", "tcp"] {
+        let (server, remote, socket_path) = spawn_server(transport);
 
-    writeln!(writer, "{{\"op\":\"shutdown\"}}").expect("write shutdown");
-    line.clear();
-    reader.read_line(&mut line).expect("shutdown answered");
-    drop(idle);
-    server
-        .join()
-        .expect("server thread exits")
-        .expect("serve loop exits cleanly");
-    assert!(!socket.exists(), "socket file cleaned up on shutdown");
+        // Client A connects and says nothing — under the old
+        // single-threaded accept loop this parks the server forever.
+        let (idle_writer, mut idle_reader) = raw_connect(&remote);
+
+        // Client B must still get served, promptly.
+        let mut client = ServiceClient::remote(remote, RetryPolicy::default());
+        let hello = client.request("{\"op\":\"hello\"}").expect("hello");
+        assert_eq!(hello.field_bool("ok"), Ok(true), "{transport}");
+        let bye = client.request("{\"op\":\"shutdown\"}").expect("shutdown");
+        assert_eq!(bye.field_bool("ok"), Ok(true), "{transport}");
+
+        // Shutdown closes the idle connection (EOF), so the server
+        // thread joins without waiting out A's read deadline.
+        let mut scratch = [0u8; 8];
+        let n = idle_reader.read(&mut scratch).expect("idle read");
+        assert_eq!(n, 0, "{transport}: idle connection drained on shutdown");
+        drop(idle_writer);
+        server
+            .join()
+            .expect("server thread exits")
+            .expect("serve loop exits cleanly");
+        if let Some(socket) = socket_path {
+            assert!(!socket.exists(), "socket file cleaned up on shutdown");
+        }
+    }
+}
+
+/// A client that disconnects mid-frame (no trailing newline) must not
+/// wedge or kill the server: the partial request is dropped with the
+/// connection and the next client is served normally — on both
+/// transports.
+#[test]
+fn mid_frame_disconnect_leaves_server_serving() {
+    for transport in ["unix", "tcp"] {
+        let (server, remote, _socket) = spawn_server(transport);
+
+        {
+            let (mut writer, reader) = raw_connect(&remote);
+            writer
+                .write_all(b"{\"op\":\"subm")
+                .expect("partial frame written");
+            writer.flush().expect("flush");
+            drop(writer);
+            drop(reader);
+        }
+
+        let mut client = ServiceClient::remote(remote, RetryPolicy::default());
+        let hello = client.request("{\"op\":\"hello\"}").expect("hello");
+        assert_eq!(hello.field_bool("ok"), Ok(true), "{transport}");
+        client.request("{\"op\":\"shutdown\"}").expect("shutdown");
+        server
+            .join()
+            .expect("server thread exits")
+            .expect("serve loop exits cleanly");
+    }
 }
 
 /// The `server` experiment's artifact round-trips through the schema and

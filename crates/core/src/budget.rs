@@ -112,10 +112,22 @@ impl std::error::Error for BudgetExhausted {}
 /// spending path is [`BudgetAccount::try_charge`], which fails (leaving the
 /// ledger untouched) when the charge does not fit, and [`BudgetAccount::refund`]
 /// never drives `charged` below zero.
+///
+/// Alongside the net position the account keeps *cumulative* gross-charge
+/// and refund counters, so an auditor reading the ledger over the wire can
+/// check the conservation law
+///
+/// `granted + refunded = charged_gross + remaining`
+///
+/// where each term accumulated through an independent code path (grants,
+/// successful charges, refunds on shed/failed/duplicate jobs). A lost or
+/// double-applied update anywhere breaks the balance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BudgetAccount {
     granted_micros: u64,
     charged_micros: u64,
+    charged_gross_micros: u64,
+    refunded_micros: u64,
 }
 
 impl BudgetAccount {
@@ -124,6 +136,8 @@ impl BudgetAccount {
         BudgetAccount {
             granted_micros,
             charged_micros: 0,
+            charged_gross_micros: 0,
+            refunded_micros: 0,
         }
     }
 
@@ -132,9 +146,35 @@ impl BudgetAccount {
         self.granted_micros
     }
 
-    /// Total microseconds charged so far.
+    /// Net microseconds charged (gross charges minus refunds).
     pub fn charged_micros(&self) -> u64 {
         self.charged_micros
+    }
+
+    /// Cumulative microseconds ever charged, before refunds.
+    pub fn charged_gross_micros(&self) -> u64 {
+        self.charged_gross_micros
+    }
+
+    /// Cumulative microseconds refunded (shed, failed, or deduplicated
+    /// work). Refunds are clamped to the net charge at refund time, so
+    /// `refunded ≤ charged_gross` always.
+    pub fn refunded_micros(&self) -> u64 {
+        self.refunded_micros
+    }
+
+    /// Does the conservation law `granted + refunded = charged_gross +
+    /// remaining` hold? True unless ledger updates were lost or
+    /// double-applied (or a counter saturated at `u64::MAX`).
+    pub fn balanced(&self) -> bool {
+        self.granted_micros
+            .checked_add(self.refunded_micros)
+            .zip(
+                self.charged_gross_micros
+                    .checked_add(self.remaining_micros()),
+            )
+            .map(|(lhs, rhs)| lhs == rhs)
+            .unwrap_or(false)
     }
 
     /// Microseconds still available.
@@ -158,13 +198,17 @@ impl BudgetAccount {
             });
         }
         self.charged_micros += cost_micros;
+        self.charged_gross_micros = self.charged_gross_micros.saturating_add(cost_micros);
         Ok(())
     }
 
-    /// Return a previous charge (for shed or deduplicated jobs). Clamped so
-    /// `charged` never goes below zero.
+    /// Return a previous charge (for shed, failed, or deduplicated jobs).
+    /// Clamped so `charged` never goes below zero; only the portion
+    /// actually returned counts toward [`BudgetAccount::refunded_micros`].
     pub fn refund(&mut self, cost_micros: u64) {
-        self.charged_micros = self.charged_micros.saturating_sub(cost_micros);
+        let actual = cost_micros.min(self.charged_micros);
+        self.charged_micros -= actual;
+        self.refunded_micros = self.refunded_micros.saturating_add(actual);
     }
 }
 
@@ -258,6 +302,28 @@ mod tests {
         assert_eq!(acct.charged_micros(), 0);
         acct.grant(u64::MAX);
         assert_eq!(acct.granted_micros(), u64::MAX);
+    }
+
+    #[test]
+    fn conservation_law_balances_through_grant_charge_refund() {
+        let mut acct = BudgetAccount::new(100);
+        assert!(acct.balanced());
+        assert!(acct.try_charge(60).is_ok());
+        assert!(acct.try_charge(30).is_ok());
+        acct.refund(30);
+        acct.grant(50);
+        assert!(acct.try_charge(25).is_ok());
+        // Over-refund is clamped to the net charge and still balances.
+        acct.refund(10_000);
+        assert_eq!(acct.charged_micros(), 0);
+        assert_eq!(acct.charged_gross_micros(), 115);
+        assert_eq!(acct.refunded_micros(), 115);
+        assert_eq!(acct.remaining_micros(), 150);
+        assert!(acct.balanced());
+        assert_eq!(
+            acct.granted_micros() + acct.refunded_micros(),
+            acct.charged_gross_micros() + acct.remaining_micros()
+        );
     }
 
     #[test]

@@ -398,6 +398,12 @@ impl CellSweep {
                 let cells = mems.len();
                 let _span = dd_obs::span_with("sweep.classify", || format!("cells={cells}"));
                 dd_obs::observe("sweep.chunk_ops", ops.len() as u64);
+                // Stall-only chaos probe, keyed by the lockstep clock
+                // (see `MemoryController::issue_batch`): simulated state
+                // is untouched, so sweep-vs-replay equivalence holds.
+                if dd_chaos::fires("kernel.chunk_stall", session.now as u64) {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
                 self.symbolic_pass(&mut session, mems, &ops);
             }
             Ok(())

@@ -488,6 +488,13 @@ impl MemoryController {
         // kernel` overhead gate measures exactly this path).
         let _span = dd_obs::span("chunk.issue");
         dd_obs::observe("chunk.ops", batch.ops.len() as u64);
+        // Fault plane: a stall-only probe on the chunk hot path, keyed by
+        // the deterministic simulated clock. Stalls never mutate state,
+        // so the differential oracles (fast vs reference, sweep vs
+        // per-cell) hold verbatim under an armed plan.
+        if dd_chaos::fires("kernel.chunk_stall", self.now.0 as u64) {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
         match self.trace.mode() {
             TraceMode::Full => self.issue_batch_reference(batch),
             TraceMode::CountersOnly | TraceMode::Disabled => {

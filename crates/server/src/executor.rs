@@ -10,10 +10,20 @@
 //! exists in exactly one deque, and popping happens under that deque's
 //! mutex (a property test in `tests/scheduler_props.rs` drives this under
 //! random worker counts and interleavings).
+//!
+//! Jobs are *panic-isolated*: each execution runs under
+//! [`std::panic::catch_unwind`], so a panicking job (real bug or a
+//! `dd-chaos` injected fault) can never take down the worker thread, poison
+//! the pool, or kill the server process. The isolated entry points retry a
+//! panicked job a bounded number of times on the same worker and surface
+//! the terminal outcome as [`JobOutcome::Panicked`] for the caller to turn
+//! into a structured error (the sweep server answers `job_failed` and
+//! refunds the charge).
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 /// Outcome of one executed job.
@@ -27,10 +37,46 @@ pub struct JobRun<T> {
     pub stolen: bool,
     /// Microseconds the job waited in a deque before starting.
     pub queue_micros: u64,
-    /// Microseconds the job took to run.
+    /// Microseconds the job took to run (all attempts).
     pub wall_micros: u64,
+    /// Number of attempts the job consumed (1 unless earlier attempts
+    /// panicked).
+    pub attempts: u32,
     /// The job's output.
     pub output: T,
+}
+
+/// What a panic-isolated job produced.
+#[derive(Debug, Clone)]
+pub enum JobOutcome<T> {
+    /// The job returned a value (possibly after retries; see
+    /// [`JobRun::attempts`]).
+    Ok(T),
+    /// Every attempt panicked; the job is terminally failed.
+    Panicked {
+        /// Panic payload of the final attempt, stringified.
+        message: String,
+    },
+}
+
+impl<T> JobOutcome<T> {
+    /// The value, if the job succeeded.
+    pub fn ok(self) -> Option<T> {
+        match self {
+            JobOutcome::Ok(value) => Some(value),
+            JobOutcome::Panicked { .. } => None,
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_string()
+    }
 }
 
 fn micros(since: Instant) -> u64 {
@@ -53,7 +99,7 @@ where
     for index in 0..jobs {
         deal[index % workers].push_back(index);
     }
-    execute(deal, run)
+    repanic(execute(deal, 1, |index, _attempt| run(index)))
 }
 
 /// Like [`run_work_stealing`], but jobs sharing an affinity key are dealt
@@ -71,7 +117,56 @@ where
         return Vec::new();
     }
     let workers = workers.clamp(1, keys.len());
-    execute(deal_grouped(keys, workers), run)
+    repanic(execute(
+        deal_grouped(keys, workers),
+        1,
+        |index, _attempt| run(index),
+    ))
+}
+
+/// Panic-isolated grouped executor: like [`run_work_stealing_grouped`], but
+/// a panicking job is caught and retried up to `attempts` times (total) on
+/// the same worker before surfacing as [`JobOutcome::Panicked`]. `run`
+/// receives `(job_index, attempt)` with attempts counted from 1 so retry
+/// behaviour (and deterministic fault keys) can depend on the attempt.
+pub fn run_work_stealing_grouped_isolated<T, F>(
+    keys: &[u64],
+    workers: usize,
+    attempts: u32,
+    run: F,
+) -> Vec<JobRun<JobOutcome<T>>>
+where
+    T: Send,
+    F: Fn(usize, u32) -> T + Sync,
+{
+    if keys.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, keys.len());
+    execute(deal_grouped(keys, workers), attempts.max(1), run)
+}
+
+/// Compatibility shim for the non-isolated entry points: preserve their
+/// historical contract (a panicking job propagates out of the pool) by
+/// re-raising the caught payload.
+fn repanic<T>(runs: Vec<JobRun<JobOutcome<T>>>) -> Vec<JobRun<T>> {
+    runs.into_iter()
+        .map(|run| {
+            let output = match run.output {
+                JobOutcome::Ok(value) => value,
+                JobOutcome::Panicked { message } => panic!("{message}"),
+            };
+            JobRun {
+                index: run.index,
+                worker: run.worker,
+                stolen: run.stolen,
+                queue_micros: run.queue_micros,
+                wall_micros: run.wall_micros,
+                attempts: run.attempts,
+                output,
+            }
+        })
+        .collect()
 }
 
 /// Deal job indices into `workers` deques: one contiguous run per
@@ -98,11 +193,13 @@ fn deal_grouped(keys: &[u64], workers: usize) -> Vec<VecDeque<usize>> {
     deal
 }
 
-/// The shared worker pool behind both dealing strategies.
-fn execute<T, F>(deal: Vec<VecDeque<usize>>, run: F) -> Vec<JobRun<T>>
+/// The shared worker pool behind both dealing strategies. Every job runs
+/// under `catch_unwind`, retried up to `attempts` times; worker threads
+/// never die to a job panic.
+fn execute<T, F>(deal: Vec<VecDeque<usize>>, attempts: u32, run: F) -> Vec<JobRun<JobOutcome<T>>>
 where
     T: Send,
-    F: Fn(usize) -> T + Sync,
+    F: Fn(usize, u32) -> T + Sync,
 {
     let workers = deal.len();
     let jobs: usize = deal.iter().map(VecDeque::len).sum();
@@ -111,7 +208,8 @@ where
     // pop, so `remaining == 0` means every job has (at least started) its
     // one execution and idle workers can exit.
     let remaining = AtomicUsize::new(jobs);
-    let slots: Vec<Mutex<Option<JobRun<T>>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<JobRun<JobOutcome<T>>>>> =
+        (0..jobs).map(|_| Mutex::new(None)).collect();
     let started = Instant::now();
 
     std::thread::scope(|scope| {
@@ -127,12 +225,18 @@ where
                 // worker that scans for steal victims while holding its
                 // own deque's lock deadlocks the pool the moment the
                 // scans form a cycle.
-                let own = deques[w].lock().expect("deque poisoned").pop_front();
+                let own = deques[w]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .pop_front();
                 let mut grabbed = own.map(|index| (index, false));
                 if grabbed.is_none() {
                     for step in 1..workers {
                         let victim = (w + step) % workers;
-                        let stolen = deques[victim].lock().expect("deque poisoned").pop_back();
+                        let stolen = deques[victim]
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .pop_back();
                         if let Some(index) = stolen {
                             grabbed = Some((index, true));
                             break;
@@ -157,15 +261,31 @@ where
                 let span = dd_obs::span_with("executor.job", || {
                     format!("job={index} worker={w} stolen={stolen}")
                 });
-                let output = run(index);
+                let mut used = 0;
+                let mut output = None;
+                let mut last_panic = String::new();
+                while used < attempts {
+                    used += 1;
+                    match catch_unwind(AssertUnwindSafe(|| run(index, used))) {
+                        Ok(value) => {
+                            output = Some(JobOutcome::Ok(value));
+                            break;
+                        }
+                        Err(payload) => last_panic = panic_message(payload),
+                    }
+                }
+                let output = output.unwrap_or(JobOutcome::Panicked {
+                    message: last_panic,
+                });
                 drop(span);
                 let wall_micros = micros(job_started);
-                *slots[index].lock().expect("slot poisoned") = Some(JobRun {
+                *slots[index].lock().unwrap_or_else(PoisonError::into_inner) = Some(JobRun {
                     index,
                     worker: w,
                     stolen,
                     queue_micros,
                     wall_micros,
+                    attempts: used,
                     output,
                 });
             });
@@ -176,7 +296,7 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("slot poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .expect("every job executes exactly once")
         })
         .collect()
@@ -269,6 +389,80 @@ mod tests {
             assert_eq!(h.load(Ordering::Relaxed), 1);
         }
         assert!(run_work_stealing_grouped(&[], 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_and_reported_not_fatal() {
+        let keys: Vec<u64> = (0..8).collect();
+        let runs = run_work_stealing_grouped_isolated(&keys, 3, 1, |i, _attempt| {
+            if i == 5 {
+                panic!("boom on job {i}");
+            }
+            i * 2
+        });
+        assert_eq!(runs.len(), 8);
+        for (i, run) in runs.iter().enumerate() {
+            match &run.output {
+                JobOutcome::Ok(v) => {
+                    assert_ne!(i, 5);
+                    assert_eq!(*v, i * 2);
+                }
+                JobOutcome::Panicked { message } => {
+                    assert_eq!(i, 5);
+                    assert!(message.contains("boom on job 5"), "{message}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn panicked_job_retries_up_to_budget_then_fails() {
+        // Fails on attempts 1 and 2, succeeds on 3.
+        let runs = run_work_stealing_grouped_isolated(&[0u64], 1, 3, |_i, attempt| {
+            if attempt < 3 {
+                panic!("transient");
+            }
+            attempt
+        });
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].attempts, 3);
+        assert!(matches!(runs[0].output, JobOutcome::Ok(3)));
+
+        // Always fails: attempts are bounded.
+        let runs = run_work_stealing_grouped_isolated(&[0u64], 1, 2, |_i, _attempt| -> usize {
+            panic!("permanent")
+        });
+        assert_eq!(runs[0].attempts, 2);
+        assert!(matches!(
+            &runs[0].output,
+            JobOutcome::Panicked { message } if message.contains("permanent")
+        ));
+    }
+
+    #[test]
+    fn worker_pool_survives_many_panics_without_losing_jobs() {
+        let hits: Vec<AtomicU64> = (0..40).map(|_| AtomicU64::new(0)).collect();
+        let runs = run_work_stealing_grouped_isolated(
+            &(0..40u64).map(|i| i % 4).collect::<Vec<_>>(),
+            4,
+            1,
+            |i, _| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+                if i % 3 == 0 {
+                    panic!("chaos {i}");
+                }
+                i
+            },
+        );
+        assert_eq!(runs.len(), 40);
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+        let failed = runs
+            .iter()
+            .filter(|r| matches!(r.output, JobOutcome::Panicked { .. }))
+            .count();
+        assert_eq!(failed, (0..40).filter(|i| i % 3 == 0).count());
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Bounded line-frame reading for the socket transports.
+//!
+//! The wire protocol is one JSON request per `\n`-terminated line. A raw
+//! `BufRead::read_line` would happily buffer an unbounded line from a
+//! hostile or corrupted peer and reject invalid UTF-8 with an opaque I/O
+//! error; [`FrameReader`] instead enforces a hard frame-size cap (the
+//! oversized remainder is drained, not buffered), converts bytes lossily
+//! (garbage bytes become U+FFFD and fail JSON parsing as a *structured*
+//! error), and distinguishes clean EOF from a frame truncated mid-line so
+//! connection loops can tell a polite hangup from a mid-frame disconnect.
+//! Timeouts and I/O errors pass through as `Err` for the caller to map to
+//! a deadline close.
+
+use std::io::{BufRead, ErrorKind};
+
+/// Hard cap on one request/response frame, in bytes (newline excluded).
+/// Generous for real requests (a full submit batch is a few KiB) while
+/// bounding what a garbage peer can make the server buffer.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// One read frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete `\n`-terminated line (terminator stripped, bytes decoded
+    /// lossily). `ended` is false only when EOF cut the line mid-frame.
+    Line {
+        /// The frame text.
+        text: String,
+        /// Whether the line was newline-terminated (false: truncated by
+        /// EOF mid-frame).
+        terminated: bool,
+    },
+    /// A line exceeded the frame cap; `drained` bytes were discarded up to
+    /// and including the next newline (or EOF). The connection is still
+    /// synchronized on the next frame.
+    Oversized {
+        /// Total bytes discarded for this frame.
+        drained: usize,
+    },
+    /// Clean end of stream at a frame boundary.
+    Eof,
+}
+
+/// Reads bounded line frames from any [`BufRead`].
+pub struct FrameReader<R> {
+    inner: R,
+    max_bytes: usize,
+}
+
+impl<R: BufRead> FrameReader<R> {
+    /// Wrap a reader with the given frame cap (see [`MAX_FRAME_BYTES`]).
+    pub fn new(inner: R, max_bytes: usize) -> Self {
+        FrameReader {
+            inner,
+            max_bytes: max_bytes.max(1),
+        }
+    }
+
+    /// Read the next frame. I/O errors (including read timeouts, which
+    /// surface as [`ErrorKind::WouldBlock`] / [`ErrorKind::TimedOut`])
+    /// pass through untouched.
+    pub fn next_frame(&mut self) -> std::io::Result<Frame> {
+        let mut buf: Vec<u8> = Vec::new();
+        let mut over = false;
+        let mut drained = 0usize;
+        loop {
+            let chunk = match self.inner.fill_buf() {
+                Ok(chunk) => chunk,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if chunk.is_empty() {
+                // EOF.
+                if over {
+                    return Ok(Frame::Oversized { drained });
+                }
+                if buf.is_empty() {
+                    return Ok(Frame::Eof);
+                }
+                return Ok(Frame::Line {
+                    text: String::from_utf8_lossy(&buf).into_owned(),
+                    terminated: false,
+                });
+            }
+            let newline = chunk.iter().position(|&b| b == b'\n');
+            let take = newline.map(|p| p + 1).unwrap_or(chunk.len());
+            let payload = &chunk[..newline.unwrap_or(chunk.len())];
+            if !over {
+                if buf.len() + payload.len() > self.max_bytes {
+                    over = true;
+                    drained = buf.len();
+                    buf.clear();
+                } else {
+                    buf.extend_from_slice(payload);
+                }
+            }
+            if over {
+                drained += take;
+            }
+            self.inner.consume(take);
+            if newline.is_some() {
+                if over {
+                    return Ok(Frame::Oversized { drained });
+                }
+                return Ok(Frame::Line {
+                    text: String::from_utf8_lossy(&buf).into_owned(),
+                    terminated: true,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn frames(bytes: &[u8], cap: usize) -> Vec<Frame> {
+        let mut reader = FrameReader::new(BufReader::with_capacity(7, bytes), cap);
+        let mut out = Vec::new();
+        loop {
+            let frame = reader.next_frame().unwrap();
+            let eof = frame == Frame::Eof;
+            out.push(frame);
+            if eof {
+                return out;
+            }
+        }
+    }
+
+    #[test]
+    fn reads_terminated_lines_and_clean_eof() {
+        let got = frames(b"{\"op\":\"hello\"}\nsecond\n", 1024);
+        assert_eq!(
+            got,
+            vec![
+                Frame::Line {
+                    text: "{\"op\":\"hello\"}".into(),
+                    terminated: true
+                },
+                Frame::Line {
+                    text: "second".into(),
+                    terminated: true
+                },
+                Frame::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn mid_frame_disconnect_is_distinguishable_from_clean_close() {
+        let got = frames(b"complete\n{\"op\":\"sub", 1024);
+        assert_eq!(got.len(), 3);
+        assert_eq!(
+            got[1],
+            Frame::Line {
+                text: "{\"op\":\"sub".into(),
+                terminated: false
+            }
+        );
+    }
+
+    #[test]
+    fn oversized_line_is_drained_not_buffered_and_stream_resyncs() {
+        let mut bytes = vec![b'x'; 100];
+        bytes.push(b'\n');
+        bytes.extend_from_slice(b"after\n");
+        let got = frames(&bytes, 16);
+        assert_eq!(got[0], Frame::Oversized { drained: 101 });
+        assert_eq!(
+            got[1],
+            Frame::Line {
+                text: "after".into(),
+                terminated: true
+            }
+        );
+    }
+
+    #[test]
+    fn oversized_line_truncated_by_eof_still_reports() {
+        let bytes = vec![b'y'; 64];
+        let got = frames(&bytes, 8);
+        assert_eq!(got[0], Frame::Oversized { drained: 64 });
+        assert_eq!(got[1], Frame::Eof);
+    }
+
+    #[test]
+    fn invalid_utf8_is_decoded_lossily_not_an_error() {
+        let got = frames(b"\xff\xfe{bad\n", 1024);
+        match &got[0] {
+            Frame::Line { text, terminated } => {
+                assert!(terminated);
+                assert!(text.contains('\u{FFFD}'));
+                assert!(text.contains("{bad"));
+            }
+            other => panic!("expected line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_lines_are_frames_not_eof() {
+        let got = frames(b"\n\nx\n", 1024);
+        assert_eq!(got.len(), 4);
+        assert_eq!(
+            got[0],
+            Frame::Line {
+                text: String::new(),
+                terminated: true
+            }
+        );
+    }
+}

@@ -35,6 +35,11 @@ pub struct ClientLedger {
     pub actual_micros: u64,
     /// Total microseconds this client's cells waited before starting.
     pub queue_micros: u64,
+    /// Idempotency token of the last applied `budget` grant. A retried
+    /// grant carrying the same token is acknowledged without granting
+    /// again, so a client that lost the response to a connection drop can
+    /// safely resend.
+    pub last_grant_txn: Option<String>,
 }
 
 impl ClientLedger {
@@ -51,6 +56,14 @@ impl ClientLedger {
         Json::obj()
             .with("granted_micros", Json::uint(self.account.granted_micros()))
             .with("charged_micros", Json::uint(self.account.charged_micros()))
+            .with(
+                "charged_gross_micros",
+                Json::uint(self.account.charged_gross_micros()),
+            )
+            .with(
+                "refunded_micros",
+                Json::uint(self.account.refunded_micros()),
+            )
             .with(
                 "remaining_micros",
                 Json::uint(self.account.remaining_micros()),
@@ -197,6 +210,13 @@ pub struct ServerStats {
     pub shed: u64,
     /// Malformed or failed cells.
     pub errors: u64,
+    /// Cells whose execution panicked on every attempt (answered with a
+    /// structured `job_failed` error and refunded; counted in `errors`
+    /// too).
+    pub job_failed: u64,
+    /// Extra execution attempts consumed by panic-retry (a job that
+    /// succeeded on attempt 3 contributes 2).
+    pub job_retries: u64,
     /// Cache entries evicted by `invalidate` ops.
     pub invalidated: u64,
     /// Submit requests admitted in the calm regime.
@@ -247,6 +267,8 @@ impl ServerStats {
             .with("rejected_budget", Json::uint(self.rejected_budget))
             .with("shed", Json::uint(self.shed))
             .with("errors", Json::uint(self.errors))
+            .with("job_failed", Json::uint(self.job_failed))
+            .with("job_retries", Json::uint(self.job_retries))
             .with("invalidated", Json::uint(self.invalidated))
             .with("calm_requests", Json::uint(self.calm_requests))
             .with("pre_storm_requests", Json::uint(self.pre_storm_requests))
@@ -339,6 +361,7 @@ mod tests {
                 stolen: false,
                 queue_micros: 10,
                 wall_micros: 90,
+                attempts: 1,
                 output: (),
             },
             JobRun {
@@ -347,6 +370,7 @@ mod tests {
                 stolen: true,
                 queue_micros: 40,
                 wall_micros: 60,
+                attempts: 1,
                 output: (),
             },
         ];

@@ -19,21 +19,46 @@
 //!    [`dnn_defender::BudgetAccount`] at admission (so `charged ≤ granted` holds by
 //!    construction; actual wall time is a metric, not a charge) or get a
 //!    `rejected`/`budget_exhausted` response;
-//! 4. the admitted backlog is classified into a [`Regime`]; a storm sheds
-//!    the lowest-priority pending cells (newest first among ties, always
-//!    keeping at least one so the server makes progress), refunding each
-//!    and answering `shed`/`storm_overload`;
+//! 4. the admitted backlog — *plus the estimated work still in flight on
+//!    the executor from concurrent requests* — is classified into a
+//!    [`Regime`]; a storm sheds the lowest-priority pending cells (newest
+//!    first among ties, always keeping at least one so the server makes
+//!    progress), refunding each and answering `shed`/`storm_overload`;
 //! 5. survivors run on the work-stealing executor and land in the cache.
+//!
+//! ## Concurrency and failure semantics
+//!
+//! The pipeline is split into three phases so a connection loop can drop
+//! the server lock while cells simulate: [`SweepServer::begin_line`]
+//! (parse + admit, under the lock), [`SweepServer::execute_prepared`]
+//! (pure compute, **no** `&self`), and [`SweepServer::complete_submit`]
+//! (resolve + respond, under the lock again). [`SweepServer::handle_line`]
+//! runs all three inline for single-threaded callers. Admission charges
+//! the *live* ledger, so `charged ≤ granted` holds across interleaved
+//! requests, and the estimated pending work is tracked in an in-flight
+//! gauge that later admissions classify against (cross-request backlog
+//! carry-over).
+//!
+//! Execution is panic-isolated: a worker panic (real or `dd-chaos`
+//! injected) retries up to [`MAX_JOB_ATTEMPTS`] times and then comes back
+//! as a structured `job_failed` error with the admission charge refunded —
+//! never process death. A submit admitted before a `shutdown` op can be
+//! drained normally or aborted with [`SweepServer::abort_submit`], which
+//! refunds every pending cell (`shed`/`shutting_down`).
 
 use std::collections::{BTreeMap, HashMap};
 
 use dd_baselines::{dram_label, CellReport, Scenario};
 use dnn_defender::{CostModel, Json, Regime};
 
-use crate::executor::run_work_stealing_grouped;
+use crate::executor::{run_work_stealing_grouped_isolated, JobOutcome, JobRun};
 use crate::metrics::{ClientLedger, ServerStats};
 use crate::spec::{CellSpec, DeviceSpec, SweepBase};
 use crate::SERVER_PROTOCOL_VERSION;
+
+/// Total execution attempts per job before it is terminally `job_failed`
+/// (1 initial + 2 panic retries).
+pub const MAX_JOB_ATTEMPTS: u32 = 3;
 
 /// Tunables of a [`SweepServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +102,10 @@ pub struct SweepServer {
     stats: ServerStats,
     last_regime: Option<Regime>,
     shutdown: bool,
+    /// Estimated microseconds admitted but not yet completed (submits
+    /// between `begin_line` and `complete_submit`/`abort_submit`). Later
+    /// admissions classify their regime against `offered + inflight`.
+    inflight_micros: u64,
 }
 
 /// Per-cell admission state inside one submit request.
@@ -104,9 +133,14 @@ enum Slot {
         key: u64,
         estimate_micros: u64,
         priority: i64,
+        reason: &'static str,
     },
     Error {
         message: String,
+        /// Structured failure class: `bad_spec` (unparseable cell),
+        /// `job_failed` (execution failed or panicked out of retries),
+        /// `duplicate_incomplete`, or `internal`.
+        kind: &'static str,
     },
     Pending {
         spec: CellSpec,
@@ -135,6 +169,50 @@ fn ok_response(op: &str) -> Json {
         .with("protocol", Json::uint(SERVER_PROTOCOL_VERSION))
 }
 
+/// One admitted-but-not-yet-run cell, carried from admission to execution.
+struct ExecJob {
+    slot: usize,
+    spec: CellSpec,
+    spec_label: String,
+    key: u64,
+}
+
+/// A submit request that passed admission (passes 1–2) and is ready to
+/// execute. Produced by [`SweepServer::begin_line`] under the server lock;
+/// the caller runs [`SweepServer::execute_prepared`] *without* the lock and
+/// finishes with [`SweepServer::complete_submit`] (or
+/// [`SweepServer::abort_submit`] on shutdown).
+pub struct PreparedSubmit {
+    client: String,
+    request_seq: u64,
+    regime: Regime,
+    backlog_micros: u64,
+    carryover_micros: u64,
+    pending_micros: u64,
+    slots: Vec<Slot>,
+    jobs: Vec<ExecJob>,
+    affinity: Vec<u64>,
+    workers: usize,
+    base: SweepBase,
+}
+
+/// A prepared submit whose jobs have run; feed to
+/// [`SweepServer::complete_submit`].
+pub struct ExecutedSubmit {
+    prepared: PreparedSubmit,
+    runs: Vec<JobRun<JobOutcome<Result<CellReport, String>>>>,
+}
+
+/// What [`SweepServer::begin_line`] produced for one request line.
+pub enum LineOutcome {
+    /// The request was fully handled (any non-submit op, or a submit that
+    /// failed before admission); here is the response line.
+    Response(String),
+    /// A submit passed admission: execute it (without the server lock) and
+    /// complete it.
+    Submit(Box<PreparedSubmit>),
+}
+
 impl SweepServer {
     /// A fresh server with an empty cache.
     pub fn new(config: ServerConfig, cost: CostModel) -> Self {
@@ -147,6 +225,7 @@ impl SweepServer {
             stats: ServerStats::default(),
             last_regime: None,
             shutdown: false,
+            inflight_micros: 0,
         }
     }
 
@@ -172,6 +251,13 @@ impl SweepServer {
         self.shutdown
     }
 
+    /// Estimated microseconds admitted but not yet completed (non-zero
+    /// only between `begin_line` and `complete_submit`/`abort_submit` on
+    /// concurrent connections).
+    pub fn inflight_micros(&self) -> u64 {
+        self.inflight_micros
+    }
+
     /// The server's sweep base (fixed victim/attack/budget constants).
     pub fn sweep_base(&self) -> SweepBase {
         self.base
@@ -184,7 +270,10 @@ impl SweepServer {
     }
 
     /// Handle one request line, returning exactly one response line
-    /// (without trailing newline). Never panics on malformed input.
+    /// (without trailing newline). Never panics on malformed input. Runs
+    /// the full admit → execute → complete pipeline inline; concurrent
+    /// connection loops use [`SweepServer::begin_line`] instead so
+    /// execution happens outside the server lock.
     pub fn handle_line(&mut self, line: &str) -> String {
         let response = match Json::parse(line) {
             Ok(request) => self.handle(&request),
@@ -193,17 +282,42 @@ impl SweepServer {
         response.render_compact()
     }
 
-    /// Handle one parsed request.
+    /// Handle one parsed request, inline.
     pub fn handle(&mut self, request: &Json) -> Json {
+        match self.begin_request(request) {
+            Err(response) => response,
+            Ok(prepared) => {
+                let executed = Self::execute_prepared(prepared);
+                self.complete(executed)
+            }
+        }
+    }
+
+    /// Phase 1 of the concurrent pipeline: parse the line and, for submit
+    /// requests, run admission (under whatever lock guards `&mut self`).
+    /// Non-submit ops are answered immediately.
+    pub fn begin_line(&mut self, line: &str) -> LineOutcome {
+        match Json::parse(line) {
+            Ok(request) => match self.begin_request(&request) {
+                Err(response) => LineOutcome::Response(response.render_compact()),
+                Ok(prepared) => LineOutcome::Submit(Box::new(prepared)),
+            },
+            Err(e) => LineOutcome::Response(
+                error_response("?", format!("bad request line: {e}")).render_compact(),
+            ),
+        }
+    }
+
+    fn begin_request(&mut self, request: &Json) -> Result<PreparedSubmit, Json> {
         self.stats.requests += 1;
         let op = match request.field_str("op") {
             Ok(op) => op.to_string(),
-            Err(e) => return error_response("?", e.message),
+            Err(e) => return Err(error_response("?", e.message)),
         };
-        match op.as_str() {
+        Err(match op.as_str() {
             "hello" => self.op_hello(),
             "budget" => self.op_budget(request),
-            "submit" => self.op_submit(request),
+            "submit" => return self.admit_submit(request),
             "invalidate" => self.op_invalidate(request),
             "stats" => self.op_stats(),
             "shutdown" => {
@@ -211,7 +325,46 @@ impl SweepServer {
                 ok_response("shutdown")
             }
             other => error_response(&op, format!("unknown op `{other}`")),
+        })
+    }
+
+    /// Phase 3 of the concurrent pipeline: fold executed jobs back into
+    /// the server state and build the response (under the lock again).
+    pub fn complete_submit(&mut self, executed: ExecutedSubmit) -> Json {
+        self.complete(executed)
+    }
+
+    /// Abort a prepared submit whose jobs never ran (e.g. a `shutdown`
+    /// landed between admission and execution): every pending cell is
+    /// refunded and answered `shed`/`shutting_down`; already-resolved
+    /// slots (cache hits, rejections) are reported normally.
+    pub fn abort_submit(&mut self, prepared: PreparedSubmit) -> Json {
+        let mut prepared = prepared;
+        for job in std::mem::take(&mut prepared.jobs) {
+            let ExecJob {
+                slot,
+                spec,
+                spec_label,
+                key,
+            } = job;
+            let estimate = match &prepared.slots[slot] {
+                Slot::Pending {
+                    estimate_micros, ..
+                } => *estimate_micros,
+                _ => 0,
+            };
+            prepared.slots[slot] = Slot::Shed {
+                spec_label,
+                key,
+                estimate_micros: estimate,
+                priority: spec.priority,
+                reason: "shutting_down",
+            };
         }
+        self.complete(ExecutedSubmit {
+            prepared,
+            runs: Vec::new(),
+        })
     }
 
     fn op_hello(&self) -> Json {
@@ -237,11 +390,26 @@ impl SweepServer {
             Ok(g) => g,
             Err(e) => return error_response("budget", e.message),
         };
+        // Idempotency: a grant carrying a `txn` token the ledger already
+        // applied is acknowledged without granting again, so clients can
+        // resend a grant whose response was lost to a dropped connection.
+        let txn = request.get("txn").and_then(Json::as_str).map(String::from);
+        if let Some(txn) = &txn {
+            if let Some(ledger) = self.clients.get(&client) {
+                if ledger.last_grant_txn.as_deref() == Some(txn) {
+                    return ok_response("budget")
+                        .with("client", Json::str(client))
+                        .with("duplicate_txn", Json::Bool(true))
+                        .with("ledger", ledger.to_json());
+                }
+            }
+        }
         let ledger = self
             .clients
             .entry(client.clone())
             .and_modify(|l| l.account.grant(grant))
             .or_insert_with(|| ClientLedger::with_grant(grant));
+        ledger.last_grant_txn = txn;
         ok_response("budget")
             .with("client", Json::str(client))
             .with("ledger", ledger.to_json())
@@ -253,13 +421,37 @@ impl SweepServer {
             .iter()
             .map(|(name, ledger)| (name.clone(), ledger.to_json()))
             .collect();
-        ok_response("stats")
+        let mut response = ok_response("stats")
             .with("quick", Json::Bool(self.config.quick))
             .with("workers", Json::uint(self.config.workers as u64))
             .with("capacity_micros", Json::uint(self.config.capacity_micros))
+            .with("inflight_micros", Json::uint(self.inflight_micros))
             .with("cache_cells", Json::uint(self.cache.len() as u64))
             .with("stats", self.stats.to_json())
-            .with("clients", Json::Obj(clients))
+            .with("clients", Json::Obj(clients));
+        // Surface fault-plane activity when a dd-chaos campaign is armed,
+        // so injected faults are observable over the wire.
+        if let Some(report) = dd_chaos::snapshot() {
+            let sites = report
+                .sites
+                .iter()
+                .map(|(site, s)| {
+                    (
+                        site.clone(),
+                        Json::obj()
+                            .with("checks", Json::uint(s.checks))
+                            .with("fires", Json::uint(s.fires)),
+                    )
+                })
+                .collect();
+            response = response.with(
+                "chaos",
+                Json::obj()
+                    .with("seed", Json::uint(report.seed))
+                    .with("sites", Json::Obj(sites)),
+            );
+        }
+        response
     }
 
     fn op_invalidate(&mut self, request: &Json) -> Json {
@@ -310,7 +502,16 @@ impl SweepServer {
             .with("cache_cells", Json::uint(self.cache.len() as u64))
     }
 
-    fn op_submit(&mut self, request: &Json) -> Json {
+    /// Passes 1–2 of the submit pipeline: parse, key, price, charge the
+    /// live ledger, classify the regime against offered + in-flight load,
+    /// shed under storm. Runs under the server lock; returns the prepared
+    /// submit for lock-free execution (or the finished response on
+    /// pre-admission errors).
+    fn admit_submit(&mut self, request: &Json) -> Result<PreparedSubmit, Json> {
+        if self.shutdown {
+            return Err(error_response("submit", "server is shutting down")
+                .with("kind", Json::str("shutting_down")));
+        }
         let client = request
             .get("client")
             .and_then(Json::as_str)
@@ -318,29 +519,33 @@ impl SweepServer {
             .to_string();
         if let Some(quick) = request.get("quick").and_then(Json::as_bool) {
             if quick != self.config.quick {
-                return error_response(
+                return Err(error_response(
                     "submit",
                     format!(
                         "quick-mode mismatch: client submitted quick={quick}, server runs quick={}",
                         self.config.quick
                     ),
-                );
+                ));
             }
         }
         let cells = match request.field_arr("cells") {
             Ok(cells) => cells,
-            Err(e) => return error_response("submit", e.message),
+            Err(e) => return Err(error_response("submit", e.message)),
         };
 
-        let mut ledger = self
+        let default_grant = self.config.default_grant_micros;
+        let ledger = self
             .clients
-            .get(&client)
-            .cloned()
-            .unwrap_or_else(|| ClientLedger::with_grant(self.config.default_grant_micros));
+            .entry(client.clone())
+            .or_insert_with(|| ClientLedger::with_grant(default_grant));
         ledger.submitted += cells.len() as u64;
         self.stats.jobs += cells.len() as u64;
 
-        // Pass 1 — parse, key, price, admit.
+        // Pass 1 — parse, key, price, admit. `base` and `cost` are copied
+        // out so the live-ledger borrow of `self.clients` can coexist with
+        // cache reads and stats updates (disjoint fields).
+        let base = self.base;
+        let cost = self.cost;
         let pass_span = dd_obs::span_with("server.parse", || format!("client={client}"));
         let mut slots: Vec<Slot> = Vec::with_capacity(cells.len());
         let mut pending_keys: HashMap<u64, usize> = HashMap::new();
@@ -348,12 +553,16 @@ impl SweepServer {
             let spec = match CellSpec::from_json(cell) {
                 Ok(spec) => spec,
                 Err(e) => {
-                    slots.push(Slot::Error { message: e.message });
+                    slots.push(Slot::Error {
+                        message: e.message,
+                        kind: "bad_spec",
+                    });
                     continue;
                 }
             };
-            let (_, key) = self.base.cell_key(&spec);
-            let estimate_micros = self.price_micros(&spec);
+            let (_, key) = base.cell_key(&spec);
+            let estimate_micros =
+                cost.price_micros(base.estimated_commands(&spec), spec.device.rows());
             self.stats.hist_estimate_micros.record(estimate_micros);
             let spec_label = spec.label();
             if let Some(hit) = self.cache.get(&key) {
@@ -394,9 +603,13 @@ impl SweepServer {
             }
         }
 
-        // Pass 2 — classify the offered backlog, shed under storm.
+        // Pass 2 — classify the offered backlog *plus* the estimated work
+        // still in flight from concurrently admitted submits, shed under
+        // storm.
         drop(pass_span);
         let pass_span = dd_obs::span("server.shed");
+        let capacity = self.config.capacity_micros;
+        let carryover_micros = self.inflight_micros;
         let mut backlog: u64 = slots
             .iter()
             .filter_map(|s| match s {
@@ -406,11 +619,14 @@ impl SweepServer {
                 _ => None,
             })
             .sum();
-        let regime = Regime::classify(backlog, self.config.capacity_micros);
+        let regime = Regime::classify(backlog.saturating_add(carryover_micros), capacity);
         if self.last_regime != Some(regime) {
             let offered = backlog;
             dd_obs::event("server.regime", || {
-                format!("regime={} backlog_micros={offered}", regime.label())
+                format!(
+                    "regime={} backlog_micros={offered} carryover_micros={carryover_micros}",
+                    regime.label()
+                )
             });
             self.last_regime = Some(regime);
         }
@@ -428,16 +644,16 @@ impl SweepServer {
                         _ => None,
                     })
                     .collect();
-                if backlog <= self.config.capacity_micros || pending.len() <= 1 {
+                if backlog.saturating_add(carryover_micros) <= capacity || pending.len() <= 1 {
                     break;
                 }
                 // Lowest priority first; newest submission among ties.
-                let &(victim, _, estimate) = pending
+                let Some(&(victim, _, estimate)) = pending
                     .iter()
                     .min_by_key(|&&(i, priority, _)| (priority, std::cmp::Reverse(i)))
-                    .expect("pending is non-empty");
-                ledger.account.refund(estimate);
-                backlog -= estimate;
+                else {
+                    break;
+                };
                 let Slot::Pending {
                     spec,
                     spec_label,
@@ -447,11 +663,20 @@ impl SweepServer {
                     &mut slots[victim],
                     Slot::Error {
                         message: String::new(),
+                        kind: "internal",
                     },
                 )
                 else {
-                    unreachable!("victim index points at a pending slot");
+                    // Defensive: never tear down the request path over an
+                    // internal bookkeeping slip.
+                    slots[victim] = Slot::Error {
+                        message: "internal: shed victim was not pending".to_string(),
+                        kind: "internal",
+                    };
+                    break;
                 };
+                ledger.account.refund(estimate);
+                backlog -= estimate;
                 pending_keys.remove(&key);
                 dd_obs::event("server.shed_cell", || {
                     format!(
@@ -464,6 +689,7 @@ impl SweepServer {
                     key,
                     estimate_micros: estimate,
                     priority: spec.priority,
+                    reason: "storm_overload",
                 };
             }
         }
@@ -473,24 +699,33 @@ impl SweepServer {
             Regime::Storm => self.stats.storm_requests += 1,
         }
 
-        // Pass 3 — execute the surviving pending cells, co-scheduling
-        // same-geometry jobs onto one worker (warm device tables, and the
-        // seam the cross-cell sweep kernel batches across).
+        // Hand off to execution: collect surviving pending cells with
+        // their geometry-affinity keys, and account their estimates as
+        // in-flight until `complete`/`abort` settles them.
         drop(pass_span);
-        let pass_span = dd_obs::span_with("server.execute", || format!("client={client}"));
-        let jobs: Vec<(usize, CellSpec)> = slots
+        let jobs: Vec<ExecJob> = slots
             .iter()
             .enumerate()
             .filter_map(|(i, s)| match s {
-                Slot::Pending { spec, .. } => Some((i, spec.clone())),
+                Slot::Pending {
+                    spec,
+                    spec_label,
+                    key,
+                    ..
+                } => Some(ExecJob {
+                    slot: i,
+                    spec: spec.clone(),
+                    spec_label: spec_label.clone(),
+                    key: *key,
+                }),
                 _ => None,
             })
             .collect();
         let mut geometries: Vec<String> = Vec::new();
         let affinity: Vec<u64> = jobs
             .iter()
-            .map(|(_, spec)| {
-                let label = spec.device.label();
+            .map(|job| {
+                let label = job.spec.device.label();
                 let key = match geometries.iter().position(|g| *g == label) {
                     Some(i) => i,
                     None => {
@@ -501,27 +736,110 @@ impl SweepServer {
                 key as u64
             })
             .collect();
-        let base = self.base;
-        let runs = run_work_stealing_grouped(&affinity, self.config.workers, |j| {
-            let matrix = base.matrix_for(&jobs[j].1);
-            matrix
-                .run()
-                .map_err(|e| format!("{e:?}"))
-                .and_then(|report| {
-                    report
-                        .cells
-                        .into_iter()
-                        .next()
-                        .ok_or_else(|| "matrix produced no cell".to_string())
-                })
-        });
+        let pending_micros: u64 = slots
+            .iter()
+            .filter_map(|s| match s {
+                Slot::Pending {
+                    estimate_micros, ..
+                } => Some(*estimate_micros),
+                _ => None,
+            })
+            .sum();
+        self.inflight_micros = self.inflight_micros.saturating_add(pending_micros);
+        Ok(PreparedSubmit {
+            client,
+            request_seq: self.stats.requests,
+            regime,
+            backlog_micros: backlog,
+            carryover_micros,
+            pending_micros,
+            slots,
+            jobs,
+            affinity,
+            workers: self.config.workers,
+            base,
+        })
+    }
+
+    /// Pass 3 — execute the surviving pending cells on the work-stealing
+    /// executor, co-scheduling same-geometry jobs onto one worker (warm
+    /// device tables, and the seam the cross-cell sweep kernel batches
+    /// across). Takes no `&self`: callers run this outside the server
+    /// lock. Jobs are panic-isolated with bounded retry; `dd-chaos`
+    /// injects worker panics (`executor.job_panic`) and stalls
+    /// (`executor.job_stall`) here, keyed on (cell key, request sequence,
+    /// attempt) so campaigns are deterministic under work stealing.
+    pub fn execute_prepared(prepared: PreparedSubmit) -> ExecutedSubmit {
+        let span = dd_obs::span_with("server.execute", || format!("client={}", prepared.client));
+        let base = prepared.base;
+        let seq = prepared.request_seq;
+        let jobs = &prepared.jobs;
+        let runs = run_work_stealing_grouped_isolated(
+            &prepared.affinity,
+            prepared.workers,
+            MAX_JOB_ATTEMPTS,
+            |j, attempt| {
+                let job = &jobs[j];
+                let fault_key = job.key ^ (seq << 8) ^ u64::from(attempt);
+                if dd_chaos::fires("executor.job_stall", fault_key) {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                if dd_chaos::fires("executor.job_panic", fault_key) {
+                    panic!(
+                        "chaos: injected worker panic (spec={}, attempt={attempt})",
+                        job.spec_label
+                    );
+                }
+                let matrix = base.matrix_for(&job.spec);
+                matrix
+                    .run()
+                    .map_err(|e| format!("{e:?}"))
+                    .and_then(|report| {
+                        report
+                            .cells
+                            .into_iter()
+                            .next()
+                            .ok_or_else(|| "matrix produced no cell".to_string())
+                    })
+            },
+        );
+        drop(span);
+        ExecutedSubmit { prepared, runs }
+    }
+
+    /// Passes 4–5 — fold executed jobs into the cache and ledgers, resolve
+    /// duplicates, tally, respond. Runs under the server lock.
+    fn complete(&mut self, executed: ExecutedSubmit) -> Json {
+        let ExecutedSubmit { prepared, runs } = executed;
+        let PreparedSubmit {
+            client,
+            regime,
+            backlog_micros,
+            carryover_micros,
+            pending_micros,
+            mut slots,
+            jobs,
+            ..
+        } = prepared;
+        self.inflight_micros = self.inflight_micros.saturating_sub(pending_micros);
+
+        let default_grant = self.config.default_grant_micros;
         self.stats.executor.absorb(&runs);
         for run in &runs {
             self.stats.hist_queue_micros.record(run.queue_micros);
             self.stats.hist_wall_micros.record(run.wall_micros);
         }
+        // Fold runs into slots. The ledger borrow is a live entry into
+        // `self.clients`; cache and stats are disjoint fields.
+        let ledger = self
+            .clients
+            .entry(client.clone())
+            .or_insert_with(|| ClientLedger::with_grant(default_grant));
         for run in runs {
-            let slot_index = jobs[run.index].0;
+            let Some(job) = jobs.get(run.index) else {
+                continue;
+            };
+            let slot_index = job.slot;
             let Slot::Pending {
                 spec,
                 spec_label,
@@ -531,13 +849,21 @@ impl SweepServer {
                 &mut slots[slot_index],
                 Slot::Error {
                     message: String::new(),
+                    kind: "internal",
                 },
             )
             else {
-                unreachable!("job index points at a pending slot");
+                slots[slot_index] = Slot::Error {
+                    message: "internal: executed job did not map to a pending slot".to_string(),
+                    kind: "internal",
+                };
+                continue;
             };
+            if run.attempts > 1 {
+                self.stats.job_retries += u64::from(run.attempts - 1);
+            }
             match run.output {
-                Ok(cell) => {
+                JobOutcome::Ok(Ok(cell)) => {
                     self.cache.insert(key, cell.clone());
                     slots[slot_index] = Slot::Done {
                         spec_label,
@@ -552,18 +878,36 @@ impl SweepServer {
                         cell: Box::new(cell),
                     };
                 }
-                Err(message) => {
+                JobOutcome::Ok(Err(message)) => {
                     ledger.account.refund(estimate_micros);
                     self.stats.record_refund(regime, estimate_micros);
                     slots[slot_index] = Slot::Error {
                         message: format!("cell `{spec_label}` failed: {message}"),
+                        kind: "job_failed",
+                    };
+                }
+                JobOutcome::Panicked { message } => {
+                    ledger.account.refund(estimate_micros);
+                    self.stats.record_refund(regime, estimate_micros);
+                    self.stats.job_failed += 1;
+                    dd_obs::event("server.job_failed", || {
+                        format!(
+                            "client={client} spec={spec_label} attempts={}",
+                            run.attempts
+                        )
+                    });
+                    slots[slot_index] = Slot::Error {
+                        message: format!(
+                            "cell `{spec_label}` execution panicked after {} attempts: {message}",
+                            run.attempts
+                        ),
+                        kind: "job_failed",
                     };
                 }
             }
         }
 
         // Pass 4 — resolve duplicates from the (now updated) cache.
-        drop(pass_span);
         let pass_span = dd_obs::span("server.resolve");
         for slot in &mut slots {
             if let Slot::Duplicate { spec_label, key } = slot {
@@ -584,6 +928,7 @@ impl SweepServer {
                         message: format!(
                             "cell `{spec_label}` duplicates an earlier cell that did not complete"
                         ),
+                        kind: "duplicate_incomplete",
                     },
                 };
             }
@@ -650,39 +995,57 @@ impl SweepServer {
                     key,
                     estimate_micros,
                     priority,
+                    reason,
                 } => {
                     ledger.shed += 1;
-                    self.stats.record_shed(regime, *estimate_micros);
+                    if *reason == "storm_overload" {
+                        // The storm shed loop already refunded the charge.
+                        self.stats.record_shed(regime, *estimate_micros);
+                    } else {
+                        // Shutdown-abort sheds refund here; they are not a
+                        // regime outcome, so `shed_by_regime` (a storm-only
+                        // breakdown by construction) is left alone.
+                        ledger.account.refund(*estimate_micros);
+                        self.stats.shed += 1;
+                        self.stats.record_refund(regime, *estimate_micros);
+                    }
                     Json::obj()
                         .with("status", Json::str("shed"))
-                        .with("reason", Json::str("storm_overload"))
+                        .with("reason", Json::str(*reason))
                         .with("spec", Json::str(spec_label.clone()))
                         .with("key", Json::hex(*key))
                         .with("estimate_micros", Json::uint(*estimate_micros))
                         .with("priority", Json::num(*priority as f64))
                 }
-                Slot::Error { message } => {
+                Slot::Error { message, kind } => {
                     ledger.errors += 1;
                     self.stats.errors += 1;
                     Json::obj()
                         .with("status", Json::str("error"))
+                        .with("kind", Json::str(*kind))
                         .with("reason", Json::str(message.clone()))
                 }
                 Slot::Pending { .. } | Slot::Duplicate { .. } => {
-                    unreachable!("all slots resolved before the response")
+                    // Defensive: a slot that somehow survived unresolved is
+                    // reported, not a process abort.
+                    ledger.errors += 1;
+                    self.stats.errors += 1;
+                    Json::obj()
+                        .with("status", Json::str("error"))
+                        .with("kind", Json::str("internal"))
+                        .with("reason", Json::str("internal: slot left unresolved"))
                 }
             });
         }
 
-        let response = ok_response("submit")
+        ok_response("submit")
             .with("client", Json::str(client.clone()))
             .with("regime", Json::str(regime.label()))
-            .with("backlog_micros", Json::uint(backlog))
+            .with("backlog_micros", Json::uint(backlog_micros))
+            .with("carryover_micros", Json::uint(carryover_micros))
             .with("capacity_micros", Json::uint(self.config.capacity_micros))
             .with("results", Json::Arr(results))
-            .with("ledger", ledger.to_json());
-        self.clients.insert(client, ledger);
-        response
+            .with("ledger", ledger.to_json())
     }
 }
 
@@ -807,6 +1170,163 @@ mod tests {
             .expect("response");
         assert_eq!(all.field_bool("ok"), Ok(true));
         assert_eq!(all.field_u64("evicted"), Ok(0));
+    }
+
+    fn ledger_balances(ledger: &Json) -> bool {
+        let granted = ledger.field_u64("granted_micros").expect("granted");
+        let refunded = ledger.field_u64("refunded_micros").expect("refunded");
+        let gross = ledger.field_u64("charged_gross_micros").expect("gross");
+        let remaining = ledger.field_u64("remaining_micros").expect("remaining");
+        granted + refunded == gross + remaining
+    }
+
+    #[test]
+    fn warm_inflight_backlog_flips_calm_to_pre_storm() {
+        // Size the capacity to one cell's estimate: a lone submit is Calm,
+        // but the same submit while an earlier one is still in flight
+        // classifies against offered + carryover and goes PreStorm. The
+        // three specs are distinct (to dodge the cell cache) but priced
+        // within a hair of each other, so cap = max estimate keeps every
+        // solo submit Calm while any pair lands in (cap, 2*cap].
+        let spec_texts = [
+            "Baseline (undefended):BFA:lpddr4_small:none",
+            "Baseline (undefended):BFA:lpddr4_small@4801:none",
+            "Baseline (undefended):BFA:lpddr4_small@4802:none",
+        ];
+        let pricer = test_server(1);
+        let estimates: Vec<u64> = spec_texts
+            .iter()
+            .map(|t| pricer.price_micros(&CellSpec::parse_compact(t).expect("spec")))
+            .collect();
+        let capacity = estimates.iter().copied().max().expect("max");
+        assert!(estimates.iter().all(|&e| e > 0));
+        assert!(estimates[0] + estimates[1] > capacity);
+        let config = ServerConfig {
+            quick: true,
+            workers: 2,
+            capacity_micros: capacity,
+            default_grant_micros: 10_000_000,
+        };
+        let mut server = SweepServer::new(config, CostModel::new(200_000_000, 16 * 8 * 128));
+
+        let line_a = submit_line("alice", &[spec_texts[0]]);
+        let line_b = submit_line("bob", &[spec_texts[1]]);
+
+        // Admit A but do not execute yet: its estimate is now in flight.
+        let LineOutcome::Submit(prepared_a) = server.begin_line(&line_a) else {
+            panic!("submit A should pass admission");
+        };
+        assert_eq!(server.inflight_micros(), estimates[0]);
+
+        // B admits while A is in flight: offered + carryover lands in
+        // (capacity, 2*capacity] → PreStorm, nothing shed.
+        let response_b = Json::parse(&server.handle_line(&line_b)).expect("B");
+        assert_eq!(response_b.field_str("regime"), Ok("pre-storm"));
+        assert_eq!(response_b.field_u64("carryover_micros"), Ok(estimates[0]));
+        let results_b = response_b.field_arr("results").expect("results");
+        assert_eq!(results_b[0].field_str("status"), Ok("done"));
+
+        // Drain A; the gauge returns to zero and A itself was Calm.
+        let executed = SweepServer::execute_prepared(*prepared_a);
+        let response_a = server.complete_submit(executed);
+        assert_eq!(response_a.field_str("regime"), Ok("calm"));
+        assert_eq!(response_a.field_u64("carryover_micros"), Ok(0));
+        assert_eq!(server.inflight_micros(), 0);
+
+        // Without the warm backlog the same submit is Calm again (cache
+        // forces a fresh spec).
+        let line_c = submit_line("carol", &[spec_texts[2]]);
+        let response_c = Json::parse(&server.handle_line(&line_c)).expect("C");
+        assert_eq!(response_c.field_str("regime"), Ok("calm"));
+    }
+
+    #[test]
+    fn shutdown_aborts_prepared_submit_with_refunds_and_refuses_new_work() {
+        let mut server = test_server(1_000_000);
+        let line = submit_line("drain", &["Baseline (undefended):BFA:lpddr4_small:none"]);
+        let LineOutcome::Submit(prepared) = server.begin_line(&line) else {
+            panic!("submit should pass admission");
+        };
+        assert!(server.inflight_micros() > 0);
+        // Shutdown lands while the submit is admitted but unexecuted.
+        let bye = Json::parse(&server.handle_line("{\"op\":\"shutdown\"}")).expect("bye");
+        assert_eq!(bye.field_bool("ok"), Ok(true));
+        let response = server.abort_submit(*prepared);
+        let results = response.field_arr("results").expect("results");
+        assert_eq!(results[0].field_str("status"), Ok("shed"));
+        assert_eq!(results[0].field_str("reason"), Ok("shutting_down"));
+        let ledger = response.field("ledger").expect("ledger");
+        assert_eq!(ledger.field_u64("charged_micros"), Ok(0));
+        assert!(ledger.field_u64("refunded_micros").expect("refunded") > 0);
+        assert!(ledger_balances(ledger));
+        assert_eq!(server.inflight_micros(), 0);
+
+        // New submits are refused with a structured shutting_down error.
+        let refused = Json::parse(&server.handle_line(&line)).expect("refused");
+        assert_eq!(refused.field_bool("ok"), Ok(false));
+        assert_eq!(refused.field_str("kind"), Ok("shutting_down"));
+    }
+
+    #[test]
+    fn budget_grant_with_same_txn_is_applied_once() {
+        let mut server = test_server(1_000_000);
+        let grant =
+            "{\"op\":\"budget\",\"client\":\"idem\",\"grant_micros\":500,\"txn\":\"idem-g1\"}";
+        let first = Json::parse(&server.handle_line(grant)).expect("first");
+        assert_eq!(first.field_bool("ok"), Ok(true));
+        let ledger = first.field("ledger").expect("ledger");
+        assert_eq!(ledger.field_u64("granted_micros"), Ok(500));
+        // Retry (response lost): same txn must not grant again.
+        let second = Json::parse(&server.handle_line(grant)).expect("second");
+        assert_eq!(second.field_bool("duplicate_txn"), Ok(true));
+        let ledger = second.field("ledger").expect("ledger");
+        assert_eq!(ledger.field_u64("granted_micros"), Ok(500));
+        // A new txn grants normally.
+        let third = Json::parse(&server.handle_line(
+            "{\"op\":\"budget\",\"client\":\"idem\",\"grant_micros\":250,\"txn\":\"idem-g2\"}",
+        ))
+        .expect("third");
+        let ledger = third.field("ledger").expect("ledger");
+        assert_eq!(ledger.field_u64("granted_micros"), Ok(750));
+    }
+
+    #[test]
+    fn injected_worker_panic_becomes_job_failed_with_refund_never_process_death() {
+        let mut server = test_server(1_000_000);
+        let line = submit_line("chaotic", &["Baseline (undefended):BFA:lpddr4_small:none"]);
+        let session = dd_chaos::arm(
+            dd_chaos::ChaosPlan::inert(42).with_rule("executor.job_panic", 1_000_000),
+        );
+        let response = Json::parse(&server.handle_line(&line)).expect("submit");
+        let report = session.finish();
+        // Every attempt panicked: MAX_JOB_ATTEMPTS checks, all fired.
+        assert_eq!(
+            report.fires_at("executor.job_panic"),
+            u64::from(MAX_JOB_ATTEMPTS)
+        );
+        assert_eq!(response.field_bool("ok"), Ok(true));
+        let results = response.field_arr("results").expect("results");
+        assert_eq!(results[0].field_str("status"), Ok("error"));
+        assert_eq!(results[0].field_str("kind"), Ok("job_failed"));
+        assert!(results[0]
+            .field_str("reason")
+            .expect("reason")
+            .contains("panicked after 3 attempts"));
+        let ledger = response.field("ledger").expect("ledger");
+        assert_eq!(ledger.field_u64("charged_micros"), Ok(0));
+        assert!(ledger.field_u64("refunded_micros").expect("refunded") > 0);
+        assert!(ledger_balances(ledger));
+
+        // The server is alive and the cell computes cleanly with the
+        // fault plane disarmed — and the retry/job_failed counters are on
+        // the stats wire.
+        let retry_free = Json::parse(&server.handle_line(&line)).expect("resubmit");
+        let results = retry_free.field_arr("results").expect("results");
+        assert_eq!(results[0].field_str("status"), Ok("done"));
+        let stats = Json::parse(&server.handle_line("{\"op\":\"stats\"}")).expect("stats");
+        let counters = stats.field("stats").expect("counters");
+        assert_eq!(counters.field_u64("job_failed"), Ok(1));
+        assert!(counters.field_u64("job_retries").expect("retries") >= 2);
     }
 
     #[test]
