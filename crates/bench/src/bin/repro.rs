@@ -27,10 +27,11 @@ use std::process::ExitCode;
 
 use dd_bench::cache::{load_cell_cache, save_cell_cache};
 use dd_bench::chaos::{run_chaos_campaign, ChaosCampaignReport};
+use dd_bench::corpus::{run_corpus_campaign, CorpusReport};
 use dd_bench::experiments::{print_artifact, ExperimentId, RunContext};
 use dd_bench::kernel::{
     run_kernel_bench, KernelBench, CHAOS_OVERHEAD_CEILING_PCT, KERNEL_SPEEDUP_FLOOR,
-    OBS_OVERHEAD_CEILING_PCT, SWEEP_SPEEDUP_FLOOR,
+    OBS_OVERHEAD_CEILING_PCT, STREAMING_RATIO_FLOOR, SWEEP_SPEEDUP_FLOOR,
 };
 use dd_bench::report::{render_duration, splice_section, Artifact};
 use dd_bench::serve::{run_serve, run_submit, ServeOptions, SubmitOptions};
@@ -55,9 +56,10 @@ fn usage(code: u8) -> ExitCode {
          commands:\n\
          \x20 all            run every experiment\n\
          \x20 report         regenerate the marked sections of EXPERIMENTS.md from artifacts\n\
-         \x20 kernel         benchmark the batched kernel vs the per-command reference path\n\
-         \x20                and the cross-cell sweep kernel vs N per-cell batched replays,\n\
-         \x20                write BENCH_kernel.json, and fail below either committed floor\n\
+         \x20 kernel         benchmark the batched kernel vs the per-command reference path,\n\
+         \x20                the cross-cell sweep kernel vs N per-cell batched replays, and\n\
+         \x20                streaming v2-container replay vs the decoded-in-RAM path;\n\
+         \x20                write BENCH_kernel.json, and fail below any committed floor\n\
          \x20 trace          run an observed smoke scenario (matrix slice + driver run +\n\
          \x20                server session) under dd-obs; write TRACE_summary.json and a\n\
          \x20                Perfetto-loadable TRACE_perfetto.json timeline\n\
@@ -65,6 +67,11 @@ fn usage(code: u8) -> ExitCode {
          \x20                against executor, kernel, wire, cache, and client); asserts\n\
          \x20                budget conservation, byte-identical cells, and survival;\n\
          \x20                writes CHAOS_report.json and fails on any broken invariant\n\
+         \x20 corpus         fleet-scale diurnal corpus sweep: one compressed fleet day\n\
+         \x20                (load ramp, tenant churn, hot-key shift) through every\n\
+         \x20                defense, with streaming-vs-materialized replay asserted\n\
+         \x20                bit-identical; writes CORPUS_report.json and fails on any\n\
+         \x20                broken invariant\n\
          \x20 serve          resident sweep server (line-delimited JSON on stdio,\n\
          \x20                --socket <S>, or --tcp <host:port>; budget-accounted,\n\
          \x20                work-stealing, cell-cached; --read-timeout-ms <N>)\n\
@@ -168,6 +175,7 @@ fn main() -> ExitCode {
     let mut want_kernel = false;
     let mut want_trace = false;
     let mut want_chaos = false;
+    let mut want_corpus = false;
     for command in &opts.commands {
         match command.as_str() {
             "all" => experiments.extend(ExperimentId::ALL),
@@ -175,6 +183,7 @@ fn main() -> ExitCode {
             "kernel" => want_kernel = true,
             "trace" => want_trace = true,
             "chaos" => want_chaos = true,
+            "corpus" => want_corpus = true,
             name => match ExperimentId::parse(name) {
                 Some(id) => experiments.push(id),
                 None => {
@@ -206,6 +215,11 @@ fn main() -> ExitCode {
     }
     if want_chaos {
         if let Err(code) = run_chaos_cmd(&opts) {
+            return code;
+        }
+    }
+    if want_corpus {
+        if let Err(code) = run_corpus_cmd(&opts) {
             return code;
         }
     }
@@ -310,6 +324,59 @@ fn run_chaos_cmd(opts: &Options) -> Result<(), ExitCode> {
     Ok(())
 }
 
+/// The `corpus` subcommand: the fleet-scale diurnal corpus sweep.
+/// Writes `CORPUS_report.json` and fails when any invariant broke —
+/// above all, when streaming replay diverged from materialized replay
+/// for any defense.
+fn run_corpus_cmd(opts: &Options) -> Result<(), ExitCode> {
+    if let Err(e) = std::fs::create_dir_all(&opts.artifacts_dir) {
+        eprintln!("repro: cannot create {}: {e}", opts.artifacts_dir.display());
+        return Err(ExitCode::FAILURE);
+    }
+    let smoke = dd_bench::quick_mode();
+    println!(
+        "[corpus] fleet-scale diurnal sweep ({} sizing): one compressed fleet day \
+         (load ramp, tenant churn, hot-key shift) through every defense, plus \
+         streaming-vs-materialized replay bit-identity...",
+        if smoke { "smoke" } else { "full" }
+    );
+    let report = match run_corpus_campaign(smoke) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("repro: corpus campaign harness failed: {e:?}");
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    let path = opts.artifacts_dir.join("CORPUS_report.json");
+    if let Err(e) = std::fs::write(&path, report.to_json().render_pretty()) {
+        eprintln!("repro: cannot write {}: {e}", path.display());
+        return Err(ExitCode::FAILURE);
+    }
+    println!(
+        "[corpus] {} phases x {} defenses, {} invariants; sample {} records, \
+         v2/v1 {:.0}% -> {}",
+        report.phases.len(),
+        report.defenses.len(),
+        report.invariants.len(),
+        report.trace.records,
+        if report.trace.v1_bytes == 0 {
+            0.0
+        } else {
+            100.0 * report.trace.v2_bytes as f64 / report.trace.v1_bytes as f64
+        },
+        path.display(),
+    );
+    if !report.all_pass() {
+        for name in report.failed_invariants() {
+            eprintln!("repro: corpus invariant FAILED: {name}");
+        }
+        eprintln!("repro: corpus campaign FAILED — see {}", path.display());
+        return Err(ExitCode::FAILURE);
+    }
+    println!("[corpus] every invariant held; streaming replay bit-identical across the roster");
+    Ok(())
+}
+
 /// The `kernel` perf gate: benchmark the batched kernel against the
 /// per-command reference path (equivalence-checked first), write
 /// `BENCH_kernel.json`, and fail when the measured speedup regresses
@@ -323,7 +390,7 @@ fn run_kernel(opts: &Options) -> Result<(), ExitCode> {
     // The floors and the overhead ceilings travel in the committed
     // artifact: prefer the target dir's copy, fall back to the repo's
     // committed one, then to the built-in defaults.
-    let (floor, sweep_floor, obs_ceiling, chaos_ceiling) =
+    let (floor, sweep_floor, streaming_floor, obs_ceiling, chaos_ceiling) =
         [path.clone(), PathBuf::from("artifacts/BENCH_kernel.json")]
             .iter()
             .find_map(|p| {
@@ -332,6 +399,7 @@ fn run_kernel(opts: &Options) -> Result<(), ExitCode> {
                 Some((
                     committed.floor,
                     committed.sweep_floor,
+                    committed.streaming_floor,
                     committed.obs_overhead_ceiling_pct,
                     committed.chaos_overhead_ceiling_pct,
                 ))
@@ -339,6 +407,7 @@ fn run_kernel(opts: &Options) -> Result<(), ExitCode> {
             .unwrap_or((
                 KERNEL_SPEEDUP_FLOOR,
                 SWEEP_SPEEDUP_FLOOR,
+                STREAMING_RATIO_FLOOR,
                 OBS_OVERHEAD_CEILING_PCT,
                 CHAOS_OVERHEAD_CEILING_PCT,
             ));
@@ -354,6 +423,7 @@ fn run_kernel(opts: &Options) -> Result<(), ExitCode> {
         quick,
         floor,
         sweep_floor,
+        streaming_floor,
         obs_ceiling,
         chaos_ceiling,
         opts.sweep_cells,
@@ -394,6 +464,22 @@ fn run_kernel(opts: &Options) -> Result<(), ExitCode> {
              {:.2}x — the sweep kernel lost its advantage over per-cell replay \
              (see docs/perf.md)",
             bench.sweep_speedup, bench.sweep_floor
+        );
+        return Err(ExitCode::FAILURE);
+    }
+    println!(
+        "[kernel] streaming v2 replay {:.1}M cmd/s -> {:.2}x of the batched path \
+         (floor {:.2}x)",
+        bench.streaming.commands_per_sec / 1e6,
+        bench.streaming_ratio,
+        bench.streaming_floor,
+    );
+    if bench.streaming_ratio < bench.streaming_floor {
+        eprintln!(
+            "repro: streaming replay throughput fell to {:.2}x of the batched path, below \
+             the committed floor {:.2}x — chunked container decode regressed \
+             (see docs/perf.md)",
+            bench.streaming_ratio, bench.streaming_floor
         );
         return Err(ExitCode::FAILURE);
     }
@@ -694,6 +780,38 @@ fn run_report(opts: &Options) -> ExitCode {
             println!(
                 "[report] no artifact for `chaos` ({} missing or unreadable) — section left as-is",
                 chaos_path.display()
+            );
+        }
+    }
+    // The corpus section renders from CORPUS_report.json (deterministic
+    // simulated counts only, so the splice is machine-independent).
+    let corpus_path = artifacts_dir.join("CORPUS_report.json");
+    match std::fs::read_to_string(&corpus_path)
+        .ok()
+        .and_then(|text| CorpusReport::parse(&text).ok())
+    {
+        Some(report) => match splice_section(&doc, "corpus", &report.render_markdown()) {
+            Ok(updated) => {
+                doc = updated;
+                spliced += 1;
+            }
+            Err(e) => {
+                eprintln!("repro: {} in {}", e, docs_path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None if opts.check => {
+            eprintln!(
+                "repro: cannot verify `corpus`: {} missing or unreadable — \
+                 run `repro corpus` and commit artifacts/",
+                corpus_path.display(),
+            );
+            return ExitCode::FAILURE;
+        }
+        None => {
+            println!(
+                "[report] no artifact for `corpus` ({} missing or unreadable) — section left as-is",
+                corpus_path.display()
             );
         }
     }

@@ -1052,7 +1052,7 @@ pub fn workload_matrix(quick: bool) -> ScenarioMatrix {
 /// two-layer MLP whose quantized weights fill ~148 rows of the small
 /// device. The workload experiment measures traffic, not accuracy, so
 /// training would add nothing but wall time.
-fn serving_model(seed: u64) -> QModel {
+pub(crate) fn serving_model(seed: u64) -> QModel {
     let mut rng = seeded_rng(seed);
     let net = Network::new("serving")
         .push(Flatten::new())
@@ -1063,7 +1063,7 @@ fn serving_model(seed: u64) -> QModel {
 
 /// The secured/attacked bit set: spread across the first parameter so
 /// the protected rows scatter over banks (the round-robin layout).
-fn workload_bits(model: &QModel, n: usize) -> Vec<BitAddr> {
+pub(crate) fn workload_bits(model: &QModel, n: usize) -> Vec<BitAddr> {
     let len = model.qtensor(0).len();
     (0..n)
         .map(|i| BitAddr {

@@ -6,16 +6,20 @@
 //! any timing is reported.
 //!
 //! `repro kernel` runs it and writes `artifacts/BENCH_kernel.json`
-//! (schema v4): both single-cell paths' commands/sec plus their ratio,
+//! (schema v5): both single-cell paths' commands/sec plus their ratio,
 //! the N-cell matrix throughput (total commands across cells per
 //! wall second) of the sweep kernel against the per-cell batched
-//! baseline, the `dd-obs` recording overhead — both timed fast
-//! paths replayed with the sink enabled, as a percentage over the
-//! disabled baseline — and the `dd-chaos` fault-plane overhead, the
-//! same two paths replayed with an armed-but-inert chaos plan (every
-//! `kernel.chunk_stall` probe consulted, nothing ever fires) over the
-//! disarmed baseline. The committed artifact carries a `floor`, a
-//! `sweep_floor`, an `obs_overhead_ceiling_pct`, and a
+//! baseline, the *streaming* replay path — the same trace replayed
+//! straight off a v2 chunked container through
+//! [`StreamingTraceReader`], decode and issue interleaved chunk by
+//! chunk, gated as a ratio of the pre-materialized batched path — the
+//! `dd-obs` recording overhead — both timed fast paths replayed with
+//! the sink enabled, as a percentage over the disabled baseline — and
+//! the `dd-chaos` fault-plane overhead, the same two paths replayed
+//! with an armed-but-inert chaos plan (every `kernel.chunk_stall`
+//! probe consulted, nothing ever fires) over the disarmed baseline.
+//! The committed artifact carries a `floor`, a `sweep_floor`, a
+//! `streaming_floor`, an `obs_overhead_ceiling_pct`, and a
 //! `chaos_overhead_ceiling_pct`; a rerun whose measured speedup falls
 //! below a floor, or whose overhead rises above a ceiling, exits
 //! non-zero — the CI perf-regression gate (the floors are deliberately
@@ -23,6 +27,7 @@
 //! `docs/perf.md`, `docs/observability.md`, and `docs/resilience.md`
 //! for how to read the numbers.
 
+use std::io::Cursor;
 use std::time::Instant;
 
 use dd_dram::{
@@ -30,12 +35,13 @@ use dd_dram::{
     TraceMode,
 };
 use dd_workload::{
-    all_data_rows, OpKind, StreamingScan, WorkloadGenerator, WorkloadOp, ZipfianServing,
+    all_data_rows, encode_v2, OpKind, StreamingScan, StreamingTraceReader, WorkloadGenerator,
+    WorkloadOp, ZipfianServing,
 };
 use dnn_defender::{Json, JsonError};
 
 /// Schema version of `BENCH_kernel.json`.
-pub const KERNEL_BENCH_SCHEMA_VERSION: u64 = 4;
+pub const KERNEL_BENCH_SCHEMA_VERSION: u64 = 5;
 
 /// Default speedup floor when no committed artifact provides one: the
 /// regression gate trips below this batch/reference ratio. Generously
@@ -49,6 +55,15 @@ pub const SWEEP_SPEEDUP_FLOOR: f64 = 2.0;
 
 /// Default cell count for the cross-cell sweep measurement.
 pub const SWEEP_CELLS_DEFAULT: usize = 12;
+
+/// Default floor on streaming-replay throughput as a fraction of the
+/// pre-materialized batched path. Streaming interleaves chunk decode
+/// (varint deltas included) with issue, so it cannot beat the
+/// decoded-in-RAM path — but the decode is amortized per 512-op chunk
+/// and in practice costs a few percent. 0.5 catches a chunked-decode
+/// regression (an accidental per-op seek, quadratic buffer growth)
+/// without letting shared-CI noise flake the gate.
+pub const STREAMING_RATIO_FLOOR: f64 = 0.5;
 
 /// Default ceiling on the `dd-obs` recording overhead, in percent over
 /// the disabled baseline on either kernel fast path. The probes are
@@ -165,6 +180,16 @@ pub struct KernelBench {
     pub sweep_speedup: f64,
     /// The cross-cell regression gate.
     pub sweep_floor: f64,
+    /// The streaming replay path: the same trace replayed straight off
+    /// a v2 chunked container, decode interleaved with issue.
+    pub streaming: PathMeasure,
+    /// `streaming.commands_per_sec / batch.commands_per_sec` — what
+    /// chunk-by-chunk decode costs relative to decoded-in-RAM replay.
+    pub streaming_ratio: f64,
+    /// The streaming regression gate: a rerun whose ratio falls below
+    /// this fails ([`STREAMING_RATIO_FLOOR`] when no artifact provides
+    /// one).
+    pub streaming_floor: f64,
     /// Recording overhead on the batched path: the median over
     /// alternating enabled/disabled run pairs of the enabled-over-
     /// disabled wall-time ratio, in percent (negative = noise).
@@ -206,6 +231,9 @@ impl KernelBench {
             .with("sweep", self.sweep.to_json())
             .with("sweep_speedup", Json::num(self.sweep_speedup))
             .with("sweep_floor", Json::num(self.sweep_floor))
+            .with("streaming", self.streaming.to_json())
+            .with("streaming_ratio", Json::num(self.streaming_ratio))
+            .with("streaming_floor", Json::num(self.streaming_floor))
             .with(
                 "obs_overhead_batch_pct",
                 Json::num(self.obs_overhead_batch_pct),
@@ -265,6 +293,9 @@ impl KernelBench {
             sweep: PathMeasure::from_json(json.field("sweep")?)?,
             sweep_speedup: json.field_f64("sweep_speedup")?,
             sweep_floor: json.field_f64("sweep_floor")?,
+            streaming: PathMeasure::from_json(json.field("streaming")?)?,
+            streaming_ratio: json.field_f64("streaming_ratio")?,
+            streaming_floor: json.field_f64("streaming_floor")?,
             obs_overhead_batch_pct: json.field_f64("obs_overhead_batch_pct")?,
             obs_overhead_sweep_pct: json.field_f64("obs_overhead_sweep_pct")?,
             obs_overhead_ceiling_pct: json.field_f64("obs_overhead_ceiling_pct")?,
@@ -346,6 +377,36 @@ fn run_batched(
     let mut kernel = DecodedBatch::new(config);
     for piece in ops.chunks(chunk.max(1)) {
         for op in piece {
+            let kind = match op.kind {
+                OpKind::Read => BatchOpKind::Read,
+                OpKind::Write => BatchOpKind::Write(dd_workload::tenant_fill(op.row.row)),
+            };
+            kernel
+                .push(op.row, kind, batch_factor - 1, None)
+                .expect("trace rows are valid");
+        }
+        mem.issue_batch(&mut kernel).expect("matching geometry");
+    }
+    mem
+}
+
+/// Replay a v2 chunked container through the batched kernel without
+/// ever materializing the full trace: [`StreamingTraceReader`] yields
+/// one batch-boundary-sized chunk at a time (delta decode included),
+/// each pushed into the [`DecodedBatch`] and issued before the next
+/// chunk is read. This is the resident server's replay shape — a fleet
+/// trace far larger than RAM costs one chunk of memory.
+fn run_streaming(config: &DramConfig, bytes: &[u8], batch_factor: u64) -> MemoryController {
+    let mut mem = counters_only_device(config);
+    let mut kernel = DecodedBatch::new(config);
+    let mut reader =
+        StreamingTraceReader::open(Cursor::new(bytes)).expect("bench container is valid");
+    let mut chunk = Vec::new();
+    while reader
+        .next_chunk(&mut chunk)
+        .expect("bench container is valid")
+    {
+        for op in &chunk {
             let kind = match op.kind {
                 OpKind::Read => BatchOpKind::Read,
                 OpKind::Write => BatchOpKind::Write(dd_workload::tenant_fill(op.row.row)),
@@ -486,18 +547,20 @@ fn assert_equivalent(fast: &MemoryController, reference: &MemoryController, trac
     }
 }
 
-/// Run the benchmark: time both single-cell paths and both cross-cell
-/// paths over the shared trace (best of [`KernelParams::rounds`]),
-/// verify equivalence, replay both fast paths with `dd-obs` recording
-/// enabled to measure the instrumentation overhead, replay them again
-/// with an armed-but-inert `dd-chaos` plan to measure the fault-plane
-/// overhead, and assemble the artifact with the given regression floors
-/// and overhead ceilings. `sweep_cells` overrides the cross-cell roster
-/// size ([`SWEEP_CELLS_DEFAULT`]); callers must pass at least 2.
+/// Run the benchmark: time both single-cell paths, both cross-cell
+/// paths, and the streaming-container replay over the shared trace
+/// (best of [`KernelParams::rounds`]), verify equivalence, replay both
+/// fast paths with `dd-obs` recording enabled to measure the
+/// instrumentation overhead, replay them again with an armed-but-inert
+/// `dd-chaos` plan to measure the fault-plane overhead, and assemble
+/// the artifact with the given regression floors and overhead
+/// ceilings. `sweep_cells` overrides the cross-cell roster size
+/// ([`SWEEP_CELLS_DEFAULT`]); callers must pass at least 2.
 pub fn run_kernel_bench(
     quick: bool,
     floor: f64,
     sweep_floor: f64,
+    streaming_floor: f64,
     obs_ceiling: f64,
     chaos_ceiling: f64,
     sweep_cells: Option<usize>,
@@ -524,6 +587,13 @@ pub fn run_kernel_bench(
     assert_equivalent(&warm_fast, &warm_ref, &trace);
     let commands = total_commands(&warm_ref);
 
+    // The streaming path replays the same trace off its v2 delta
+    // container; the container's 512-op chunks coincide with the
+    // batched path's chunking, so the end states must be bit-identical.
+    let container = encode_v2(&trace, true);
+    let warm_streaming = run_streaming(&config, &container, p.batch_factor);
+    assert_equivalent(&warm_streaming, &warm_ref, &trace);
+
     let warm_swept = run_swept(&config, sweep_trace, p.batch_factor, p.chunk, p.sweep_cells);
     let warm_cells =
         run_cells_batched(&config, sweep_trace, p.batch_factor, p.chunk, p.sweep_cells);
@@ -535,6 +605,7 @@ pub fn run_kernel_bench(
 
     let mut best_ref = u128::MAX;
     let mut best_fast = u128::MAX;
+    let mut best_streaming = u128::MAX;
     let mut best_cells = u128::MAX;
     let mut best_swept = u128::MAX;
     for _ in 0..p.rounds.max(1) {
@@ -546,6 +617,11 @@ pub fn run_kernel_bench(
         let started = Instant::now();
         let mem = run_batched(&config, &trace, p.batch_factor, p.chunk);
         best_fast = best_fast.min(started.elapsed().as_micros().max(1));
+        std::hint::black_box(mem.stats());
+
+        let started = Instant::now();
+        let mem = run_streaming(&config, &container, p.batch_factor);
+        best_streaming = best_streaming.min(started.elapsed().as_micros().max(1));
         std::hint::black_box(mem.stats());
 
         let started = Instant::now();
@@ -724,6 +800,9 @@ pub fn run_kernel_bench(
         sweep: measure(sweep_commands, best_swept),
         sweep_speedup: ratio(best_cells, best_swept),
         sweep_floor,
+        streaming: measure(commands, best_streaming),
+        streaming_ratio: ratio(best_fast, best_streaming),
+        streaming_floor,
         obs_overhead_batch_pct: overhead_pct(median(&fast_ratios)),
         obs_overhead_sweep_pct: overhead_pct(median(&swept_ratios)),
         obs_overhead_ceiling_pct: obs_ceiling,
@@ -756,6 +835,16 @@ mod tests {
         let reference = run_reference(&config, &trace, 16);
         assert_equivalent(&fast, &reference, &trace);
         assert!(total_commands(&reference) > 2_000);
+    }
+
+    #[test]
+    fn streaming_path_agrees_with_batched() {
+        let config = DramConfig::lpddr4_small();
+        let trace = kernel_trace(&config, 1_300, 17);
+        let container = encode_v2(&trace, true);
+        let streaming = run_streaming(&config, &container, 16);
+        let batched = run_batched(&config, &trace, 16, 512);
+        assert_equivalent(&streaming, &batched, &trace);
     }
 
     #[test]
@@ -806,6 +895,13 @@ mod tests {
             },
             sweep_speedup: 5.0,
             sweep_floor: SWEEP_SPEEDUP_FLOOR,
+            streaming: PathMeasure {
+                wall_millis: 55,
+                commands: 3_960_000,
+                commands_per_sec: 72_000_000.0,
+            },
+            streaming_ratio: 0.91,
+            streaming_floor: STREAMING_RATIO_FLOOR,
             obs_overhead_batch_pct: 0.4,
             obs_overhead_sweep_pct: 0.6,
             obs_overhead_ceiling_pct: OBS_OVERHEAD_CEILING_PCT,

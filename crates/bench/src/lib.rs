@@ -22,6 +22,7 @@ use dd_qnn::{build_model, Architecture, ModelConfig, QModel};
 
 pub mod cache;
 pub mod chaos;
+pub mod corpus;
 pub mod experiments;
 pub mod kernel;
 pub mod report;

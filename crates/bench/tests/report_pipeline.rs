@@ -8,7 +8,7 @@ use dd_baselines::{CellReport, MatrixRunSummary};
 use dd_bench::experiments::{table3_matrix, ExperimentId, RunContext};
 use dd_bench::kernel::{
     KernelBench, PathMeasure, CHAOS_OVERHEAD_CEILING_PCT, KERNEL_BENCH_SCHEMA_VERSION,
-    KERNEL_SPEEDUP_FLOOR, OBS_OVERHEAD_CEILING_PCT, SWEEP_SPEEDUP_FLOOR,
+    KERNEL_SPEEDUP_FLOOR, OBS_OVERHEAD_CEILING_PCT, STREAMING_RATIO_FLOOR, SWEEP_SPEEDUP_FLOOR,
 };
 use dd_bench::report::{splice_section, Artifact, TableArtifact, ARTIFACT_SCHEMA_VERSION};
 use dnn_defender::Json;
@@ -138,6 +138,13 @@ fn golden_kernel_bench() -> KernelBench {
         },
         sweep_speedup: 5.0,
         sweep_floor: SWEEP_SPEEDUP_FLOOR,
+        streaming: PathMeasure {
+            wall_millis: 55,
+            commands: 3_960_000,
+            commands_per_sec: 72_000_000.0,
+        },
+        streaming_ratio: 0.91,
+        streaming_floor: STREAMING_RATIO_FLOOR,
         obs_overhead_batch_pct: 0.4,
         obs_overhead_sweep_pct: 0.6,
         obs_overhead_ceiling_pct: OBS_OVERHEAD_CEILING_PCT,
@@ -217,6 +224,23 @@ fn committed_kernel_bench_is_a_valid_baseline() {
     assert_eq!(
         bench.cell_batch.commands, bench.sweep.commands,
         "both cross-cell paths must replay the identical roster"
+    );
+    // The streaming-replay gate: the committed baseline carries its own
+    // floor and satisfies it — chunked decode stays close to the
+    // decoded-in-RAM path.
+    assert!(
+        bench.streaming_floor > 0.0,
+        "streaming floor must gate something"
+    );
+    assert!(
+        bench.streaming_ratio >= bench.streaming_floor,
+        "committed baseline violates its own streaming floor: {} < {}",
+        bench.streaming_ratio,
+        bench.streaming_floor
+    );
+    assert_eq!(
+        bench.streaming.commands, bench.batch.commands,
+        "streaming replays the identical trace off its v2 container"
     );
     // The dd-obs overhead gate: the committed baseline carries its own
     // ceiling and satisfies it on both kernel fast paths.

@@ -58,7 +58,7 @@ pub mod timing;
 
 pub use addressing::{AddressMapping, DecodedAddr, PhysAddr};
 pub use bank::Bank;
-pub use batch::{BatchOp, BatchOpKind, DecodedBatch};
+pub use batch::{BatchOp, BatchOpKind, DecodedBatch, BATCH_CHUNK_OPS};
 pub use batch_sweep::CellSweep;
 pub use command::{CommandKind, CommandTrace, DramCommand, TraceMode};
 pub use controller::MemoryController;

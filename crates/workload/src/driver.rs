@@ -23,7 +23,7 @@ use std::collections::{BinaryHeap, HashSet};
 
 use dd_dram::{
     BatchOpKind, CellSweep, DecodedBatch, DramConfig, DramError, GlobalRowId, MemoryController,
-    Nanos, TraceMode,
+    Nanos, TraceMode, BATCH_CHUNK_OPS,
 };
 use dd_qnn::BitAddr;
 use dnn_defender::defense::{CampaignView, DefenseMechanism, DefenseStats};
@@ -32,8 +32,10 @@ use dnn_defender::WeightMap;
 use crate::generator::{BackgroundLoad, OpKind, WorkloadGenerator, WorkloadOp};
 
 /// Ops per [`dd_dram::DecodedBatch`] chunk on the batched path (when the
-/// installed defense has no online tap that must run per-op).
-const BATCH_CHUNK: usize = 512;
+/// installed defense has no online tap that must run per-op). This is
+/// the shared [`dd_dram::BATCH_CHUNK_OPS`] boundary, which the v2 trace
+/// container also frames its chunks to — one streamed chunk, one batch.
+const BATCH_CHUNK: usize = BATCH_CHUNK_OPS;
 
 /// Which command-issue path [`BenignTraffic::drive_span`] uses.
 ///
@@ -234,6 +236,34 @@ impl BenignTraffic {
                 Box::new(crate::trace::TraceReplay::new(ops)) as Box<dyn WorkloadGenerator>,
                 1,
             )],
+            "trace-replay",
+            ops_per_window,
+            batch,
+            universe,
+            config,
+        )
+    }
+
+    /// Replay a v2 trace container *without materializing it*: the
+    /// [`crate::trace::StreamingReplay`] holds at most one chunk
+    /// ([`dd_dram::BATCH_CHUNK_OPS`] ops) in memory and cycles like
+    /// [`crate::trace::TraceReplay`]. The benign-row universe is the
+    /// trace's first-touch row set, collected during the replay's
+    /// validating open pass — identical to what [`Self::from_trace`]
+    /// derives from the materialized ops, so the two constructions
+    /// produce bit-identical runs over the same trace.
+    pub fn from_streaming<Rd>(
+        replay: crate::trace::StreamingReplay<Rd>,
+        ops_per_window: u64,
+        batch: u64,
+        config: &DramConfig,
+    ) -> Self
+    where
+        Rd: std::io::Read + std::io::Seek + Send + 'static,
+    {
+        let universe = replay.rows().to_vec();
+        BenignTraffic::new(
+            vec![(Box::new(replay) as Box<dyn WorkloadGenerator>, 1)],
             "trace-replay",
             ops_per_window,
             batch,
@@ -1271,5 +1301,60 @@ mod tests {
         assert_eq!(mem2.stats().reads, mem.stats().reads);
         assert_eq!(mem2.stats().writes, mem.stats().writes);
         assert_eq!(mem2.stats().acts, mem.stats().acts);
+    }
+
+    #[test]
+    fn streaming_replay_run_is_bit_identical_to_materialized() {
+        let config = DramConfig::lpddr4_small();
+        let cfg = DriverConfig {
+            benign_windows: 3,
+            attack_windows: 0,
+            record: true,
+        };
+        let mut mem = device();
+        let mut defense = Undefended::new();
+        let mut traffic = light_traffic(&config);
+        let original =
+            run_workload(&mut mem, &mut defense, None, &mut traffic, &[], &cfg).expect("record");
+        let ops = original.trace.clone().expect("trace captured");
+        let bytes = crate::trace::encode_v2(&ops, true);
+
+        let run = |mut traffic: BenignTraffic| {
+            let mut mem = device();
+            let mut defense = Undefended::new();
+            let report = run_workload(
+                &mut mem,
+                &mut defense,
+                None,
+                &mut traffic,
+                &[],
+                &DriverConfig {
+                    record: false,
+                    ..cfg
+                },
+            )
+            .expect("replay");
+            (report, mem.stats(), defense.stats())
+        };
+
+        let materialized = BenignTraffic::from_trace(
+            crate::trace::decode_any(&bytes).expect("decode"),
+            traffic.ops_per_window(),
+            traffic.batch(),
+            &config,
+        );
+        let streaming = BenignTraffic::from_streaming(
+            crate::trace::StreamingReplay::open(std::io::Cursor::new(bytes)).expect("open"),
+            traffic.ops_per_window(),
+            traffic.batch(),
+            &config,
+        );
+        let (rep_m, mem_m, def_m) = run(materialized);
+        let (rep_s, mem_s, def_s) = run(streaming);
+        assert_eq!(rep_s.benign_ops, rep_m.benign_ops);
+        assert_eq!(rep_s.benign_bytes, rep_m.benign_bytes);
+        assert_eq!(rep_s.commands, rep_m.commands);
+        assert_eq!(mem_s, mem_m, "MemStats must be bit-identical");
+        assert_eq!(def_s, def_m, "DefenseStats must be bit-identical");
     }
 }

@@ -8,8 +8,12 @@
 //!   (zipfian inference serving, streaming scans, pointer chasing, a
 //!   multi-tenant mix with bank affinity) and the [`BackgroundLoad`]
 //!   axis the scenario matrix sweeps;
-//! * [`trace`] — the compact versioned binary trace format: any run can
-//!   be captured and replayed byte-identically;
+//! * [`trace`] — the compact versioned binary trace formats: any run can
+//!   be captured and replayed byte-identically, either materialized (v1)
+//!   or streamed chunk-by-chunk from the indexed v2 container;
+//! * [`corpus`] — diurnal fleet profiles composed from the seeded
+//!   generators (load ramps, tenant churn, hot-key shifts) for
+//!   corpus-scale defense sweeps;
 //! * [`driver`] — the event-driven driver that merges benign streams
 //!   with attack campaigns on the simulated clock, feeds everything
 //!   through [`dd_dram::MemoryController`], and reports throughput,
@@ -45,6 +49,7 @@
 
 #![deny(missing_docs)]
 
+pub mod corpus;
 pub mod driver;
 pub mod generator;
 pub mod trace;
@@ -57,6 +62,7 @@ pub mod trace;
 /// cells and workload artifacts are invalidated.
 pub const WORKLOAD_PROTOCOL_VERSION: u64 = 1;
 
+pub use corpus::{CorpusPhase, DiurnalProfile, PhaseShape};
 pub use driver::{
     drive_benign_window_sweep, next_window_boundary, run_workload, BenignTraffic, DriverConfig,
     DriverReport, IssuePath, SpanTraffic, SweepCell,
@@ -66,5 +72,7 @@ pub use generator::{
     TenantMix, WorkloadGenerator, WorkloadOp, ZipfianServing,
 };
 pub use trace::{
-    decode, encode, TraceError, TraceReplay, HEADER_BYTES, RECORD_BYTES, TRACE_MAGIC, TRACE_VERSION,
+    decode, decode_any, encode, encode_v2, StreamingReplay, StreamingTraceReader, TraceError,
+    TraceReplay, HEADER_BYTES, RECORD_BYTES, TRACE_CHUNK_OPS, TRACE_MAGIC, TRACE_VERSION,
+    TRACE_VERSION_V2,
 };

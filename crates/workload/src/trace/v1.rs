@@ -1,0 +1,208 @@
+//! Trace format v1: the original monolithic layout.
+//!
+//! Deliberately trivial so other tools can parse it:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"DDWT"
+//! 4       2     version (little-endian u16, 1)
+//! 6       2     flags (reserved, 0)
+//! 8       8     record count (little-endian u64)
+//! 16      9*n   records
+//! ```
+//!
+//! Each record is 9 bytes: `kind` (u8: 0 = read, 1 = write), `bank`
+//! (LE u16), `subarray` (LE u16), `row` (LE u32). Decoding rejects bad
+//! magic, unknown versions, truncated bodies, and trailing bytes, so a
+//! trace either round-trips exactly (`decode(encode(ops)) == ops`) or
+//! fails loudly — and the header is *untrusted*: the record count is
+//! cross-checked against the body length with overflow-checked
+//! arithmetic before anything is allocated. The golden file under
+//! `tests/golden/benign_v1.trace` pins the on-disk layout: changing it
+//! requires a version bump (which is exactly what [`super::v2`] is).
+
+use super::{err, record_fields, record_op, TraceError};
+use crate::generator::WorkloadOp;
+
+/// File magic: "DNN-Defender Workload Trace".
+pub const TRACE_MAGIC: [u8; 4] = *b"DDWT";
+
+/// The v1 format version.
+pub const TRACE_VERSION: u16 = 1;
+
+/// Bytes per encoded record.
+pub const RECORD_BYTES: usize = 9;
+
+/// Header size in bytes (shared by v1 and v2).
+pub const HEADER_BYTES: usize = 16;
+
+/// Encode an op stream into the versioned binary format.
+///
+/// # Panics
+///
+/// Panics when an address does not fit the record layout (bank or
+/// subarray ≥ 2¹⁶, row ≥ 2³²) — silently truncating would break the
+/// round-trip guarantee, and no simulated device is anywhere near these
+/// bounds.
+pub fn encode(ops: &[WorkloadOp]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_BYTES + ops.len() * RECORD_BYTES);
+    out.extend_from_slice(&TRACE_MAGIC);
+    out.extend_from_slice(&TRACE_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&(ops.len() as u64).to_le_bytes());
+    for op in ops {
+        let (kind, bank, subarray, row) = record_fields(op);
+        out.push(kind);
+        out.extend_from_slice(&bank.to_le_bytes());
+        out.extend_from_slice(&subarray.to_le_bytes());
+        out.extend_from_slice(&row.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a versioned binary trace.
+///
+/// The header is treated as hostile input: the declared record count is
+/// validated against the actual body length — `count × RECORD_BYTES`
+/// computed with `checked_mul`, so a count crafted to wrap a `usize`
+/// multiply in release mode cannot pass the check — and the output
+/// allocation is capped by what the body can actually hold, so a giant
+/// declared count cannot force a multi-GB pre-allocation either.
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] on bad magic, an unsupported version, a
+/// truncated body, a record-count mismatch (including counts whose byte
+/// size overflows), or an invalid op kind.
+pub fn decode(bytes: &[u8]) -> Result<Vec<WorkloadOp>, TraceError> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(err(format!("truncated header: {} bytes", bytes.len())));
+    }
+    if bytes[0..4] != TRACE_MAGIC {
+        return Err(err("bad magic (not a DDWT trace)"));
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != TRACE_VERSION {
+        return Err(err(format!(
+            "unsupported trace version {version} (expected {TRACE_VERSION})"
+        )));
+    }
+    let count = u64::from_le_bytes(bytes[8..16].try_into().expect("8 header bytes"));
+    let body = &bytes[HEADER_BYTES..];
+    // Validate-before-allocate: the length check must hold in checked
+    // arithmetic (a wrapped multiply passing an equality test is exactly
+    // the hostile-header hole), and nothing is reserved until it does.
+    let expected = usize::try_from(count)
+        .ok()
+        .and_then(|c| c.checked_mul(RECORD_BYTES));
+    match expected {
+        Some(expected) if expected == body.len() => {}
+        _ => {
+            return Err(err(format!(
+                "body is {} bytes, expected {count} records of {RECORD_BYTES} bytes",
+                body.len(),
+            )));
+        }
+    }
+    // The equality above already bounds the count; the min() keeps the
+    // allocation provably body-sized even if the checks ever drift.
+    let mut ops = Vec::with_capacity((count as usize).min(body.len() / RECORD_BYTES));
+    for record in body.chunks_exact(RECORD_BYTES) {
+        let bank = u16::from_le_bytes([record[1], record[2]]);
+        let subarray = u16::from_le_bytes([record[3], record[4]]);
+        let row = u32::from_le_bytes(record[5..9].try_into().expect("4 row bytes"));
+        ops.push(record_op(record[0], bank, subarray, row)?);
+    }
+    Ok(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::OpKind;
+    use dd_dram::GlobalRowId;
+
+    fn ops() -> Vec<WorkloadOp> {
+        vec![
+            WorkloadOp {
+                kind: OpKind::Read,
+                row: GlobalRowId::new(0, 0, 0),
+            },
+            WorkloadOp {
+                kind: OpKind::Write,
+                row: GlobalRowId::new(15, 7, 125),
+            },
+            WorkloadOp {
+                kind: OpKind::Read,
+                row: GlobalRowId::new(3, 2, 1),
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let ops = ops();
+        let bytes = encode(&ops);
+        assert_eq!(bytes.len(), HEADER_BYTES + 3 * RECORD_BYTES);
+        assert_eq!(decode(&bytes).expect("decode"), ops);
+        // Empty traces round-trip too.
+        assert_eq!(decode(&encode(&[])).expect("decode empty"), vec![]);
+    }
+
+    #[test]
+    fn malformed_traces_are_rejected() {
+        let good = encode(&ops());
+        assert!(decode(&good[..10]).is_err(), "truncated header accepted");
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(decode(&bad_magic).is_err(), "bad magic accepted");
+        let mut bad_version = good.clone();
+        bad_version[4] = 99;
+        assert!(decode(&bad_version).is_err(), "future version accepted");
+        let mut high_byte_version = good.clone();
+        high_byte_version[5] = 1; // version 256: the high byte matters too
+        assert!(decode(&high_byte_version).is_err(), "version 256 accepted");
+        let mut truncated = good.clone();
+        truncated.pop();
+        assert!(decode(&truncated).is_err(), "short body accepted");
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(decode(&trailing).is_err(), "trailing bytes accepted");
+        let mut bad_kind = good;
+        bad_kind[HEADER_BYTES] = 7;
+        assert!(decode(&bad_kind).is_err(), "invalid kind accepted");
+    }
+
+    #[test]
+    fn hostile_record_counts_are_rejected_without_allocating() {
+        // A count chosen so `count * RECORD_BYTES` wraps a u64 multiply
+        // to exactly the body length (2): the pre-hardening release-mode
+        // check passed this and then aborted in with_capacity.
+        let wrap_count = (u64::MAX / RECORD_BYTES as u64) + 1; // *9 wraps past 0
+        let wrapped_len = (wrap_count as usize).wrapping_mul(RECORD_BYTES);
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(&TRACE_MAGIC);
+        hostile.extend_from_slice(&TRACE_VERSION.to_le_bytes());
+        hostile.extend_from_slice(&0u16.to_le_bytes());
+        hostile.extend_from_slice(&wrap_count.to_le_bytes());
+        hostile.extend_from_slice(&vec![0u8; wrapped_len]);
+        assert!(decode(&hostile).is_err(), "wrapped count accepted");
+
+        // A giant count with no body: must error, never reserve.
+        let mut giant = Vec::new();
+        giant.extend_from_slice(&TRACE_MAGIC);
+        giant.extend_from_slice(&TRACE_VERSION.to_le_bytes());
+        giant.extend_from_slice(&0u16.to_le_bytes());
+        giant.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode(&giant).is_err(), "giant count accepted");
+    }
+
+    #[test]
+    #[should_panic(expected = "row exceeds trace format")]
+    fn encode_rejects_rows_beyond_the_record_layout() {
+        encode(&[WorkloadOp {
+            kind: OpKind::Read,
+            row: GlobalRowId::new(0, 0, 1 << 33),
+        }]);
+    }
+}

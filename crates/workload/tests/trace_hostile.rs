@@ -1,0 +1,158 @@
+//! Hostile-input tests for the trace decoders, extending the PR 9
+//! hostile-header pattern to the trace plane: arbitrary byte strings
+//! must never panic, abort, or force absurd allocations in `decode`,
+//! `decode_any`, or `StreamingTraceReader` — traces are inputs to a
+//! resident server, so a 16-byte crafted file aborting the process is a
+//! denial of service, not a parse error.
+//!
+//! The committed corpus under `tests/hostile/` pins the concrete
+//! exploits the original code missed: a record count crafted to wrap
+//! `count * RECORD_BYTES` past the body-length check, a giant count
+//! that pre-allocated gigabytes before validation, a version whose
+//! *high* byte is set (the old test only corrupted the low byte), and a
+//! v2 container with its chunk index truncated.
+
+use std::io::Cursor;
+
+use dd_workload::{decode, decode_any, encode, StreamingTraceReader, HEADER_BYTES, RECORD_BYTES};
+use proptest::prelude::*;
+
+use dd_dram::GlobalRowId;
+use dd_workload::{OpKind, WorkloadOp};
+
+proptest! {
+    /// Fully arbitrary bytes: every decode entry point returns an error
+    /// or a value — never a panic. (Panics fail the test; the allocation
+    /// caps are exercised by the count-forging test below.)
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in collection::vec(any::<u8>(), 0usize..2048)) {
+        let _ = decode(&bytes);
+        let _ = decode_any(&bytes);
+        if let Ok(mut reader) = StreamingTraceReader::open(Cursor::new(&bytes[..])) {
+            let mut chunk = Vec::new();
+            while let Ok(true) = reader.next_chunk(&mut chunk) {}
+        }
+    }
+
+    /// Arbitrary bytes behind a *valid-looking* header (magic + a
+    /// supported version): the deeper validation layers never panic
+    /// either.
+    #[test]
+    fn arbitrary_bodies_never_panic(
+        bytes in collection::vec(any::<u8>(), 16usize..2048),
+        version in 1u16..3,
+    ) {
+        let mut bytes = bytes;
+        bytes[0..4].copy_from_slice(b"DDWT");
+        bytes[4..6].copy_from_slice(&version.to_le_bytes());
+        let _ = decode_any(&bytes);
+        if let Ok(mut reader) = StreamingTraceReader::open(Cursor::new(&bytes[..])) {
+            let mut chunk = Vec::new();
+            while let Ok(true) = reader.next_chunk(&mut chunk) {}
+        }
+    }
+
+    /// A forged v1 record count over a small body is always rejected —
+    /// for *any* count, including ones whose `count * RECORD_BYTES`
+    /// wraps. Nothing proportional to the count may be allocated, which
+    /// this asserts indirectly: a multi-exabyte reserve would abort long
+    /// before the error returned.
+    #[test]
+    fn forged_counts_are_rejected(count in any::<u64>(), body_len in 0usize..64) {
+        prop_assume!(count as usize != body_len / RECORD_BYTES || body_len % RECORD_BYTES != 0);
+        let mut bytes = Vec::with_capacity(HEADER_BYTES + body_len);
+        bytes.extend_from_slice(b"DDWT");
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        bytes.extend_from_slice(&count.to_le_bytes());
+        bytes.resize(HEADER_BYTES + body_len, 0);
+        prop_assert!(decode(&bytes).is_err());
+    }
+}
+
+/// The committed hostile corpus: every file must be rejected by every
+/// decode entry point, without panicking.
+#[test]
+fn committed_hostile_corpus_is_rejected() {
+    let corpus: [(&str, &[u8]); 4] = [
+        (
+            "wrapped_count_v1.trace",
+            include_bytes!("hostile/wrapped_count_v1.trace"),
+        ),
+        (
+            "giant_count_v1.trace",
+            include_bytes!("hostile/giant_count_v1.trace"),
+        ),
+        (
+            "high_byte_version.trace",
+            include_bytes!("hostile/high_byte_version.trace"),
+        ),
+        (
+            "truncated_index_v2.trace",
+            include_bytes!("hostile/truncated_index_v2.trace"),
+        ),
+    ];
+    for (name, bytes) in corpus {
+        assert!(decode_any(bytes).is_err(), "{name}: decode_any accepted");
+        assert!(
+            StreamingTraceReader::open(Cursor::new(bytes)).is_err(),
+            "{name}: streaming reader accepted"
+        );
+    }
+    // The wrapped count is the exact release-mode exploit: 9 × count
+    // wraps a u64 to 2, matching the 2-byte body under the old
+    // `body.len() != count * RECORD_BYTES` check.
+    let wrapped: &[u8] = include_bytes!("hostile/wrapped_count_v1.trace");
+    let count = u64::from_le_bytes(wrapped[8..16].try_into().unwrap());
+    assert_eq!(count.wrapping_mul(RECORD_BYTES as u64), 2);
+    assert_eq!(wrapped.len(), HEADER_BYTES + 2);
+}
+
+/// Writes the hostile corpus. Ignored: run explicitly if the corpus is
+/// deliberately extended.
+#[test]
+#[ignore = "regenerates the committed hostile corpus"]
+fn regenerate_hostile_corpus() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/hostile");
+    std::fs::create_dir_all(dir).unwrap();
+    let header = |version: u16, count: u64| {
+        let mut h = Vec::with_capacity(HEADER_BYTES);
+        h.extend_from_slice(b"DDWT");
+        h.extend_from_slice(&version.to_le_bytes());
+        h.extend_from_slice(&0u16.to_le_bytes());
+        h.extend_from_slice(&count.to_le_bytes());
+        h
+    };
+
+    // count * 9 == 2^64 + 2, wrapping to 2 — the release-mode exploit.
+    let wrap_count = (u64::MAX / RECORD_BYTES as u64) + 1;
+    let mut wrapped = header(1, wrap_count);
+    wrapped.extend_from_slice(&[0, 0]);
+    std::fs::write(format!("{dir}/wrapped_count_v1.trace"), wrapped).unwrap();
+
+    // u64::MAX records, no body: the old code reserved first.
+    std::fs::write(format!("{dir}/giant_count_v1.trace"), header(1, u64::MAX)).unwrap();
+
+    // A perfectly valid v1 trace with the version's *high* byte set.
+    let ops = vec![WorkloadOp {
+        kind: OpKind::Read,
+        row: GlobalRowId::new(1, 1, 7),
+    }];
+    let mut high = encode(&ops);
+    high[5] = 1; // version 0x0101 = 257
+    std::fs::write(format!("{dir}/high_byte_version.trace"), high).unwrap();
+
+    // A valid v2 container with the chunk index torn off mid-entry.
+    let many: Vec<WorkloadOp> = (0..600)
+        .map(|i| WorkloadOp {
+            kind: OpKind::Read,
+            row: GlobalRowId::new(i % 4, 0, i % 100),
+        })
+        .collect();
+    let full = dd_workload::encode_v2(&many, true);
+    std::fs::write(
+        format!("{dir}/truncated_index_v2.trace"),
+        &full[..full.len() - 30],
+    )
+    .unwrap();
+}

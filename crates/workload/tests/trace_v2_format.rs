@@ -1,0 +1,86 @@
+//! Trace-format-v2 pinning tests: the `decode ∘ encode = id` property
+//! over arbitrary op streams for both chunk encodings, and the committed
+//! golden `corpus_v2.trace` — a fleet-day corpus sample — freezing the
+//! chunked on-disk layout exactly like `benign_v1.trace` freezes v1.
+
+use std::io::Cursor;
+
+use dd_dram::{DramConfig, GlobalRowId};
+use dd_workload::{
+    decode_any, encode_v2, DiurnalProfile, OpKind, StreamingReplay, StreamingTraceReader,
+    TraceReplay, WorkloadGenerator, WorkloadOp, TRACE_CHUNK_OPS,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// `decode(encode_v2(ops, delta)) == ops` for arbitrary streams and
+    /// both chunk encodings, across chunk boundaries.
+    #[test]
+    fn v2_encode_decode_is_identity(
+        raw in collection::vec((any::<bool>(), 0usize..16, 0usize..8, 0usize..4096), 0usize..1200),
+        delta in any::<bool>(),
+    ) {
+        let ops: Vec<WorkloadOp> = raw
+            .iter()
+            .map(|&(write, bank, subarray, row)| WorkloadOp {
+                kind: if write { OpKind::Write } else { OpKind::Read },
+                row: GlobalRowId::new(bank, subarray, row),
+            })
+            .collect();
+        let bytes = encode_v2(&ops, delta);
+        prop_assert_eq!(decode_any(&bytes).expect("round trip"), ops.clone());
+        // The streaming reader agrees with the materializing decode,
+        // chunk sizes never exceed the batch boundary, and the index
+        // matches what actually streams out.
+        let mut reader = StreamingTraceReader::open(Cursor::new(&bytes[..])).expect("open");
+        prop_assert_eq!(reader.total_records(), ops.len() as u64);
+        let mut streamed = Vec::new();
+        let mut chunk = Vec::new();
+        while reader.next_chunk(&mut chunk).expect("chunk") {
+            prop_assert!(!chunk.is_empty() && chunk.len() <= TRACE_CHUNK_OPS);
+            streamed.extend_from_slice(&chunk);
+        }
+        prop_assert_eq!(streamed, ops);
+    }
+}
+
+/// The fleet-day sample frozen in `tests/golden/corpus_v2.trace`.
+/// Regenerate with `cargo test -p dd-workload --test trace_v2_format --
+/// --ignored` if (and only if) the v2 layout or the corpus recipe
+/// deliberately changes.
+fn golden_corpus_ops() -> Vec<WorkloadOp> {
+    DiurnalProfile::fleet_day(0x0DAC_2024).sample_ops(&DramConfig::lpddr4_small(), 300)
+}
+
+#[test]
+fn golden_corpus_trace_decodes_and_streams() {
+    let bytes = include_bytes!("golden/corpus_v2.trace");
+    let ops = decode_any(bytes).expect("golden v2 trace must decode");
+    assert_eq!(
+        ops,
+        golden_corpus_ops(),
+        "the committed golden corpus trace no longer decodes to the pinned \
+         fleet-day sample — the v2 layout or corpus recipe changed; bump the \
+         version (or deliberately regenerate) before shipping"
+    );
+    // Re-encoding reproduces the committed bytes exactly.
+    assert_eq!(encode_v2(&ops, true), bytes.to_vec());
+    // Streaming replay and materialized replay agree op-for-op, cycling
+    // included.
+    let mut materialized = TraceReplay::from_bytes(bytes).expect("replay");
+    let mut streaming =
+        StreamingReplay::open(Cursor::new(bytes.to_vec())).expect("streaming replay");
+    for i in 0..(ops.len() + 99) {
+        assert_eq!(streaming.next_op(), materialized.next_op(), "op {i}");
+    }
+}
+
+/// Writes the golden file. Ignored: run explicitly after a deliberate
+/// format or corpus-recipe change.
+#[test]
+#[ignore = "regenerates the committed golden v2 corpus trace"]
+fn regenerate_golden_corpus_trace() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/corpus_v2.trace");
+    std::fs::create_dir_all(std::path::Path::new(path).parent().unwrap()).unwrap();
+    std::fs::write(path, encode_v2(&golden_corpus_ops(), true)).unwrap();
+}
